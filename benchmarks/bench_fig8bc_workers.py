@@ -1,0 +1,69 @@
+"""Figures 8(b)/8(c): parallel engines while varying the number of workers n.
+
+The paper varies n from 4 to 20 machines and reports the response time of
+PQMatch, PQMatchS (no intra-fragment threads), PQMatchN (no incremental
+negation handling) and PEnum on Pokec and YAGO2.  Wall-clock speedups are not
+observable inside a single container, so alongside the wall time this
+benchmark reports the *work model* numbers of the simulated cluster: the total
+verification work, the makespan (largest per-worker work) and the implied
+speedup — the quantity whose growth with n demonstrates parallel scalability
+(Theorem 7).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import paper_pattern
+from repro.parallel import penum_engine, pqmatch_engine, pqmatch_n_engine, pqmatch_s_engine
+from repro.utils import Timer
+
+WORKER_COUNTS = (2, 4, 8, 12)
+
+ENGINE_FACTORIES = {
+    "PQMatch": pqmatch_engine,
+    "PQMatchS": pqmatch_s_engine,
+    "PQMatchN": pqmatch_n_engine,
+    "PEnum": penum_engine,
+}
+
+
+def _patterns(dataset: str):
+    if dataset == "pokec":
+        return [paper_pattern("Q1"), paper_pattern("Q3", p=2)]
+    return [paper_pattern("Q4", p=2), paper_pattern("Q5")]
+
+
+def _sweep(graph, dataset: str):
+    rows = []
+    for workers in WORKER_COUNTS:
+        for name, factory in ENGINE_FACTORIES.items():
+            engine = factory(num_workers=workers, d=2)
+            total_work = 0
+            makespan = 0
+            with Timer() as timer:
+                for pattern in _patterns(dataset):
+                    result = engine.evaluate(pattern, graph)
+                    total_work += result.total_work
+                    makespan += result.makespan_work
+            speedup = total_work / makespan if makespan else 1.0
+            rows.append([workers, name, round(timer.elapsed, 3), total_work, makespan,
+                         round(speedup, 2)])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig8bc")
+@pytest.mark.parametrize("dataset", ["pokec", "yago2"])
+def test_fig8bc_varying_workers(benchmark, dataset, pokec_graph, yago_graph, record_figure):
+    graph = pokec_graph if dataset == "pokec" else yago_graph
+    rows = benchmark.pedantic(_sweep, args=(graph, dataset), rounds=1, iterations=1)
+    figure = "fig8b_pokec" if dataset == "pokec" else "fig8c_yago2"
+    record_figure(
+        figure,
+        ["workers", "engine", "wall_seconds", "total_work", "makespan_work", "work_speedup"],
+        rows,
+        title=f"Figure 8({'b' if dataset == 'pokec' else 'c'}) — parallel engines vs n on {dataset}",
+    )
+    # The parallel-scalability shape: PQMatch's makespan shrinks as n grows.
+    pqmatch_rows = [row for row in rows if row[1] == "PQMatch"]
+    assert pqmatch_rows[-1][4] <= pqmatch_rows[0][4]

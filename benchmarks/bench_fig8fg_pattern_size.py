@@ -1,0 +1,60 @@
+"""Figures 8(f)/8(g): response time while varying the pattern size |Q|.
+
+The paper fixes pa = 30%, |E−Q| = 1, n = 8 and grows (|VQ|, |EQ|) from (4, 6)
+to (8, 10) on Pokec and from (3, 5) to (7, 9) on YAGO2: all engines slow down
+as the pattern grows, and PQMatch stays fastest.  This benchmark runs the
+same sweep with generated workload queries of each size over the sequential
+engines and the 8-worker parallel coordinator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import workload_patterns
+from repro.matching import EnumMatcher, QMatch
+from repro.parallel import pqmatch_engine
+from repro.utils import Timer
+
+SIZES = {
+    "pokec": [(4, 6), (5, 7), (6, 8), (7, 9)],
+    "yago2": [(3, 5), (4, 6), (5, 7), (6, 8)],
+}
+
+
+def _engines():
+    return {
+        "QMatch": QMatch(),
+        "Enum": EnumMatcher(),
+        "PQMatch(n=8)": pqmatch_engine(num_workers=8, d=2),
+    }
+
+
+def _sweep(graph, dataset: str):
+    rows = []
+    for num_nodes, num_edges in SIZES[dataset]:
+        patterns = workload_patterns(
+            graph, count=2, num_nodes=num_nodes, num_edges=num_edges,
+            ratio_percent=30.0, num_negated=1, seed=num_nodes,
+        )
+        for name, engine in _engines().items():
+            answers = 0
+            with Timer() as timer:
+                for pattern in patterns:
+                    answers += len(engine.evaluate_answer(pattern, graph))
+            rows.append([f"({num_nodes},{num_edges})", name, round(timer.elapsed, 3), answers])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig8fg")
+@pytest.mark.parametrize("dataset", ["pokec", "yago2"])
+def test_fig8fg_varying_pattern_size(benchmark, dataset, pokec_graph, yago_graph, record_figure):
+    graph = pokec_graph if dataset == "pokec" else yago_graph
+    rows = benchmark.pedantic(_sweep, args=(graph, dataset), rounds=1, iterations=1)
+    figure = "fig8f_pokec" if dataset == "pokec" else "fig8g_yago2"
+    record_figure(
+        figure,
+        ["|Q|", "engine", "seconds", "total_answers"],
+        rows,
+        title=f"Figure 8({'f' if dataset == 'pokec' else 'g'}) — varying |Q| on {dataset}",
+    )

@@ -1,0 +1,60 @@
+"""Figure 8(l): response time while growing the synthetic graph size |G|.
+
+The paper grows the synthetic small-world graph from (10M, 20M) to
+(50M, 100M) nodes/edges with n = 4 workers; PQMatch scales roughly linearly
+with |G| and stays ahead of PQMatchN, PQMatchS and PEnum.  This benchmark runs
+the same sweep at pure-Python scale (thousands of nodes) and reports, per
+graph size and engine, the wall time and the total verification work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import small_world_social_graph
+from repro.parallel import penum_engine, pqmatch_engine, pqmatch_n_engine, pqmatch_s_engine
+from repro.patterns import generate_workload
+from repro.utils import Timer
+
+# (nodes, edges) pairs standing in for the paper's (10M,20M) ... (50M,100M).
+GRAPH_SIZES = [(1000, 2000), (2000, 4000), (3000, 6000), (4000, 8000), (5000, 10000)]
+
+ENGINE_FACTORIES = {
+    "PQMatch": pqmatch_engine,
+    "PQMatchS": pqmatch_s_engine,
+    "PQMatchN": pqmatch_n_engine,
+    "PEnum": penum_engine,
+}
+
+
+def _sweep():
+    rows = []
+    for num_nodes, num_edges in GRAPH_SIZES:
+        graph = small_world_social_graph(num_nodes, num_edges, seed=7,
+                                         name=f"syn-{num_nodes}")
+        patterns = generate_workload(graph, count=2, num_nodes=4, num_edges=5,
+                                     ratio_percent=30.0, num_negated=1, seed=5)
+        for name, factory in ENGINE_FACTORIES.items():
+            engine = factory(num_workers=4, d=2)
+            work = 0
+            with Timer() as timer:
+                for pattern in patterns:
+                    result = engine.evaluate(pattern, graph)
+                    work += result.total_work
+            rows.append([f"({num_nodes},{num_edges})", name, round(timer.elapsed, 3), work])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig8l")
+def test_fig8l_varying_graph_size(benchmark, record_figure):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    record_figure(
+        "fig8l_synthetic",
+        ["|G| (nodes,edges)", "engine", "seconds", "total_work"],
+        rows,
+        title="Figure 8(l) — varying |G| on synthetic graphs (n = 4 workers)",
+    )
+    # PQMatch must scale: time grows with |G| but stays bounded by the largest
+    # graph's PEnum time (the paper's ordering of the four engines).
+    pqmatch = [row for row in rows if row[1] == "PQMatch"]
+    assert pqmatch[0][2] <= pqmatch[-1][2] * 5  # sanity: no pathological blow-up

@@ -1,0 +1,58 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every benchmark module reproduces one table/figure of the paper's Section 7.
+The fixtures here build the benchmark graphs once per session (at a scale that
+keeps the whole suite in the minutes range on a laptop) and provide
+``record_figure``, which renders the rows of a figure as an ASCII table,
+prints it, and archives it under ``benchmarks/results/`` so the numbers quoted
+in ``EXPERIMENTS.md`` can be regenerated with a single pytest invocation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import pytest
+
+from repro.datasets import benchmark_graph
+from repro.utils import render_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Scales are chosen so that the full benchmark suite stays in the minutes
+# range in pure Python; see EXPERIMENTS.md for the mapping to the paper's
+# dataset sizes.
+POKEC_SCALE = 3.0
+YAGO_SCALE = 3.0
+
+
+@pytest.fixture(scope="session")
+def pokec_graph():
+    return benchmark_graph("pokec", scale=POKEC_SCALE, seed=1)
+
+
+@pytest.fixture(scope="session")
+def yago_graph():
+    return benchmark_graph("yago2", scale=YAGO_SCALE, seed=1)
+
+
+@pytest.fixture(scope="session")
+def synthetic_graph():
+    return benchmark_graph("synthetic", scale=2.0, seed=1)
+
+
+@pytest.fixture(scope="session")
+def record_figure():
+    """Return a callable that renders, prints and archives one figure table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(figure: str, headers: Sequence[str], rows: Sequence[Sequence[object]],
+                title: str = "") -> str:
+        table = render_table(headers, rows, title=title or figure)
+        print()
+        print(table)
+        (RESULTS_DIR / f"{figure}.txt").write_text(table + "\n", encoding="utf-8")
+        return table
+
+    return _record

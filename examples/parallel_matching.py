@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Parallel quantified matching with a d-hop preserving partition (PQMatch).
+
+This example walks through Section 5 of the paper on a synthetic small-world
+graph:
+
+1. partition the graph once with ``DPar`` (balanced, d-hop preserving) and
+   inspect the partition quality (skew, replication factor, coverage);
+2. evaluate a workload of generated QGPs with the parallel coordinator
+   ``PQMatch`` for an increasing number of workers, and report the
+   work-distribution speedup (total work / makespan work) — the quantity whose
+   growth with ``n`` is the parallel-scalability claim of Theorem 7;
+3. cross-check every parallel answer against the sequential ``QMatch``.
+
+Run with ``python examples/parallel_matching.py``.
+"""
+
+from __future__ import annotations
+
+from repro import QMatch
+from repro.datasets import benchmark_graph, paper_pattern
+from repro.parallel import DPar, pqmatch_engine
+from repro.utils import render_table
+
+
+def main() -> None:
+    graph = benchmark_graph("pokec", scale=2.0, seed=3)
+    print(f"graph: {graph}")
+
+    # --- one-off partitioning --------------------------------------------
+    partitioner = DPar(d=2, seed=0)
+    partition = partitioner.partition(graph, 4)
+    stats = partition.statistics()
+    print("\nDPar partition (d=2, 4 fragments):")
+    for key, value in stats.items():
+        print(f"  {key:12s}: {value:.3f}")
+    print(f"  covering: {partition.is_covering()}, complete: {partition.is_complete()}")
+
+    # --- the paper's example patterns as the workload ---------------------
+    workload = [paper_pattern("Q1"), paper_pattern("Q2"), paper_pattern("Q3", p=2)]
+    sequential = QMatch()
+    baseline_answers = {q.name: sequential.evaluate_answer(q, graph) for q in workload}
+
+    rows = []
+    for workers in (2, 4, 8):
+        engine = pqmatch_engine(num_workers=workers, d=2)
+        total_speedup = 0.0
+        total_skew = 0.0
+        for pattern in workload:
+            result = engine.evaluate(pattern, graph)
+            assert result.answer == baseline_answers[pattern.name]
+            total_speedup += result.work_speedup
+            total_skew += result.work_skew
+        rows.append(
+            [
+                workers,
+                round(total_speedup / len(workload), 2),
+                round(total_skew / len(workload), 2),
+            ]
+        )
+
+    print("\nParallel scalability (work model):")
+    print(render_table(["workers", "avg work speedup", "avg work skew"], rows))
+    print(
+        "\nThe speedup grows with the number of workers and every parallel "
+        "answer matched the sequential QMatch."
+    )
+
+
+if __name__ == "__main__":
+    main()

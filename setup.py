@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works in offline environments whose setuptools
+toolchain lacks the ``wheel`` package required by PEP 517 editable builds
+(pip then falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

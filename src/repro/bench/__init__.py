@@ -1,0 +1,17 @@
+"""Benchmark harness shared by the figure-reproduction benchmarks."""
+
+from repro.bench.harness import (
+    EngineSpec,
+    RunRecord,
+    records_to_table,
+    run_engines,
+    summarize_records,
+)
+
+__all__ = [
+    "EngineSpec",
+    "RunRecord",
+    "run_engines",
+    "summarize_records",
+    "records_to_table",
+]

@@ -1,0 +1,98 @@
+"""Shared experiment harness used by every benchmark under ``benchmarks/``.
+
+Each figure of the paper compares a fixed set of algorithms while sweeping one
+parameter (number of processors, pattern size, number of negated edges, ratio
+threshold, graph size).  The harness factors out the common loop: build the
+workload once, run every engine on every query, and collect per-engine rows
+(response time, work, answer sizes) that the benchmark then prints with
+:func:`repro.utils.tables.render_table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.graph.digraph import PropertyGraph
+from repro.patterns.qgp import QuantifiedGraphPattern
+from repro.utils.tables import render_table
+from repro.utils.timing import Timer
+
+__all__ = ["EngineSpec", "RunRecord", "run_engines", "summarize_records", "records_to_table"]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A named engine factory: ``build()`` must return an object with ``evaluate_answer``."""
+
+    name: str
+    build: Callable[[], object]
+
+
+@dataclass
+class RunRecord:
+    """One engine × one query measurement."""
+
+    engine: str
+    pattern: str
+    elapsed: float
+    answer_size: int
+    work: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+def run_engines(
+    engines: Sequence[EngineSpec],
+    patterns: Sequence[QuantifiedGraphPattern],
+    graph: PropertyGraph,
+) -> List[RunRecord]:
+    """Run every engine on every pattern and record time, work and answer size."""
+    records: List[RunRecord] = []
+    for spec in engines:
+        engine = spec.build()
+        for pattern in patterns:
+            with Timer() as timer:
+                result = engine.evaluate(pattern, graph)
+            work = result.counter.total_work() if hasattr(result, "counter") else 0
+            extras: Dict[str, float] = {}
+            if hasattr(result, "work_speedup"):
+                extras["work_speedup"] = result.work_speedup
+                extras["work_skew"] = result.work_skew
+                extras["makespan_work"] = float(result.makespan_work)
+            records.append(
+                RunRecord(
+                    engine=spec.name,
+                    pattern=pattern.name,
+                    elapsed=timer.elapsed,
+                    answer_size=len(result.answer),
+                    work=work,
+                    extras=extras,
+                )
+            )
+    return records
+
+
+def summarize_records(records: Sequence[RunRecord]) -> Dict[str, Dict[str, float]]:
+    """Aggregate records per engine: total time, total work, total answers."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for record in records:
+        entry = summary.setdefault(
+            record.engine, {"elapsed": 0.0, "work": 0.0, "answers": 0.0, "queries": 0.0}
+        )
+        entry["elapsed"] += record.elapsed
+        entry["work"] += record.work
+        entry["answers"] += record.answer_size
+        entry["queries"] += 1
+    return summary
+
+
+def records_to_table(records: Sequence[RunRecord], title: str = "") -> str:
+    """Render per-engine aggregates as the ASCII table printed by benchmarks."""
+    summary = summarize_records(records)
+    rows = [
+        [engine, stats["queries"], stats["elapsed"], stats["work"], stats["answers"]]
+        for engine, stats in sorted(summary.items())
+    ]
+    return render_table(
+        ["engine", "queries", "total_seconds", "total_work", "total_answers"], rows, title=title
+    )

@@ -1,0 +1,61 @@
+"""The stable public API of the reproduction, re-exported in one namespace.
+
+Downstream users should import from ``repro.core`` (or the top-level
+``repro``): it exposes the graph substrate, the QGP model, the sequential and
+parallel matching engines, and the QGAR layer, without reaching into the
+internal module layout.
+"""
+
+from repro.graph import PropertyGraph, small_world_social_graph
+from repro.matching import (
+    DMatchOptions,
+    EnumMatcher,
+    MatchResult,
+    ParallelMatchResult,
+    QMatch,
+    qmatch_engine,
+    qmatch_n_engine,
+)
+from repro.parallel import (
+    DPar,
+    HopPreservingPartition,
+    PQMatch,
+    penum_engine,
+    pqmatch_engine,
+    pqmatch_n_engine,
+    pqmatch_s_engine,
+)
+from repro.patterns import (
+    CountingQuantifier,
+    PatternBuilder,
+    QuantifiedGraphPattern,
+    parse_pattern,
+)
+from repro.rules import QGAR, dgar_match, gar_match, mine_qgars
+
+__all__ = [
+    "PropertyGraph",
+    "small_world_social_graph",
+    "CountingQuantifier",
+    "QuantifiedGraphPattern",
+    "PatternBuilder",
+    "parse_pattern",
+    "EnumMatcher",
+    "QMatch",
+    "qmatch_engine",
+    "qmatch_n_engine",
+    "DMatchOptions",
+    "MatchResult",
+    "ParallelMatchResult",
+    "DPar",
+    "HopPreservingPartition",
+    "PQMatch",
+    "pqmatch_engine",
+    "pqmatch_s_engine",
+    "pqmatch_n_engine",
+    "penum_engine",
+    "QGAR",
+    "gar_match",
+    "dgar_match",
+    "mine_qgars",
+]

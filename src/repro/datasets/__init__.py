@@ -1,0 +1,23 @@
+"""Synthetic datasets standing in for Pokec, YAGO2 and the GTgraph workloads."""
+
+from repro.datasets.pokec_like import PokecConfig, pokec_like_graph
+from repro.datasets.workloads import (
+    DATASET_NAMES,
+    benchmark_graph,
+    paper_pattern,
+    paper_rule,
+    workload_patterns,
+)
+from repro.datasets.yago_like import YagoConfig, yago_like_graph
+
+__all__ = [
+    "PokecConfig",
+    "pokec_like_graph",
+    "YagoConfig",
+    "yago_like_graph",
+    "benchmark_graph",
+    "paper_pattern",
+    "paper_rule",
+    "workload_patterns",
+    "DATASET_NAMES",
+]

@@ -1,0 +1,68 @@
+"""Graph substrate: property graphs, traversal, simulation, generators and I/O."""
+
+from repro.graph.digraph import Edge, Label, NodeId, PropertyGraph
+from repro.graph.generators import (
+    default_label_alphabet,
+    random_labeled_graph,
+    ring_of_cliques,
+    small_world_social_graph,
+)
+from repro.graph.io import (
+    graph_from_json,
+    graph_to_json,
+    read_edge_list,
+    read_json,
+    write_edge_list,
+    write_json,
+)
+from repro.graph.simulation import (
+    dual_simulation_relation,
+    refine_candidates,
+    simulation_relation,
+)
+from repro.graph.statistics import (
+    GraphStatistics,
+    degree_histogram,
+    graph_statistics,
+    neighborhood_size_bound,
+)
+from repro.graph.traversal import (
+    bfs_levels,
+    connected_components,
+    d_hop_neighborhood,
+    eccentricity_from,
+    is_weakly_connected,
+    nodes_within_hops,
+    undirected_shortest_path_length,
+)
+
+__all__ = [
+    "PropertyGraph",
+    "Edge",
+    "Label",
+    "NodeId",
+    "small_world_social_graph",
+    "random_labeled_graph",
+    "ring_of_cliques",
+    "default_label_alphabet",
+    "bfs_levels",
+    "nodes_within_hops",
+    "d_hop_neighborhood",
+    "undirected_shortest_path_length",
+    "eccentricity_from",
+    "connected_components",
+    "is_weakly_connected",
+    "simulation_relation",
+    "dual_simulation_relation",
+    "refine_candidates",
+    "GraphStatistics",
+    "graph_statistics",
+    "degree_histogram",
+    "neighborhood_size_bound",
+    "write_edge_list",
+    "read_edge_list",
+    "graph_to_json",
+    "graph_from_json",
+    "write_json",
+    "read_json",
+]

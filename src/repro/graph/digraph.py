@@ -1,0 +1,367 @@
+"""Labeled, directed property graphs.
+
+This is the data substrate of the whole library.  The paper (Section 2.1)
+models a graph as ``G = (V, E, L)`` where nodes and edges both carry labels.
+Real social and knowledge graphs additionally have *typed* multi-edges — a
+user may both ``follow`` and ``like`` another user — so :class:`PropertyGraph`
+stores, for every node, a per-label adjacency map in both directions:
+
+``out[u][label] -> set of successors`` and ``in_[v][label] -> set of predecessors``.
+
+That layout makes the two operations the quantified-matching algorithms hammer
+on — "children of *v* reachable by an edge labeled *l*" (the set ``Me(v)`` of
+the paper) and "candidates with node label *l*" — O(1) dictionary hops.  It is
+the reason the pure-Python benchmarks stay within seconds: a ``networkx``
+digraph would pay an order of magnitude more per neighbourhood scan.
+
+Nodes are identified by arbitrary hashable ids (ints in the generators,
+strings in the examples).  Node attributes are free-form dictionaries used by
+the dataset generators (e.g. a ``city`` attribute on Pokec-like users).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+from repro.utils.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+
+__all__ = ["PropertyGraph", "Edge", "NodeId", "Label"]
+
+NodeId = Hashable
+Label = str
+Edge = Tuple[NodeId, NodeId, Label]
+
+
+class PropertyGraph:
+    """A directed graph with labeled nodes and labeled (typed) edges.
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable name used in benchmark reports.
+
+    Example
+    -------
+    >>> g = PropertyGraph()
+    >>> g.add_node("alice", "person")
+    'alice'
+    >>> g.add_node("redmi", "product")
+    'redmi'
+    >>> g.add_edge("alice", "redmi", "recommends")
+    >>> sorted(g.successors("alice", "recommends"))
+    ['redmi']
+    """
+
+    __slots__ = ("name", "_labels", "_attrs", "_out", "_in", "_edge_count", "_label_index")
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        # node id -> node label
+        self._labels: Dict[NodeId, Label] = {}
+        # node id -> attribute dict (created lazily)
+        self._attrs: Dict[NodeId, Dict[str, object]] = {}
+        # node id -> edge label -> set of successor node ids
+        self._out: Dict[NodeId, Dict[Label, Set[NodeId]]] = {}
+        # node id -> edge label -> set of predecessor node ids
+        self._in: Dict[NodeId, Dict[Label, Set[NodeId]]] = {}
+        self._edge_count = 0
+        # node label -> set of node ids carrying that label
+        self._label_index: Dict[Label, Set[NodeId]] = {}
+
+    # ------------------------------------------------------------------ nodes
+
+    def add_node(self, node: NodeId, label: Label, **attrs: object) -> NodeId:
+        """Add *node* with *label*; re-adding an existing node updates its label.
+
+        Returns the node id so call sites can chain the result.
+        """
+        previous = self._labels.get(node)
+        if previous is not None and previous != label:
+            self._label_index[previous].discard(node)
+        if previous is None:
+            self._out[node] = {}
+            self._in[node] = {}
+        self._labels[node] = label
+        self._label_index.setdefault(label, set()).add(node)
+        if attrs:
+            self._attrs.setdefault(node, {}).update(attrs)
+        return node
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._labels
+
+    def node_label(self, node: NodeId) -> Label:
+        """The label of *node*; raises :class:`NodeNotFoundError` if absent."""
+        try:
+            return self._labels[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def node_attrs(self, node: NodeId) -> Mapping[str, object]:
+        """The (possibly empty) attribute mapping of *node*."""
+        if node not in self._labels:
+            raise NodeNotFoundError(node)
+        return self._attrs.get(node, {})
+
+    def set_node_attr(self, node: NodeId, key: str, value: object) -> None:
+        if node not in self._labels:
+            raise NodeNotFoundError(node)
+        self._attrs.setdefault(node, {})[key] = value
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over all node ids."""
+        return iter(self._labels)
+
+    def nodes_with_label(self, label: Label) -> Set[NodeId]:
+        """The set of nodes carrying *label* (empty set if the label is unused)."""
+        return self._label_index.get(label, set())
+
+    def node_labels(self) -> Set[Label]:
+        """All node labels present in the graph."""
+        return set(self._label_index)
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove *node* and all its incident edges."""
+        if node not in self._labels:
+            raise NodeNotFoundError(node)
+        for label, targets in list(self._out[node].items()):
+            for target in list(targets):
+                self.remove_edge(node, target, label)
+        for label, sources in list(self._in[node].items()):
+            for source in list(sources):
+                self.remove_edge(source, node, label)
+        self._label_index[self._labels[node]].discard(node)
+        del self._labels[node]
+        self._attrs.pop(node, None)
+        del self._out[node]
+        del self._in[node]
+
+    # ------------------------------------------------------------------ edges
+
+    def add_edge(self, source: NodeId, target: NodeId, label: Label) -> None:
+        """Add a directed edge ``source -[label]-> target``.
+
+        Both endpoints must already exist.  Adding an edge that is already
+        present is a no-op (the graph is not a multigraph for identical
+        (source, target, label) triples).
+        """
+        if source not in self._labels:
+            raise NodeNotFoundError(source)
+        if target not in self._labels:
+            raise NodeNotFoundError(target)
+        targets = self._out[source].setdefault(label, set())
+        if target in targets:
+            return
+        targets.add(target)
+        self._in[target].setdefault(label, set()).add(source)
+        self._edge_count += 1
+
+    def has_edge(self, source: NodeId, target: NodeId, label: Optional[Label] = None) -> bool:
+        """Whether an edge from *source* to *target* exists (optionally of *label*)."""
+        out = self._out.get(source)
+        if out is None:
+            return False
+        if label is not None:
+            return target in out.get(label, ())
+        return any(target in targets for targets in out.values())
+
+    def edge_labels(self, source: NodeId, target: NodeId) -> Set[Label]:
+        """All labels of edges from *source* to *target*."""
+        out = self._out.get(source)
+        if out is None:
+            return set()
+        return {label for label, targets in out.items() if target in targets}
+
+    def remove_edge(self, source: NodeId, target: NodeId, label: Label) -> None:
+        targets = self._out.get(source, {}).get(label)
+        if not targets or target not in targets:
+            raise EdgeNotFoundError(source, target, label)
+        targets.discard(target)
+        if not targets:
+            del self._out[source][label]
+        sources = self._in[target][label]
+        sources.discard(source)
+        if not sources:
+            del self._in[target][label]
+        self._edge_count -= 1
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges as ``(source, target, label)`` triples."""
+        for source, by_label in self._out.items():
+            for label, targets in by_label.items():
+                for target in targets:
+                    yield (source, target, label)
+
+    # ------------------------------------------------------------ adjacency
+
+    def successors(self, node: NodeId, label: Optional[Label] = None) -> Set[NodeId]:
+        """Children of *node*; restricted to edges labeled *label* when given.
+
+        This is exactly the set ``Me(v)`` of the paper when *label* is the
+        label of pattern edge *e*.
+        """
+        out = self._out.get(node)
+        if out is None:
+            if node not in self._labels:
+                raise NodeNotFoundError(node)
+            return set()
+        if label is not None:
+            return set(out.get(label, ()))
+        result: Set[NodeId] = set()
+        for targets in out.values():
+            result.update(targets)
+        return result
+
+    def predecessors(self, node: NodeId, label: Optional[Label] = None) -> Set[NodeId]:
+        """Parents of *node*; restricted to edges labeled *label* when given."""
+        incoming = self._in.get(node)
+        if incoming is None:
+            if node not in self._labels:
+                raise NodeNotFoundError(node)
+            return set()
+        if label is not None:
+            return set(incoming.get(label, ()))
+        result: Set[NodeId] = set()
+        for sources in incoming.values():
+            result.update(sources)
+        return result
+
+    def out_degree(self, node: NodeId, label: Optional[Label] = None) -> int:
+        """Number of outgoing edges of *node* (optionally of a given label)."""
+        out = self._out.get(node)
+        if out is None:
+            if node not in self._labels:
+                raise NodeNotFoundError(node)
+            return 0
+        if label is not None:
+            return len(out.get(label, ()))
+        return sum(len(targets) for targets in out.values())
+
+    def in_degree(self, node: NodeId, label: Optional[Label] = None) -> int:
+        """Number of incoming edges of *node* (optionally of a given label)."""
+        incoming = self._in.get(node)
+        if incoming is None:
+            if node not in self._labels:
+                raise NodeNotFoundError(node)
+            return 0
+        if label is not None:
+            return len(incoming.get(label, ()))
+        return sum(len(sources) for sources in incoming.values())
+
+    def neighbors(self, node: NodeId) -> Set[NodeId]:
+        """Union of successors and predecessors, ignoring edge labels."""
+        return self.successors(node) | self.predecessors(node)
+
+    def out_edge_labels(self, node: NodeId) -> Set[Label]:
+        """All outgoing edge labels of *node*."""
+        out = self._out.get(node)
+        if out is None:
+            if node not in self._labels:
+                raise NodeNotFoundError(node)
+            return set()
+        return set(out)
+
+    # --------------------------------------------------------------- metrics
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return self._edge_count
+
+    def size(self) -> int:
+        """|G| = |V| + |E|, the size measure used throughout the paper."""
+        return self.num_nodes + self.num_edges
+
+    def average_degree(self) -> float:
+        """Average out-degree (0.0 for an empty graph)."""
+        if not self._labels:
+            return 0.0
+        return self._edge_count / len(self._labels)
+
+    # ------------------------------------------------------------- subgraphs
+
+    def induced_subgraph(self, nodes: Iterable[NodeId], name: Optional[str] = None) -> "PropertyGraph":
+        """The subgraph induced by *nodes* (all edges with both endpoints kept)."""
+        keep = set(nodes)
+        sub = PropertyGraph(name or f"{self.name}#induced")
+        for node in keep:
+            if node not in self._labels:
+                raise NodeNotFoundError(node)
+            sub.add_node(node, self._labels[node], **self._attrs.get(node, {}))
+        for node in keep:
+            for label, targets in self._out[node].items():
+                for target in targets:
+                    if target in keep:
+                        sub.add_edge(node, target, label)
+        return sub
+
+    def copy(self, name: Optional[str] = None) -> "PropertyGraph":
+        """A deep-enough copy (structure and attributes are duplicated)."""
+        clone = PropertyGraph(name or self.name)
+        for node, label in self._labels.items():
+            clone.add_node(node, label, **self._attrs.get(node, {}))
+        for source, target, label in self.edges():
+            clone.add_edge(source, target, label)
+        return clone
+
+    def merge_from(self, other: "PropertyGraph") -> None:
+        """Union *other* into this graph in place (labels of *other* win)."""
+        for node in other.nodes():
+            self.add_node(node, other.node_label(node), **other.node_attrs(node))
+        for source, target, label in other.edges():
+            self.add_edge(source, target, label)
+
+    # ------------------------------------------------------------- protocols
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __repr__(self) -> str:
+        return (
+            f"PropertyGraph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same nodes, labels, attributes and edges."""
+        if not isinstance(other, PropertyGraph):
+            return NotImplemented
+        if self._labels != other._labels:
+            return False
+        if {n: a for n, a in self._attrs.items() if a} != {
+            n: a for n, a in other._attrs.items() if a
+        }:
+            return False
+        return set(self.edges()) == set(other.edges())
+
+    def __hash__(self) -> int:  # graphs are mutable; identity hash is intentional
+        return id(self)
+
+    # ------------------------------------------------------------ validation
+
+    def validate(self) -> None:
+        """Check internal index consistency; raises :class:`GraphError` on corruption.
+
+        Intended for tests and debugging, not for hot paths.
+        """
+        for label, members in self._label_index.items():
+            for node in members:
+                if self._labels.get(node) != label:
+                    raise GraphError(f"label index is stale for node {node!r}")
+        forward = 0
+        for source, by_label in self._out.items():
+            for label, targets in by_label.items():
+                forward += len(targets)
+                for target in targets:
+                    if source not in self._in.get(target, {}).get(label, ()):
+                        raise GraphError(
+                            f"missing reverse edge for ({source!r}, {target!r}, {label})"
+                        )
+        if forward != self._edge_count:
+            raise GraphError("edge count does not match adjacency structure")

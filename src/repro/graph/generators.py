@@ -1,0 +1,192 @@
+"""Synthetic graph generators.
+
+The paper's synthetic experiments use a GTgraph-based small-world generator
+controlled by the numbers of nodes and edges, with labels drawn from an
+alphabet of 30 symbols (Section 7, "Experimental setting").  GTgraph is a C
+tool that is not available offline, so :func:`small_world_social_graph`
+re-implements the same model class in pure Python:
+
+* a ring-lattice backbone rewired with a configurable probability (the
+  Watts–Strogatz small-world ingredient), which gives short average path
+  lengths and high clustering, plus
+* a preferential-attachment pass that adds the remaining edges biased towards
+  already-high-degree nodes, which gives the heavy-tailed degree distribution
+  observed in social networks.
+
+Two simpler generators (:func:`random_labeled_graph`,
+:func:`ring_of_cliques`) are used by unit and property-based tests where full
+realism is unnecessary but deterministic shapes matter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.graph.digraph import PropertyGraph
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = [
+    "default_label_alphabet",
+    "small_world_social_graph",
+    "random_labeled_graph",
+    "ring_of_cliques",
+]
+
+
+def default_label_alphabet(size: int = 30) -> List[str]:
+    """The synthetic label alphabet L of the paper: ``L0`` ... ``L{size-1}``."""
+    return [f"L{i}" for i in range(size)]
+
+
+def small_world_social_graph(
+    num_nodes: int,
+    num_edges: int,
+    node_labels: Optional[Sequence[str]] = None,
+    edge_labels: Optional[Sequence[str]] = None,
+    rewire_probability: float = 0.1,
+    preferential_fraction: float = 0.5,
+    seed: SeedLike = None,
+    name: str = "synthetic",
+) -> PropertyGraph:
+    """Generate a labeled small-world graph with ``num_nodes`` nodes and ~``num_edges`` edges.
+
+    Parameters
+    ----------
+    num_nodes, num_edges:
+        Target sizes; the edge count is met exactly unless the graph would
+        need multi-edges beyond what distinct (source, target, label) triples
+        allow, in which case it is met as closely as possible.
+    node_labels, edge_labels:
+        Label alphabets; default to 30 node labels and 8 edge labels.
+    rewire_probability:
+        Probability that a lattice edge is rewired to a random target.
+    preferential_fraction:
+        Fraction of edges added via preferential attachment rather than the
+        rewired lattice, controlling the degree skew.
+    seed:
+        Deterministic seed (int) or an existing ``random.Random``.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if num_edges < 0:
+        raise ValueError("num_edges must be non-negative")
+    rng = ensure_rng(seed)
+    node_labels = list(node_labels) if node_labels else default_label_alphabet()
+    edge_labels = list(edge_labels) if edge_labels else [f"e{i}" for i in range(8)]
+
+    graph = PropertyGraph(name)
+    for node in range(num_nodes):
+        graph.add_node(node, rng.choice(node_labels))
+
+    if num_nodes == 1 or num_edges == 0:
+        return graph
+
+    lattice_edges = int(num_edges * (1.0 - preferential_fraction))
+    # Ring lattice: connect each node to its next k/2 neighbours, rewiring some.
+    per_node = max(1, lattice_edges // num_nodes)
+    added = 0
+    for node in range(num_nodes):
+        if added >= lattice_edges:
+            break
+        for offset in range(1, per_node + 1):
+            if added >= lattice_edges:
+                break
+            if rng.random() < rewire_probability:
+                target = rng.randrange(num_nodes)
+            else:
+                target = (node + offset) % num_nodes
+            if target == node:
+                target = (node + 1) % num_nodes
+            label = rng.choice(edge_labels)
+            before = graph.num_edges
+            graph.add_edge(node, target, label)
+            added += graph.num_edges - before
+
+    # Preferential attachment for the remaining edges: targets are drawn from a
+    # pool that contains every edge endpoint seen so far, so high-degree nodes
+    # are proportionally more likely to be chosen again.
+    endpoint_pool: List[int] = []
+    for source, target, _ in graph.edges():
+        endpoint_pool.append(source)
+        endpoint_pool.append(target)
+    if not endpoint_pool:
+        endpoint_pool = list(range(num_nodes))
+
+    attempts = 0
+    max_attempts = (num_edges - graph.num_edges) * 20 + 100
+    while graph.num_edges < num_edges and attempts < max_attempts:
+        attempts += 1
+        source = rng.randrange(num_nodes)
+        if rng.random() < 0.8:
+            target = rng.choice(endpoint_pool)
+        else:
+            target = rng.randrange(num_nodes)
+        if source == target:
+            continue
+        label = rng.choice(edge_labels)
+        before = graph.num_edges
+        graph.add_edge(source, target, label)
+        if graph.num_edges > before:
+            endpoint_pool.append(source)
+            endpoint_pool.append(target)
+    return graph
+
+
+def random_labeled_graph(
+    num_nodes: int,
+    edge_probability: float,
+    node_labels: Sequence[str] = ("A", "B", "C"),
+    edge_labels: Sequence[str] = ("r", "s"),
+    seed: SeedLike = None,
+    name: str = "random",
+) -> PropertyGraph:
+    """An Erdős–Rényi-style labeled digraph (used heavily by property tests)."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be within [0, 1]")
+    rng = ensure_rng(seed)
+    graph = PropertyGraph(name)
+    for node in range(num_nodes):
+        graph.add_node(node, rng.choice(list(node_labels)))
+    for source in range(num_nodes):
+        for target in range(num_nodes):
+            if source == target:
+                continue
+            if rng.random() < edge_probability:
+                graph.add_edge(source, target, rng.choice(list(edge_labels)))
+    return graph
+
+
+def ring_of_cliques(
+    num_cliques: int,
+    clique_size: int,
+    node_label: str = "A",
+    edge_label: str = "r",
+    name: str = "ring-of-cliques",
+) -> PropertyGraph:
+    """A ring of directed cliques — a deterministic shape used by partition tests.
+
+    Each clique is fully connected (both directions); consecutive cliques are
+    linked by a single bridge edge, so the graph is connected but has an
+    obvious balanced partition, making it a good fixture for DPar tests.
+    """
+    if num_cliques <= 0 or clique_size <= 0:
+        raise ValueError("num_cliques and clique_size must be positive")
+    graph = PropertyGraph(name)
+    node = 0
+    clique_members: List[List[int]] = []
+    for _ in range(num_cliques):
+        members = list(range(node, node + clique_size))
+        node += clique_size
+        for member in members:
+            graph.add_node(member, node_label)
+        for a in members:
+            for b in members:
+                if a != b:
+                    graph.add_edge(a, b, edge_label)
+        clique_members.append(members)
+    for index in range(num_cliques):
+        source = clique_members[index][-1]
+        target = clique_members[(index + 1) % num_cliques][0]
+        if source != target:
+            graph.add_edge(source, target, edge_label)
+    return graph

@@ -1,0 +1,138 @@
+"""Graph simulation (Henzinger–Henzinger–Kopke style) on labeled graphs.
+
+QMatch uses graph simulation as a *pre-filter* (paper Appendix B, Lemma 13): a
+graph node ``v`` can only match a pattern node ``u`` via subgraph isomorphism
+if ``v`` simulates ``u``, i.e. ``v`` carries ``u``'s label and, for every child
+``u'`` of ``u`` reached by an edge labeled ``l``, ``v`` has some child ``v'``
+reached by an ``l``-labeled edge such that ``v'`` simulates ``u'``.  Computing
+the (unique, maximal) simulation relation is polynomial, so it is a cheap way
+to shrink candidate sets before the exponential search starts.
+
+The implementation below runs a worklist fixpoint: start from label-compatible
+candidate sets and repeatedly remove nodes that lose support for some pattern
+edge, until nothing changes.  ``dual=True`` additionally requires support for
+*incoming* pattern edges (dual simulation), which prunes more aggressively and
+is what the candidate filter uses by default.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Set, TYPE_CHECKING
+
+from repro.graph.digraph import PropertyGraph
+
+if TYPE_CHECKING:  # pragma: no cover - only for type checkers
+    from repro.patterns.qgp import QuantifiedGraphPattern
+
+__all__ = ["simulation_relation", "dual_simulation_relation", "refine_candidates"]
+
+NodeId = Hashable
+
+
+def _label_candidates(pattern_graph: PropertyGraph, graph: PropertyGraph) -> Dict[NodeId, Set[NodeId]]:
+    return {
+        u: set(graph.nodes_with_label(pattern_graph.node_label(u)))
+        for u in pattern_graph.nodes()
+    }
+
+
+def _refine(
+    pattern_graph: PropertyGraph,
+    graph: PropertyGraph,
+    candidates: Dict[NodeId, Set[NodeId]],
+    dual: bool,
+) -> Dict[NodeId, Set[NodeId]]:
+    """Iteratively remove unsupported candidates until a fixpoint is reached."""
+    pattern_nodes = list(pattern_graph.nodes())
+    worklist = deque(pattern_nodes)
+    in_worklist = set(pattern_nodes)
+
+    def schedule(u: NodeId) -> None:
+        if u not in in_worklist:
+            worklist.append(u)
+            in_worklist.add(u)
+
+    while worklist:
+        u = worklist.popleft()
+        in_worklist.discard(u)
+        survivors: Set[NodeId] = set()
+        out_requirements = [
+            (label, u_child)
+            for label in pattern_graph.out_edge_labels(u)
+            for u_child in pattern_graph.successors(u, label)
+        ]
+        in_requirements = []
+        if dual:
+            in_requirements = [
+                (label, u_parent)
+                for u_parent in pattern_graph.predecessors(u)
+                for label in pattern_graph.edge_labels(u_parent, u)
+            ]
+        for v in candidates[u]:
+            ok = True
+            for label, u_child in out_requirements:
+                children = graph.successors(v, label)
+                if not children or children.isdisjoint(candidates[u_child]):
+                    ok = False
+                    break
+            if ok and dual:
+                for label, u_parent in in_requirements:
+                    parents = graph.predecessors(v, label)
+                    if not parents or parents.isdisjoint(candidates[u_parent]):
+                        ok = False
+                        break
+            if ok:
+                survivors.add(v)
+        if survivors != candidates[u]:
+            candidates[u] = survivors
+            # Removing candidates of u can invalidate candidates of its
+            # pattern neighbours, so re-schedule them.
+            for neighbor in pattern_graph.predecessors(u) | pattern_graph.successors(u):
+                schedule(neighbor)
+    return candidates
+
+
+def simulation_relation(
+    pattern_graph: PropertyGraph, graph: PropertyGraph
+) -> Dict[NodeId, Set[NodeId]]:
+    """The maximal (forward) simulation relation, per pattern node.
+
+    Returns a mapping ``pattern node -> set of graph nodes that simulate it``.
+    Any pattern node mapped to an empty set cannot be matched by isomorphism
+    either, so the whole pattern has no match in *graph*.
+    """
+    candidates = _label_candidates(pattern_graph, graph)
+    return _refine(pattern_graph, graph, candidates, dual=False)
+
+
+def dual_simulation_relation(
+    pattern_graph: PropertyGraph, graph: PropertyGraph
+) -> Dict[NodeId, Set[NodeId]]:
+    """The maximal dual simulation relation (children and parents must be supported).
+
+    Dual simulation is strictly stronger than forward simulation and still
+    polynomial, so it is the default candidate pre-filter in QMatch.
+    """
+    candidates = _label_candidates(pattern_graph, graph)
+    return _refine(pattern_graph, graph, candidates, dual=True)
+
+
+def refine_candidates(
+    pattern_graph: PropertyGraph,
+    graph: PropertyGraph,
+    candidates: Dict[NodeId, Set[NodeId]],
+    dual: bool = True,
+) -> Dict[NodeId, Set[NodeId]]:
+    """Run the (dual) simulation fixpoint starting from *candidates*.
+
+    Used by the incremental step of QMatch: the cached candidate pools of
+    ``Π(Q)`` are refined against the structure of the positified pattern
+    ``Π(Q⁺ᵉ)`` without rebuilding them from the whole graph.  The result is
+    always a subset of the input pools, and still a superset of every true
+    isomorphic image (the filter is sound).
+    """
+    working = {node: set(members) for node, members in candidates.items()}
+    for node in pattern_graph.nodes():
+        working.setdefault(node, set())
+    return _refine(pattern_graph, graph, working, dual=dual)

@@ -1,0 +1,136 @@
+"""Graph traversal primitives: BFS, d-hop neighbourhoods, radius, components.
+
+The parallel layer of the paper is built on *d-hop preserving* partitions
+(Section 5.2): every node's d-hop neighbourhood ``Nd(v)`` — the subgraph
+induced by nodes within *d* hops of *v*, ignoring edge direction — must reside
+in a single fragment.  The QGP radius (longest shortest distance from the query
+focus to any pattern node) decides which *d* suffices for a query, so both
+operations live here and are shared by the partitioner and the coordinator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Set
+
+from repro.graph.digraph import PropertyGraph
+from repro.utils.errors import NodeNotFoundError
+
+__all__ = [
+    "bfs_levels",
+    "nodes_within_hops",
+    "d_hop_neighborhood",
+    "undirected_shortest_path_length",
+    "eccentricity_from",
+    "connected_components",
+    "is_weakly_connected",
+]
+
+NodeId = Hashable
+
+
+def bfs_levels(
+    graph: PropertyGraph,
+    source: NodeId,
+    max_depth: Optional[int] = None,
+    directed: bool = False,
+) -> Dict[NodeId, int]:
+    """Breadth-first distances from *source*.
+
+    Parameters
+    ----------
+    graph:
+        The graph to traverse.
+    source:
+        Start node (must exist).
+    max_depth:
+        Stop expanding beyond this distance when given.
+    directed:
+        When ``True``, follow only outgoing edges; otherwise treat edges as
+        undirected, which is the notion of "within d hops" used by the paper's
+        partition scheme.
+
+    Returns
+    -------
+    dict
+        Mapping of reached node -> hop distance (``source`` maps to 0).
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    distances: Dict[NodeId, int] = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        depth = distances[node]
+        if max_depth is not None and depth >= max_depth:
+            continue
+        if directed:
+            neighbors: Iterable[NodeId] = graph.successors(node)
+        else:
+            neighbors = graph.neighbors(node)
+        for neighbor in neighbors:
+            if neighbor not in distances:
+                distances[neighbor] = depth + 1
+                frontier.append(neighbor)
+    return distances
+
+
+def nodes_within_hops(graph: PropertyGraph, source: NodeId, hops: int) -> Set[NodeId]:
+    """The set of nodes within *hops* undirected hops of *source* (inclusive)."""
+    return set(bfs_levels(graph, source, max_depth=hops, directed=False))
+
+
+def d_hop_neighborhood(graph: PropertyGraph, source: NodeId, d: int) -> PropertyGraph:
+    """``Nd(v)``: the subgraph induced by nodes within *d* hops of *source*.
+
+    This is the unit the d-hop preserving partition replicates onto fragments,
+    and the unit whose total size appears in the parallel-scalability condition
+    Σ|Nd(v)| ≤ Cd · |G| / n of Theorem 7.
+    """
+    return graph.induced_subgraph(nodes_within_hops(graph, source, d), name=f"N{d}({source})")
+
+
+def undirected_shortest_path_length(
+    graph: PropertyGraph, source: NodeId, target: NodeId
+) -> Optional[int]:
+    """Length of the shortest undirected path from *source* to *target*.
+
+    Returns ``None`` when no path exists.
+    """
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    if source == target:
+        return 0
+    distances = bfs_levels(graph, source, directed=False)
+    return distances.get(target)
+
+
+def eccentricity_from(graph: PropertyGraph, source: NodeId) -> int:
+    """Largest undirected hop distance from *source* to any reachable node.
+
+    Applied to a pattern with the query focus as *source*, this is the QGP
+    *radius* used to pick the partition parameter *d* (Section 5.2).
+    """
+    distances = bfs_levels(graph, source, directed=False)
+    return max(distances.values()) if distances else 0
+
+
+def connected_components(graph: PropertyGraph) -> List[Set[NodeId]]:
+    """Weakly connected components, largest first."""
+    seen: Set[NodeId] = set()
+    components: List[Set[NodeId]] = []
+    for node in graph.nodes():
+        if node in seen:
+            continue
+        component = set(bfs_levels(graph, node, directed=False))
+        seen.update(component)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_weakly_connected(graph: PropertyGraph) -> bool:
+    """Whether the graph has a single weakly connected component (or is empty)."""
+    if graph.num_nodes == 0:
+        return True
+    return len(connected_components(graph)) == 1

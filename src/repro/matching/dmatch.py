@@ -1,0 +1,275 @@
+"""DMatch: quantifier-aware evaluation of positive QGPs (paper Section 4.1).
+
+DMatch revises the generic ``Match`` search in three ways, all implemented
+here:
+
+1. **Locality.**  A candidate ``vx`` of the query focus can only be verified
+   by nodes inside its d-hop neighbourhood, where ``d`` is the pattern radius
+   — the same observation that powers the parallel algorithm.  DMatch
+   therefore verifies focus candidates one at a time, restricting every other
+   candidate set to the focus candidate's neighbourhood, instead of
+   enumerating matches over the whole graph as ``Enum`` does.
+2. **Quantifier-aware pruning.**  Candidate sets are pre-filtered by the
+   upper bounds ``U(v, e)`` (see :mod:`repro.matching.candidates`), candidates
+   are visited in decreasing *potential* order (see
+   :mod:`repro.matching.pruning`), and a focus candidate whose local candidate
+   sets cannot possibly satisfy some quantifier is rejected without search.
+3. **Early termination.**  When every quantifier in the pattern is monotone
+   (``≥`` / ``>``), a focus candidate is accepted as soon as one enumeration
+   witness satisfies all quantifiers with the counts accumulated so far —
+   counts only grow, so the decision is final.  Patterns containing equality
+   quantifiers (``= p`` or the universal ``= 100%``) require exact counts and
+   fall back to exhausting the local enumeration.
+
+The function returns, besides the focus answer set, the per-pattern-node
+binding sets observed in satisfying matches; QMatch caches them for the
+incremental processing of negated edges and the QGAR layer reuses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.graph.digraph import PropertyGraph
+from repro.graph.traversal import nodes_within_hops
+from repro.matching.candidates import CandidateIndex, build_candidate_index
+from repro.matching.generic import MatchContext, find_isomorphisms
+from repro.matching.pruning import potential_ordering
+from repro.matching.result import MatchResult
+from repro.patterns.qgp import QuantifiedGraphPattern
+from repro.utils.counters import WorkCounter
+from repro.utils.errors import MatchingError
+from repro.utils.timing import Timer
+
+__all__ = ["DMatchOptions", "dmatch", "DMatchOutcome"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class DMatchOptions:
+    """Tuning switches for DMatch (each corresponds to a paper optimisation).
+
+    ``use_simulation``   — dual-simulation candidate pre-filter (Lemma 13).
+    ``use_potential``    — potential-score candidate ordering (Appendix B).
+    ``early_exit``       — stop verifying a focus candidate as soon as a
+                           witness satisfies all (monotone) quantifiers.
+    ``use_locality``     — additionally intersect candidate sets with the
+                           focus candidate's radius-hop neighbourhood.  The
+                           anchored search already explores only nodes
+                           connected to the focus candidate, so this is off by
+                           default; it pays off on patterns whose candidate
+                           sets are huge and poorly connected.
+    """
+
+    use_simulation: bool = True
+    use_potential: bool = True
+    early_exit: bool = True
+    use_locality: bool = False
+
+
+@dataclass
+class DMatchOutcome:
+    """Answer plus the caches produced while evaluating a positive pattern."""
+
+    answer: Set[NodeId] = field(default_factory=set)
+    node_matches: Dict[NodeId, Set[NodeId]] = field(default_factory=dict)
+    index: Optional[CandidateIndex] = None
+    counter: WorkCounter = field(default_factory=WorkCounter)
+    elapsed: float = 0.0
+
+    def as_match_result(self, engine: str = "DMatch") -> MatchResult:
+        return MatchResult(
+            answer=set(self.answer),
+            positive_answer=set(self.answer),
+            node_matches={u: set(vs) for u, vs in self.node_matches.items()},
+            counter=self.counter,
+            elapsed=self.elapsed,
+            engine=engine,
+        )
+
+
+def _pattern_is_monotone(pattern: QuantifiedGraphPattern) -> bool:
+    """True when every quantifier is a ``≥``/``>`` aggregate (counts are monotone)."""
+    return all(edge.quantifier.op in (">=", ">") for edge in pattern.edges())
+
+
+def _verify_focus_candidate(
+    pattern: QuantifiedGraphPattern,
+    graph: PropertyGraph,
+    index: CandidateIndex,
+    focus_candidate: NodeId,
+    radius: int,
+    options: DMatchOptions,
+    counter: WorkCounter,
+    monotone: bool,
+    ordering: Optional[Dict[NodeId, List[NodeId]]] = None,
+    shared_context: Optional[MatchContext] = None,
+    pattern_edges=None,
+) -> Tuple[bool, Dict[NodeId, Set[NodeId]]]:
+    """Decide whether *focus_candidate* belongs to ``Π(Q)(xo, G)``.
+
+    Returns ``(matched, bindings)`` where *bindings* are the pattern-node →
+    graph-node sets drawn from satisfying assignments (used for caching).
+    """
+    focus = pattern.focus
+    counter.verifications += 1
+
+    if options.use_locality:
+        # Optionally restrict every candidate set to the focus candidate's
+        # radius-hop neighbourhood (costs one BFS per candidate) and search
+        # with a per-candidate context.
+        local_nodes = nodes_within_hops(graph, focus_candidate, radius)
+        local_candidates = {
+            u: (index.candidate_set(u) & local_nodes) for u in pattern.nodes()
+        }
+        local_candidates[focus] = (
+            {focus_candidate} if focus_candidate in index.candidate_set(focus) else set()
+        )
+        if any(not members for members in local_candidates.values()):
+            return False, {}
+        context = MatchContext(
+            pattern.stratified(),
+            graph,
+            candidates=local_candidates,
+            candidate_order=ordering if isinstance(ordering, dict) else None,
+            anchored_nodes={focus},
+        )
+    else:
+        # The shared context already carries the filtered candidate pools.
+        context = shared_context
+
+    edges = pattern_edges if pattern_edges is not None else pattern.edges()
+    matched_children: Dict[Tuple[int, NodeId], Set[NodeId]] = {}
+    assignments: List[Dict[NodeId, NodeId]] = []
+
+    def assignment_satisfies(assignment: Dict[NodeId, NodeId]) -> bool:
+        for edge_index, edge in enumerate(edges):
+            counter.quantifier_checks += 1
+            bound_source = assignment[edge.source]
+            count = len(matched_children.get((edge_index, bound_source), ()))
+            total = graph.out_degree(bound_source, edge.label)
+            if not edge.quantifier.check(count, total):
+                return False
+        return True
+
+    bindings: Dict[NodeId, Set[NodeId]] = {}
+    matched = False
+    for assignment in context.isomorphisms(
+        anchor={focus: focus_candidate},
+        counter=counter,
+    ):
+        assignments.append(assignment)
+        for edge_index, edge in enumerate(edges):
+            matched_children.setdefault(
+                (edge_index, assignment[edge.source]), set()
+            ).add(assignment[edge.target])
+        if monotone and options.early_exit:
+            # Counts only grow, so a satisfying witness is conclusive.
+            if assignment_satisfies(assignment):
+                matched = True
+                for pattern_node, graph_node in assignment.items():
+                    bindings.setdefault(pattern_node, set()).add(graph_node)
+                return True, bindings
+
+    if monotone and options.early_exit:
+        # The enumeration finished; re-check all witnesses against the final
+        # counts (a witness seen early may satisfy only with later counts).
+        for assignment in assignments:
+            if assignment_satisfies(assignment):
+                matched = True
+                for pattern_node, graph_node in assignment.items():
+                    bindings.setdefault(pattern_node, set()).add(graph_node)
+                break
+        return matched, bindings
+
+    # Exact-count path (equality / universal quantifiers present): evaluate
+    # every witness against the complete counts.
+    for assignment in assignments:
+        if assignment_satisfies(assignment):
+            matched = True
+            for pattern_node, graph_node in assignment.items():
+                bindings.setdefault(pattern_node, set()).add(graph_node)
+    return matched, bindings
+
+
+def dmatch(
+    pattern: QuantifiedGraphPattern,
+    graph: PropertyGraph,
+    options: DMatchOptions = DMatchOptions(),
+    index: Optional[CandidateIndex] = None,
+    counter: Optional[WorkCounter] = None,
+    focus_restriction: Optional[Set[NodeId]] = None,
+) -> DMatchOutcome:
+    """Evaluate a *positive* QGP and return its answer plus caches.
+
+    Parameters
+    ----------
+    pattern:
+        A positive QGP (no negated edges); QMatch passes ``Π(Q)`` here.
+    index:
+        A pre-built :class:`CandidateIndex`; built from scratch when omitted.
+    focus_restriction:
+        Verify only these focus candidates (the incremental step passes the
+        cached positive answer here).
+    """
+    if not pattern.is_positive:
+        raise MatchingError("dmatch evaluates positive patterns; use QMatch for negation")
+    counter = counter if counter is not None else WorkCounter()
+    outcome = DMatchOutcome(counter=counter)
+    with Timer() as timer:
+        if index is None:
+            index = build_candidate_index(
+                pattern, graph, use_simulation=options.use_simulation, counter=counter
+            )
+        outcome.index = index
+        outcome.node_matches = {u: set() for u in pattern.nodes()}
+        focus = pattern.focus
+        focus_candidates = set(index.candidate_set(focus))
+        if focus_restriction is not None:
+            focus_candidates &= set(focus_restriction)
+
+        if index.is_empty() or not index.global_prune_check():
+            outcome.elapsed = timer.elapsed
+            return outcome
+
+        radius = pattern.radius()
+        monotone = _pattern_is_monotone(pattern)
+        ordering = None
+        if options.use_potential:
+            # One global potential ordering is computed per query; the
+            # anchored search intersects it with the dynamically derived
+            # candidate pools, so per-candidate re-ranking is unnecessary.
+            ordering = potential_ordering(pattern, graph, index)
+        # One shared search context per query: pattern adjacency, matching
+        # order and candidate pools are computed once and reused for every
+        # focus candidate (only the anchor binding changes).
+        shared_context = MatchContext(
+            pattern.stratified(),
+            graph,
+            candidates={u: index.candidate_set(u) for u in pattern.nodes()},
+            candidate_order=ordering,
+            anchored_nodes={pattern.focus},
+        )
+        pattern_edges = pattern.edges()
+        for focus_candidate in sorted(focus_candidates, key=str):
+            matched, bindings = _verify_focus_candidate(
+                pattern,
+                graph,
+                index,
+                focus_candidate,
+                radius,
+                options,
+                counter,
+                monotone,
+                ordering=ordering,
+                shared_context=shared_context,
+                pattern_edges=pattern_edges,
+            )
+            if matched:
+                outcome.answer.add(focus_candidate)
+                for pattern_node, graph_nodes in bindings.items():
+                    outcome.node_matches[pattern_node].update(graph_nodes)
+    outcome.elapsed = timer.elapsed
+    return outcome

@@ -1,0 +1,335 @@
+"""Generic subgraph-isomorphism search (the paper's procedure ``Match``).
+
+The paper observes (after [27]) that state-of-the-art subgraph-isomorphism
+algorithms share one generic backtracking skeleton — ``Match`` in Figure 4 —
+and differ only in how they implement candidate filtering, the choice of the
+next pattern node, and the extension test.  Every engine in this library is
+built on the same skeleton, implemented here as :func:`find_isomorphisms`:
+
+* ``FilterCandidate``  →  :func:`label_candidates` (plus the engine-specific
+  filters layered on top in :mod:`repro.matching.candidates`),
+* ``SelectNext``       →  a connected, most-constrained-first ordering,
+* ``IsExtend``         →  :func:`_consistent`, which checks every pattern edge
+  between the new pair and already-matched nodes,
+* ``Verify``           →  implicit: a complete assignment that passed every
+  extension check is an isomorphism.
+
+The search yields isomorphisms as dictionaries ``pattern node -> graph node``.
+It can be *anchored*: fixing the query focus (or any partial assignment)
+restricts the search to embeddings extending that assignment, which is how
+both the quantifier verification of DMatch and the incremental step reuse the
+same code path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Set
+
+from repro.graph.digraph import PropertyGraph
+from repro.patterns.qgp import QuantifiedGraphPattern
+from repro.utils.counters import WorkCounter
+from repro.utils.errors import MatchingError
+
+__all__ = [
+    "label_candidates",
+    "MatchContext",
+    "find_isomorphisms",
+    "exists_isomorphism",
+    "count_isomorphisms",
+]
+
+NodeId = Hashable
+Assignment = Dict[NodeId, NodeId]
+
+
+def label_candidates(
+    pattern: QuantifiedGraphPattern, graph: PropertyGraph
+) -> Dict[NodeId, Set[NodeId]]:
+    """The baseline candidate sets ``C(u)``: graph nodes with ``u``'s label."""
+    return {
+        u: set(graph.nodes_with_label(pattern.node_label(u)))
+        for u in pattern.nodes()
+    }
+
+
+def _build_adjacency(pattern: QuantifiedGraphPattern) -> Dict[NodeId, List[tuple]]:
+    """Pattern adjacency as ``node -> [(neighbor, label, is_outgoing)]``."""
+    adjacency: Dict[NodeId, List[tuple]] = {u: [] for u in pattern.nodes()}
+    for edge in pattern.edges():
+        adjacency[edge.source].append((edge.target, edge.label, True))
+        adjacency[edge.target].append((edge.source, edge.label, False))
+    return adjacency
+
+
+def _search_order(
+    pattern: QuantifiedGraphPattern,
+    candidates: Dict[NodeId, Set[NodeId]],
+    anchored: Set[NodeId],
+) -> List[NodeId]:
+    """A connected matching order: anchored nodes first, then most-constrained.
+
+    Starting from the anchored nodes (or the focus when nothing is anchored),
+    repeatedly pick the unmatched pattern node adjacent to the matched region
+    with the smallest candidate set.  This is the ``SelectNext`` policy shared
+    by all engines.
+    """
+    adjacency = _build_adjacency(pattern)
+    all_nodes = list(pattern.nodes())
+    order: List[NodeId] = [node for node in all_nodes if node in anchored]
+    placed = set(order)
+    if not order:
+        start = pattern.focus if pattern.has_focus() else min(all_nodes, key=lambda u: len(candidates[u]))
+        order.append(start)
+        placed.add(start)
+    while len(order) < len(all_nodes):
+        frontier = [
+            node
+            for node in all_nodes
+            if node not in placed
+            and any(neighbor in placed for neighbor, _, _ in adjacency[node])
+        ]
+        if not frontier:
+            # Disconnected pattern (should not happen for validated QGPs, but
+            # the generic engine stays robust): fall back to any remaining node.
+            frontier = [node for node in all_nodes if node not in placed]
+        chosen = min(frontier, key=lambda u: (len(candidates[u]), str(u)))
+        order.append(chosen)
+        placed.add(chosen)
+    return order
+
+
+def _consistent(
+    pattern: QuantifiedGraphPattern,
+    graph: PropertyGraph,
+    adjacency: Dict[NodeId, List[tuple]],
+    assignment: Assignment,
+    pattern_node: NodeId,
+    graph_node: NodeId,
+) -> bool:
+    """``IsExtend``: can *pattern_node -> graph_node* extend *assignment*?
+
+    Checks the node label and, for every pattern edge between *pattern_node*
+    and an already-assigned pattern node, the presence of a matching graph
+    edge with the same label and direction.
+    """
+    if graph.node_label(graph_node) != pattern.node_label(pattern_node):
+        return False
+    for neighbor, label, outgoing in adjacency[pattern_node]:
+        other = assignment.get(neighbor)
+        if other is None:
+            continue
+        if outgoing:
+            if not graph.has_edge(graph_node, other, label):
+                return False
+        else:
+            if not graph.has_edge(other, graph_node, label):
+                return False
+    return True
+
+
+class MatchContext:
+    """Reusable search state for anchored isomorphism enumeration.
+
+    DMatch verifies thousands of focus candidates against the same pattern,
+    graph and candidate sets; only the anchored graph node changes between
+    calls.  The context therefore precomputes everything that does not depend
+    on the anchor value — the pattern adjacency, the matching order and the
+    candidate pools — and exposes :meth:`isomorphisms`, which performs one
+    anchored enumeration without re-paying that setup cost.
+
+    Parameters
+    ----------
+    anchored_nodes:
+        The pattern nodes that :meth:`isomorphisms` will receive bindings for
+        (typically just the query focus).  They are placed first in the
+        matching order.
+    """
+
+    def __init__(
+        self,
+        pattern: QuantifiedGraphPattern,
+        graph: PropertyGraph,
+        candidates: Optional[Dict[NodeId, Set[NodeId]]] = None,
+        candidate_order: Optional[Dict[NodeId, List[NodeId]]] = None,
+        anchored_nodes: Optional[Set[NodeId]] = None,
+    ) -> None:
+        if pattern.num_nodes == 0:
+            raise MatchingError("cannot match an empty pattern")
+        self.pattern = pattern
+        self.graph = graph
+        self.candidates = candidates if candidates is not None else label_candidates(pattern, graph)
+        for pattern_node in pattern.nodes():
+            self.candidates.setdefault(pattern_node, set())
+        self.candidate_order = candidate_order
+        # Rank maps let the hot loop order a (small) dynamic pool without
+        # scanning the full preference list of a pattern node.
+        self._ranks: Dict[NodeId, Dict[NodeId, int]] = {}
+        if candidate_order:
+            for pattern_node, preferred in candidate_order.items():
+                self._ranks[pattern_node] = {node: rank for rank, node in enumerate(preferred)}
+        self.anchored_nodes = set(anchored_nodes or ())
+        for anchored in self.anchored_nodes:
+            if anchored not in self.candidates:
+                raise MatchingError(f"anchored node {anchored!r} is not a pattern node")
+        self.adjacency = _build_adjacency(pattern)
+        self.order = _search_order(pattern, self.candidates, self.anchored_nodes)
+
+    def isomorphisms(
+        self,
+        anchor: Optional[Assignment] = None,
+        counter: Optional[WorkCounter] = None,
+        limit: Optional[int] = None,
+    ) -> Iterator[Assignment]:
+        """Enumerate isomorphisms extending *anchor* (keys ⊆ ``anchored_nodes``)."""
+        pattern, graph = self.pattern, self.graph
+        adjacency, candidates = self.adjacency, self.candidates
+        candidate_order = self.candidate_order
+        anchor = dict(anchor or {})
+        for pattern_node, graph_node in anchor.items():
+            if pattern_node not in candidates:
+                raise MatchingError(f"anchored node {pattern_node!r} is not a pattern node")
+            if graph_node not in candidates[pattern_node]:
+                return  # The anchor itself is not a viable candidate.
+        if len(set(anchor.values())) != len(anchor):
+            return  # Anchor violates injectivity.
+
+        order = self.order
+        if set(anchor) != self.anchored_nodes:
+            # The caller anchored a different node set than the context was
+            # built for: fall back to a per-call matching order.
+            order = _search_order(pattern, candidates, set(anchor))
+
+        assignment: Assignment = {}
+        used: Set[NodeId] = set()
+
+        # Validate the anchored pairs against each other before searching.
+        for pattern_node in order[: len(anchor)]:
+            graph_node = anchor[pattern_node]
+            if not _consistent(pattern, graph, adjacency, assignment, pattern_node, graph_node):
+                return
+            assignment[pattern_node] = graph_node
+            used.add(graph_node)
+
+        yielded = 0
+
+        def dynamic_pool(pattern_node: NodeId) -> Set[NodeId]:
+            """Candidates implied by the already-matched pattern neighbours.
+
+            Intersecting the adjacency lists of the matched neighbours keeps
+            the pool tiny even on large graphs; the static candidate set is
+            only scanned for the first (anchor-free) node.
+            """
+            pool: Optional[Set[NodeId]] = None
+            for neighbor, label, outgoing in adjacency[pattern_node]:
+                other = assignment.get(neighbor)
+                if other is None:
+                    continue
+                if outgoing:
+                    reachable = graph.predecessors(other, label)
+                else:
+                    reachable = graph.successors(other, label)
+                pool = reachable if pool is None else (pool & reachable)
+                if not pool:
+                    return set()
+            if pool is None:
+                return set(candidates[pattern_node])
+            return pool & candidates[pattern_node]
+
+        ranks = self._ranks
+
+        def ordered_candidates(pattern_node: NodeId) -> List[NodeId]:
+            pool = dynamic_pool(pattern_node)
+            rank = ranks.get(pattern_node)
+            if rank:
+                unranked = len(rank)
+                return sorted(pool, key=lambda node: rank.get(node, unranked))
+            return list(pool)
+
+        def extend(position: int) -> Iterator[Assignment]:
+            nonlocal yielded
+            if position == len(order):
+                yielded += 1
+                yield dict(assignment)
+                return
+            pattern_node = order[position]
+            for graph_node in ordered_candidates(pattern_node):
+                if graph_node in used:
+                    continue
+                if counter is not None:
+                    counter.extensions += 1
+                if not _consistent(pattern, graph, adjacency, assignment, pattern_node, graph_node):
+                    continue
+                assignment[pattern_node] = graph_node
+                used.add(graph_node)
+                yield from extend(position + 1)
+                del assignment[pattern_node]
+                used.discard(graph_node)
+                if limit is not None and yielded >= limit:
+                    return
+
+        yield from extend(len(anchor))
+
+
+def find_isomorphisms(
+    pattern: QuantifiedGraphPattern,
+    graph: PropertyGraph,
+    candidates: Optional[Dict[NodeId, Set[NodeId]]] = None,
+    anchor: Optional[Assignment] = None,
+    counter: Optional[WorkCounter] = None,
+    limit: Optional[int] = None,
+    candidate_order: Optional[Dict[NodeId, List[NodeId]]] = None,
+) -> Iterator[Assignment]:
+    """Enumerate isomorphisms of the (stratified) *pattern* in *graph*.
+
+    Quantifiers on the pattern are ignored here — this routine implements the
+    purely topological notion of a match of ``Qπ`` (Section 2.1); counting is
+    layered on top by the callers.  This is a convenience wrapper around
+    :class:`MatchContext` for one-off enumerations; callers that anchor the
+    same pattern at many different graph nodes should build the context once.
+
+    Parameters
+    ----------
+    candidates:
+        Optional pre-filtered candidate sets; defaults to label candidates.
+    anchor:
+        A partial assignment that every yielded isomorphism must extend
+        (commonly ``{xo: vx}``); its pairs are validated first.
+    counter:
+        When given, extension attempts are tallied into it.
+    limit:
+        Stop after yielding this many isomorphisms.
+    candidate_order:
+        Optional per-pattern-node candidate orderings (e.g. the potential
+        ordering of DMatch); nodes missing from a list are appended after it.
+    """
+    context = MatchContext(
+        pattern,
+        graph,
+        candidates=candidates,
+        candidate_order=candidate_order,
+        anchored_nodes=set(anchor or ()),
+    )
+    yield from context.isomorphisms(anchor=anchor, counter=counter, limit=limit)
+
+
+def exists_isomorphism(
+    pattern: QuantifiedGraphPattern,
+    graph: PropertyGraph,
+    candidates: Optional[Dict[NodeId, Set[NodeId]]] = None,
+    anchor: Optional[Assignment] = None,
+    counter: Optional[WorkCounter] = None,
+) -> bool:
+    """Whether at least one isomorphism (extending *anchor*) exists."""
+    for _ in find_isomorphisms(pattern, graph, candidates, anchor, counter, limit=1):
+        return True
+    return False
+
+
+def count_isomorphisms(
+    pattern: QuantifiedGraphPattern,
+    graph: PropertyGraph,
+    candidates: Optional[Dict[NodeId, Set[NodeId]]] = None,
+    anchor: Optional[Assignment] = None,
+) -> int:
+    """The number of isomorphisms of the stratified pattern (test helper)."""
+    return sum(1 for _ in find_isomorphisms(pattern, graph, candidates, anchor))

@@ -1,0 +1,88 @@
+"""Selection and pruning heuristics for the DMatch search (paper Appendix B).
+
+DMatch does not visit candidate children in arbitrary order: at every
+extension step it ranks the candidates of the next pattern node by a
+*potential* score
+
+``potential(v') = (1 + |P(v') ∩ C(u)| / |C(u)|) · Σ_{e=(u',u'')} U(v', e) / p_e``
+
+that favours candidates which (a) are children of many other candidates —
+verifying them benefits future backtracking — and (b) have head-room with
+respect to the quantifier thresholds of their own outgoing edges, so they are
+more likely to be matches themselves.  The functions here compute that score
+and produce the per-pattern-node candidate orderings consumed by the generic
+search engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Set
+
+from repro.graph.digraph import PropertyGraph
+from repro.matching.candidates import CandidateIndex
+from repro.patterns.qgp import QuantifiedGraphPattern
+
+__all__ = ["candidate_potential", "potential_ordering"]
+
+NodeId = Hashable
+
+
+def candidate_potential(
+    pattern: QuantifiedGraphPattern,
+    graph: PropertyGraph,
+    index: CandidateIndex,
+    pattern_node: NodeId,
+    candidate: NodeId,
+) -> float:
+    """The potential score of *candidate* as a match of *pattern_node*."""
+    # Term 1: how many candidate parents (across all incoming pattern edges)
+    # could benefit from verifying this candidate.
+    parent_bonus = 0.0
+    for edge in pattern.in_edges(pattern_node):
+        parent_candidates = index.candidate_set(edge.source)
+        if not parent_candidates:
+            continue
+        parents_in_graph = graph.predecessors(candidate, edge.label)
+        overlap = len(parents_in_graph & parent_candidates)
+        parent_bonus = max(parent_bonus, overlap / len(parent_candidates))
+
+    # Term 2: head-room of the candidate w.r.t. its own outgoing quantifiers.
+    headroom = 0.0
+    out_edges = pattern.out_edges(pattern_node)
+    if out_edges:
+        for edge in out_edges:
+            quantifier = edge.quantifier
+            if quantifier.is_negation:
+                continue
+            bound = index.upper_bound(edge.key, candidate)
+            total = graph.out_degree(candidate, edge.label)
+            threshold = max(quantifier.numeric_threshold(total), 1)
+            headroom += bound / threshold
+    else:
+        headroom = 1.0
+    return (1.0 + parent_bonus) * headroom
+
+
+def potential_ordering(
+    pattern: QuantifiedGraphPattern,
+    graph: PropertyGraph,
+    index: CandidateIndex,
+    restrict_to: Optional[Dict[NodeId, Set[NodeId]]] = None,
+) -> Dict[NodeId, List[NodeId]]:
+    """Per-pattern-node candidate lists sorted by decreasing potential.
+
+    ``restrict_to`` optionally narrows the candidate pools (e.g. to the d-hop
+    neighbourhood of the focus candidate currently being verified).
+    """
+    ordering: Dict[NodeId, List[NodeId]] = {}
+    for pattern_node in pattern.nodes():
+        pool: Iterable[NodeId] = index.candidate_set(pattern_node)
+        if restrict_to is not None and pattern_node in restrict_to:
+            pool = [v for v in pool if v in restrict_to[pattern_node]]
+        scored = [
+            (candidate_potential(pattern, graph, index, pattern_node, candidate), candidate)
+            for candidate in pool
+        ]
+        scored.sort(key=lambda pair: (-pair[0], str(pair[1])))
+        ordering[pattern_node] = [candidate for _, candidate in scored]
+    return ordering

@@ -1,0 +1,146 @@
+"""Result objects returned by the matching engines.
+
+All engines — the reference :class:`~repro.matching.enumerate.EnumMatcher`,
+the optimized :class:`~repro.matching.qmatch.QMatch`, and the parallel
+coordinator — return a :class:`MatchResult` so that benchmarks and tests can
+treat them uniformly: the *answer* is always the set of graph nodes matching
+the query focus (``Q(xo, G)`` in the paper), and the work counters expose the
+quantities the paper's analysis reasons about (verifications, affected-area
+sizes, per-fragment work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set
+
+from repro.utils.counters import WorkCounter
+
+__all__ = ["MatchResult", "IncrementalStats", "FragmentResult", "ParallelMatchResult"]
+
+NodeId = Hashable
+
+
+@dataclass
+class IncrementalStats:
+    """Bookkeeping produced by one IncQMatch run on one positified edge.
+
+    ``affected_area`` is the AFF set of the paper (Section 4.2): the nodes an
+    incremental algorithm must re-verify in response to the pattern change.
+    The optimality claim (Proposition 6) is that the number of verifications
+    performed is bounded by ``|AFF|`` — tests assert exactly that.
+    """
+
+    edge: str
+    affected_area: Set[NodeId] = field(default_factory=set)
+    verifications: int = 0
+    removed: Set[NodeId] = field(default_factory=set)
+    reused_candidates: int = 0
+
+    @property
+    def aff_size(self) -> int:
+        return len(self.affected_area)
+
+
+@dataclass
+class MatchResult:
+    """The outcome of evaluating one QGP on one graph.
+
+    Attributes
+    ----------
+    answer:
+        ``Q(xo, G)`` — the set of graph nodes matching the query focus.
+    positive_answer:
+        ``Π(Q)(xo, G)`` — the answer of the positive part, before negated
+        edges are subtracted (equal to ``answer`` for positive patterns).
+    node_matches:
+        Cached per-pattern-node match/candidate sets gathered while evaluating
+        the positive part; the incremental step and the QGAR layer reuse them.
+    counter:
+        Aggregated work counters.
+    incremental:
+        One :class:`IncrementalStats` per negated edge processed.
+    elapsed:
+        Wall-clock seconds, when the engine measured it (0.0 otherwise).
+    """
+
+    answer: Set[NodeId] = field(default_factory=set)
+    positive_answer: Set[NodeId] = field(default_factory=set)
+    node_matches: Dict[NodeId, Set[NodeId]] = field(default_factory=dict)
+    counter: WorkCounter = field(default_factory=WorkCounter)
+    incremental: List[IncrementalStats] = field(default_factory=list)
+    elapsed: float = 0.0
+    engine: str = ""
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.answer
+
+    def __len__(self) -> int:
+        return len(self.answer)
+
+    def frozen_answer(self) -> FrozenSet[NodeId]:
+        """The answer as a frozenset (handy for dictionary keys in tests)."""
+        return frozenset(self.answer)
+
+
+@dataclass
+class FragmentResult:
+    """Per-fragment outcome of a parallel run."""
+
+    fragment_id: int
+    answer: Set[NodeId] = field(default_factory=set)
+    counter: WorkCounter = field(default_factory=WorkCounter)
+    elapsed: float = 0.0
+
+
+@dataclass
+class ParallelMatchResult:
+    """The outcome of a PQMatch run across all fragments.
+
+    ``makespan_work`` and ``total_work`` let the simulated cluster report the
+    parallel-scalability shape (speedup = total / makespan) without relying on
+    noisy wall-clock measurements; ``elapsed`` is the wall-clock time of the
+    actual executor that was used.
+    """
+
+    answer: Set[NodeId] = field(default_factory=set)
+    fragments: List[FragmentResult] = field(default_factory=list)
+    counter: WorkCounter = field(default_factory=WorkCounter)
+    elapsed: float = 0.0
+    partition_elapsed: float = 0.0
+    engine: str = ""
+
+    @property
+    def total_work(self) -> int:
+        return sum(fragment.counter.total_work() for fragment in self.fragments)
+
+    @property
+    def makespan_work(self) -> int:
+        if not self.fragments:
+            return 0
+        return max(fragment.counter.total_work() for fragment in self.fragments)
+
+    @property
+    def work_speedup(self) -> float:
+        """Ideal speedup implied by the work distribution (total / makespan)."""
+        makespan = self.makespan_work
+        if makespan == 0:
+            return 1.0
+        return self.total_work / makespan
+
+    @property
+    def work_skew(self) -> float:
+        """Smallest / largest per-fragment work — the balance measure of Exp-2."""
+        if not self.fragments:
+            return 1.0
+        works = [fragment.counter.total_work() for fragment in self.fragments]
+        largest = max(works)
+        if largest == 0:
+            return 1.0
+        return min(works) / largest
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.answer
+
+    def __len__(self) -> int:
+        return len(self.answer)

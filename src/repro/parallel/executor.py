@@ -1,0 +1,119 @@
+"""Execution backends for the parallel coordinator.
+
+The paper runs PQMatch on a cluster of up to 20 machines.  A reproduction
+running inside a single container cannot observe 20-way wall-clock speedups,
+so the coordinator supports several interchangeable backends:
+
+* ``SerialExecutor``     — run fragment tasks one after another (baseline and
+  the default for tests: fully deterministic).
+* ``ThreadedExecutor``   — a :class:`concurrent.futures.ThreadPoolExecutor`;
+  useful to overlap work, limited by the GIL for pure-Python matching.
+* ``ProcessExecutor``    — a :class:`concurrent.futures.ProcessPoolExecutor`;
+  real CPU parallelism at the cost of pickling the fragment graphs.
+* ``SimulatedCluster``   — runs the tasks serially but records the *work* each
+  fragment performed (verifications + extensions + quantifier checks, counted
+  by the engines themselves) and models the parallel makespan as the maximum
+  per-worker work.  This is how the benchmarks reproduce the *shape* of the
+  paper's Figures 8(b)–(e): the speedup curves depend only on how evenly DPar
+  spreads the work, which the simulation measures exactly and noiselessly.
+
+All backends consume :class:`repro.parallel.worker.FragmentTask` objects and
+return their :class:`repro.matching.result.FragmentResult` lists.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.matching.result import FragmentResult
+from repro.parallel.worker import FragmentTask
+from repro.utils.errors import PartitionError
+
+__all__ = [
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "ProcessExecutor",
+    "SimulatedCluster",
+    "make_executor",
+]
+
+
+def _run_task(task: FragmentTask) -> FragmentResult:
+    """Module-level task runner so that process pools can pickle it."""
+    return task.run()
+
+
+class SerialExecutor:
+    """Run every fragment task in the calling thread, in order."""
+
+    name = "serial"
+
+    def run(self, tasks: Sequence[FragmentTask]) -> List[FragmentResult]:
+        return [task.run() for task in tasks]
+
+
+class ThreadedExecutor:
+    """Run fragment tasks on a thread pool (I/O-bound friendly, GIL-bound for CPU)."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers <= 0:
+            raise PartitionError("max_workers must be positive")
+        self.max_workers = max_workers
+
+    def run(self, tasks: Sequence[FragmentTask]) -> List[FragmentResult]:
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(_run_task, tasks))
+
+
+class ProcessExecutor:
+    """Run fragment tasks on a process pool (true CPU parallelism)."""
+
+    name = "process"
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers <= 0:
+            raise PartitionError("max_workers must be positive")
+        self.max_workers = max_workers
+
+    def run(self, tasks: Sequence[FragmentTask]) -> List[FragmentResult]:
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(_run_task, tasks))
+
+
+@dataclass
+class SimulatedCluster:
+    """Deterministic work-based model of an ``n``-worker cluster.
+
+    Each fragment task is executed (serially, by the real matching code); the
+    work it reports is attributed to the worker hosting that fragment.  The
+    modelled parallel cost of the run is the *makespan* — the largest total
+    work assigned to any worker — which the coordinator exposes alongside the
+    true total work so that benchmarks can report speedup = total / makespan.
+    """
+
+    num_workers: int
+    name: str = "simulated"
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise PartitionError("num_workers must be positive")
+
+    def run(self, tasks: Sequence[FragmentTask]) -> List[FragmentResult]:
+        return [task.run() for task in tasks]
+
+
+def make_executor(kind: str, num_workers: int):
+    """Factory used by the coordinator: ``serial`` / ``thread`` / ``process`` / ``simulated``."""
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadedExecutor(num_workers)
+    if kind == "process":
+        return ProcessExecutor(num_workers)
+    if kind == "simulated":
+        return SimulatedCluster(num_workers)
+    raise PartitionError(f"unknown executor kind {kind!r}")

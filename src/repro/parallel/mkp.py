@@ -1,0 +1,139 @@
+"""Multiple Knapsack assignment used by the d-hop preserving partitioner.
+
+DPar (paper Section 5.2) must place the d-hop neighbourhood ``Nd(v)`` of every
+border node ``v`` onto some fragment without blowing the fragment's size
+budget, while *covering* as many border nodes as possible.  The paper reduces
+this to the Multiple Knapsack Problem (MKP): every ``Nd(v)`` is an item of
+value 1 and weight ``|Nd(v)|``, every fragment a knapsack with capacity
+``c·|G|/n − |Fi|``, and the objective is to maximise the number of packed
+items.  It then invokes the PTAS of Chekuri & Khanna.
+
+A full PTAS is overkill for a reproduction whose instances have a few thousand
+items, so this module provides:
+
+* :func:`greedy_mkp` — the classic density-greedy assignment (sort items by
+  increasing weight, place each into the eligible bin with the most remaining
+  capacity).  For unit-value items this is a ½-approximation and in practice
+  packs almost everything.
+* :func:`mkp_assign` — greedy followed by a bounded local-improvement pass
+  (try to re-pack currently-unassigned items by relocating one assigned item),
+  which tightens the result toward the (1+ε) behaviour the paper relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+__all__ = ["KnapsackItem", "greedy_mkp", "mkp_assign"]
+
+ItemId = Hashable
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """An item to pack: *weight* is ``|Nd(v)|`` (or the marginal growth), value 1 by default."""
+
+    item_id: ItemId
+    weight: float
+    value: float = 1.0
+
+
+def greedy_mkp(
+    items: Sequence[KnapsackItem],
+    capacities: Sequence[float],
+    preferred_bins: Optional[Dict[ItemId, int]] = None,
+) -> Tuple[Dict[ItemId, int], List[ItemId]]:
+    """Greedy multiple-knapsack assignment.
+
+    Items are considered lightest-first (for unit values that maximises the
+    count of packed items); each item goes to its *preferred* bin when that bin
+    still has room, otherwise to the eligible bin with the largest remaining
+    capacity.
+
+    Returns ``(assignment, unassigned)`` where *assignment* maps item id to
+    bin index.
+    """
+    remaining = list(capacities)
+    assignment: Dict[ItemId, int] = {}
+    unassigned: List[ItemId] = []
+    for item in sorted(items, key=lambda it: (it.weight, str(it.item_id))):
+        preferred = preferred_bins.get(item.item_id) if preferred_bins else None
+        target = None
+        if preferred is not None and 0 <= preferred < len(remaining):
+            if remaining[preferred] >= item.weight:
+                target = preferred
+        if target is None:
+            best_index = None
+            best_capacity = -1.0
+            for index, capacity in enumerate(remaining):
+                if capacity >= item.weight and capacity > best_capacity:
+                    best_index = index
+                    best_capacity = capacity
+            target = best_index
+        if target is None:
+            unassigned.append(item.item_id)
+            continue
+        assignment[item.item_id] = target
+        remaining[target] -= item.weight
+    return assignment, unassigned
+
+
+def mkp_assign(
+    items: Sequence[KnapsackItem],
+    capacities: Sequence[float],
+    preferred_bins: Optional[Dict[ItemId, int]] = None,
+    improvement_rounds: int = 1,
+) -> Tuple[Dict[ItemId, int], List[ItemId]]:
+    """Greedy assignment followed by a bounded local-improvement pass.
+
+    The improvement pass tries to place each unassigned item by moving exactly
+    one already-assigned item to a different bin that can still hold it — a
+    cheap exchange step that recovers most of the gap to the optimum on the
+    balanced instances DPar produces.
+    """
+    by_id = {item.item_id: item for item in items}
+    assignment, unassigned = greedy_mkp(items, capacities, preferred_bins)
+
+    def remaining_capacities() -> List[float]:
+        remaining = list(capacities)
+        for item_id, bin_index in assignment.items():
+            remaining[bin_index] -= by_id[item_id].weight
+        return remaining
+
+    for _ in range(max(0, improvement_rounds)):
+        if not unassigned:
+            break
+        still_unassigned: List[ItemId] = []
+        for item_id in unassigned:
+            item = by_id[item_id]
+            remaining = remaining_capacities()
+            placed = False
+            # Direct placement may have become possible after earlier moves.
+            for bin_index, capacity in enumerate(remaining):
+                if capacity >= item.weight:
+                    assignment[item_id] = bin_index
+                    placed = True
+                    break
+            if placed:
+                continue
+            # Try relocating one assigned item to free enough space.
+            for other_id, other_bin in list(assignment.items()):
+                other = by_id[other_id]
+                freed = remaining[other_bin] + other.weight
+                if freed < item.weight:
+                    continue
+                for new_bin, capacity in enumerate(remaining):
+                    if new_bin == other_bin:
+                        continue
+                    if capacity >= other.weight:
+                        assignment[other_id] = new_bin
+                        assignment[item_id] = other_bin
+                        placed = True
+                        break
+                if placed:
+                    break
+            if not placed:
+                still_unassigned.append(item_id)
+        unassigned = still_unassigned
+    return assignment, unassigned

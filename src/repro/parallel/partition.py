@@ -1,0 +1,357 @@
+"""DPar: balanced, d-hop preserving graph partition (paper Section 5.2).
+
+A *d-hop preserving partition* distributes a graph over ``n`` fragments such
+that
+
+* it is **balanced** — every fragment's size stays under ``c · |G| / n`` for a
+  small constant ``c``, and
+* it is **covering** — every node ``v`` it covers has its whole d-hop
+  neighbourhood ``Nd(v)`` inside a single fragment, so a QGP of radius ≤ d can
+  be answered for ``v`` entirely locally (no inter-fragment communication).
+
+The partition is **complete** when every node of the graph is covered.  DPar
+builds one in the paper's three phases:
+
+1. a *base partition* assigns every node a home fragment of roughly equal
+   size (we grow BFS regions, which keeps neighbourhoods together far better
+   than hashing);
+2. *border nodes* — nodes whose ``Nd`` spills outside their home fragment —
+   have their neighbourhoods packed onto fragments by a Multiple-Knapsack
+   assignment (value 1 per covered node, weight = the marginal number of
+   nodes the fragment would gain, capacity = the balance budget);
+3. a *completion* pass assigns every still-uncovered node to the fragment
+   that minimises the resulting size imbalance.
+
+Every node ends up *owned* by exactly one fragment that contains its full
+``Nd``; replicated (non-owned) nodes may appear in several fragments.  The
+coordinator restricts each worker to focus candidates it owns, which makes the
+union of the per-fragment answers exactly the global answer (Lemma 9(1)) —
+a property the integration tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set
+
+from repro.graph.digraph import PropertyGraph
+from repro.graph.traversal import nodes_within_hops
+from repro.parallel.mkp import KnapsackItem, mkp_assign
+from repro.utils.errors import PartitionError
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.timing import Timer
+
+__all__ = ["Fragment", "HopPreservingPartition", "DPar", "base_partition"]
+
+NodeId = Hashable
+
+
+@dataclass
+class Fragment:
+    """One fragment of a d-hop preserving partition.
+
+    ``owned_nodes`` are the nodes this fragment answers for (each graph node
+    is owned by exactly one fragment); ``node_set`` additionally contains the
+    replicated d-hop context of the owned nodes.  ``graph`` is materialised
+    lazily by :meth:`HopPreservingPartition.fragment_graph`.
+    """
+
+    fragment_id: int
+    owned_nodes: Set[NodeId] = field(default_factory=set)
+    node_set: Set[NodeId] = field(default_factory=set)
+    border_nodes: Set[NodeId] = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        return len(self.node_set)
+
+
+@dataclass
+class HopPreservingPartition:
+    """The result of DPar: fragments plus bookkeeping for the quality metrics."""
+
+    d: int
+    fragments: List[Fragment]
+    source: PropertyGraph
+    elapsed: float = 0.0
+    _graph_cache: Dict[int, PropertyGraph] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------ accessors
+
+    @property
+    def num_fragments(self) -> int:
+        return len(self.fragments)
+
+    def owner_of(self, node: NodeId) -> Optional[int]:
+        for fragment in self.fragments:
+            if node in fragment.owned_nodes:
+                return fragment.fragment_id
+        return None
+
+    def fragment_graph(self, fragment: Fragment) -> PropertyGraph:
+        """Materialise the subgraph induced by the fragment's node set.
+
+        The materialised graph is cached per fragment: the paper partitions
+        once and reuses the fragments for every query of radius ≤ d, so the
+        coordinator should not pay the induced-subgraph cost per query.
+        """
+        cached = self._graph_cache.get(fragment.fragment_id)
+        if cached is None:
+            cached = self.source.induced_subgraph(
+                fragment.node_set, name=f"{self.source.name}#F{fragment.fragment_id}"
+            )
+            self._graph_cache[fragment.fragment_id] = cached
+        return cached
+
+    # -------------------------------------------------------------- metrics
+
+    def is_covering(self) -> bool:
+        """Every owned node's Nd must be inside its fragment."""
+        for fragment in self.fragments:
+            for node in fragment.owned_nodes:
+                neighborhood = nodes_within_hops(self.source, node, self.d)
+                if not neighborhood <= fragment.node_set:
+                    return False
+        return True
+
+    def is_complete(self) -> bool:
+        """Every node of the source graph is owned by some fragment."""
+        owned = set()
+        for fragment in self.fragments:
+            owned |= fragment.owned_nodes
+        return owned == set(self.source.nodes())
+
+    def skew(self) -> float:
+        """Smallest fragment size / largest fragment size (1.0 = perfectly even)."""
+        sizes = [max(fragment.size, 0) for fragment in self.fragments]
+        largest = max(sizes, default=0)
+        if largest == 0:
+            return 1.0
+        return min(sizes) / largest
+
+    def replication_factor(self) -> float:
+        """Total stored nodes across fragments divided by |V| (1.0 = no replication)."""
+        if self.source.num_nodes == 0:
+            return 1.0
+        return sum(fragment.size for fragment in self.fragments) / self.source.num_nodes
+
+    def statistics(self) -> Dict[str, float]:
+        return {
+            "fragments": float(self.num_fragments),
+            "skew": self.skew(),
+            "replication": self.replication_factor(),
+            "largest": float(max((f.size for f in self.fragments), default=0)),
+            "smallest": float(min((f.size for f in self.fragments), default=0)),
+            "elapsed": self.elapsed,
+        }
+
+
+def base_partition(
+    graph: PropertyGraph,
+    num_fragments: int,
+    seed: SeedLike = None,
+    strategy: str = "random",
+) -> List[Set[NodeId]]:
+    """A balanced *base* partition of the node set into ``num_fragments`` blocks.
+
+    Two strategies are provided, standing in for the off-the-shelf balanced
+    partitioners the paper builds on:
+
+    * ``"random"`` (default) — shuffle the nodes and deal them round-robin.
+      Block sizes are perfectly balanced and, because node placement is
+      independent of the graph structure, the *matching work* assigned to each
+      fragment is balanced in expectation too — which is what the parallel
+      coordinator cares about.
+    * ``"bfs"`` — grow blocks along BFS order from random seeds, keeping
+      neighbourhoods together.  This minimises the replication added by the
+      d-hop extension at the price of possibly clustering expensive nodes
+      (e.g. a dense community) into one fragment.
+    """
+    if num_fragments <= 0:
+        raise PartitionError("num_fragments must be positive")
+    if strategy not in ("random", "bfs"):
+        raise PartitionError(f"unknown base partition strategy {strategy!r}")
+    rng = ensure_rng(seed)
+    nodes = list(graph.nodes())
+    rng.shuffle(nodes)
+    blocks: List[Set[NodeId]] = [set() for _ in range(num_fragments)]
+
+    if strategy == "random":
+        for index, node in enumerate(nodes):
+            blocks[index % num_fragments].add(node)
+        return blocks
+
+    target = max(1, (len(nodes) + num_fragments - 1) // num_fragments)
+    visited: Set[NodeId] = set()
+    block_index = 0
+    for start in nodes:
+        if start in visited:
+            continue
+        queue = [start]
+        while queue:
+            node = queue.pop()
+            if node in visited:
+                continue
+            visited.add(node)
+            while block_index < num_fragments - 1 and len(blocks[block_index]) >= target:
+                block_index += 1
+            blocks[block_index].add(node)
+            for neighbor in graph.neighbors(node):
+                if neighbor not in visited:
+                    queue.append(neighbor)
+    return blocks
+
+
+class DPar:
+    """The d-hop preserving partitioner.
+
+    Parameters
+    ----------
+    d:
+        The hop radius to preserve; queries of radius ≤ d can then be answered
+        locally per fragment.
+    capacity_factor:
+        The balance constant ``c``: fragments may grow to ``c · |V| / n``
+        nodes.  The default 1.6 mirrors the paper's "small constant c < Cd".
+    seed:
+        Seed for the randomised base partition.
+    """
+
+    def __init__(
+        self,
+        d: int = 2,
+        capacity_factor: float = 1.6,
+        seed: SeedLike = None,
+        strategy: str = "random",
+    ) -> None:
+        if d < 0:
+            raise PartitionError("d must be non-negative")
+        if capacity_factor < 1.0:
+            raise PartitionError("capacity_factor must be at least 1.0")
+        self.d = d
+        self.capacity_factor = capacity_factor
+        self.seed = seed
+        self.strategy = strategy
+
+    # ----------------------------------------------------------------- main
+
+    def partition(self, graph: PropertyGraph, num_fragments: int) -> HopPreservingPartition:
+        """Build a complete d-hop preserving partition of *graph*."""
+        if num_fragments <= 0:
+            raise PartitionError("num_fragments must be positive")
+        with Timer() as timer:
+            partition = self._partition_inner(graph, num_fragments)
+        partition.elapsed = timer.elapsed
+        return partition
+
+    def _partition_inner(self, graph: PropertyGraph, num_fragments: int) -> HopPreservingPartition:
+        rng = ensure_rng(self.seed)
+        blocks = base_partition(graph, num_fragments, seed=rng, strategy=self.strategy)
+        fragments = [Fragment(fragment_id=i, node_set=set(block)) for i, block in enumerate(blocks)]
+        capacity = max(
+            self.capacity_factor * graph.num_nodes / num_fragments,
+            max((len(block) for block in blocks), default=1.0) + 1.0,
+        )
+
+        # Phase 1: nodes whose Nd already sits inside their home block are
+        # covered for free; the rest are border nodes.
+        neighborhoods: Dict[NodeId, Set[NodeId]] = {}
+        border: List[NodeId] = []
+        home: Dict[NodeId, int] = {}
+        for fragment, block in zip(fragments, blocks):
+            for node in block:
+                home[node] = fragment.fragment_id
+                neighborhood = nodes_within_hops(graph, node, self.d)
+                neighborhoods[node] = neighborhood
+                if neighborhood <= fragment.node_set:
+                    fragment.owned_nodes.add(node)
+                else:
+                    border.append(node)
+                    fragment.border_nodes.add(node)
+
+        # Phase 2: pack border-node neighbourhoods onto fragments via MKP.
+        items = []
+        preferred = {}
+        for node in border:
+            weight = len(neighborhoods[node] - fragments[home[node]].node_set)
+            items.append(KnapsackItem(item_id=node, weight=float(max(weight, 0)), value=1.0))
+            preferred[node] = home[node]
+        capacities = [max(capacity - fragment.size, 0.0) for fragment in fragments]
+        assignment, unassigned = mkp_assign(items, capacities, preferred_bins=preferred)
+        for node, fragment_index in assignment.items():
+            fragment = fragments[fragment_index]
+            fragment.node_set |= neighborhoods[node]
+            fragment.owned_nodes.add(node)
+
+        # Phase 3: completion — place every still-uncovered node where it
+        # causes the least imbalance, ignoring the soft capacity if necessary
+        # so the partition is always complete.
+        for node in unassigned:
+            neighborhood = neighborhoods[node]
+            best_fragment = min(
+                fragments,
+                key=lambda fragment: (len(fragment.node_set | neighborhood), fragment.fragment_id),
+            )
+            best_fragment.node_set |= neighborhood
+            best_fragment.owned_nodes.add(node)
+
+        # Phase 4: ownership rebalancing.  Covering and completeness are now
+        # guaranteed, but correlated neighbourhoods can leave one fragment
+        # owning far more nodes than the others — and owned nodes are exactly
+        # the focus candidates a worker has to verify, so ownership skew is
+        # work skew.  Move surplus ownership to under-full fragments (carrying
+        # the owned node's neighbourhood along so covering is preserved).
+        self._rebalance_ownership(fragments, neighborhoods, rng)
+
+        return HopPreservingPartition(d=self.d, fragments=fragments, source=graph)
+
+    @staticmethod
+    def _rebalance_ownership(fragments, neighborhoods, rng) -> None:
+        total_owned = sum(len(fragment.owned_nodes) for fragment in fragments)
+        if not fragments or total_owned == 0:
+            return
+        target = -(-total_owned // len(fragments))  # ceiling division
+        surplus: List[NodeId] = []
+        for fragment in fragments:
+            excess = len(fragment.owned_nodes) - target
+            if excess > 0:
+                movable = sorted(fragment.owned_nodes, key=str)
+                rng.shuffle(movable)
+                for node in movable[:excess]:
+                    fragment.owned_nodes.discard(node)
+                    surplus.append(node)
+        for node in surplus:
+            receiver = min(fragments, key=lambda f: (len(f.owned_nodes), f.fragment_id))
+            receiver.owned_nodes.add(node)
+            receiver.node_set |= neighborhoods[node]
+
+    # ----------------------------------------------------------- incremental
+
+    def extend(self, partition: HopPreservingPartition, new_d: int) -> HopPreservingPartition:
+        """Incrementally extend a partition to a larger hop radius.
+
+        The paper notes (end of Section 5.2) that when a query arrives whose
+        radius exceeds the partition's ``d``, each fragment extends the
+        neighbourhoods of its owned nodes by the missing hops instead of
+        re-partitioning from scratch.  The ownership assignment is kept; only
+        the replicated context grows.
+        """
+        if new_d < partition.d:
+            raise PartitionError("cannot shrink a partition; build a new one instead")
+        if new_d == partition.d:
+            return partition
+        with Timer() as timer:
+            fragments = []
+            for old in partition.fragments:
+                fragment = Fragment(
+                    fragment_id=old.fragment_id,
+                    owned_nodes=set(old.owned_nodes),
+                    node_set=set(old.node_set),
+                    border_nodes=set(old.border_nodes),
+                )
+                for node in fragment.owned_nodes:
+                    fragment.node_set |= nodes_within_hops(partition.source, node, new_d)
+                fragments.append(fragment)
+            extended = HopPreservingPartition(d=new_d, fragments=fragments, source=partition.source)
+        extended.elapsed = timer.elapsed
+        return extended

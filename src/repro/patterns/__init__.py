@@ -1,0 +1,32 @@
+"""Quantified graph patterns: model, builder, DSL, workload generator, reductions."""
+
+from repro.patterns.builder import PatternBuilder
+from repro.patterns.generator import (
+    FrequentEdge,
+    generate_pattern,
+    generate_workload,
+    mine_frequent_edges,
+    mine_frequent_paths,
+)
+from repro.patterns.parser import parse_pattern, parse_quantifier, pattern_to_text
+from repro.patterns.qgp import EdgeKey, PatternEdge, QuantifiedGraphPattern
+from repro.patterns.quantifier import CountingQuantifier
+from repro.patterns.transform import expand_numeric_to_conventional, ratio_to_numeric
+
+__all__ = [
+    "CountingQuantifier",
+    "QuantifiedGraphPattern",
+    "PatternEdge",
+    "EdgeKey",
+    "PatternBuilder",
+    "parse_pattern",
+    "parse_quantifier",
+    "pattern_to_text",
+    "FrequentEdge",
+    "mine_frequent_edges",
+    "mine_frequent_paths",
+    "generate_pattern",
+    "generate_workload",
+    "expand_numeric_to_conventional",
+    "ratio_to_numeric",
+]

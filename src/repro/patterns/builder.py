@@ -1,0 +1,122 @@
+"""Fluent construction of quantified graph patterns.
+
+:class:`PatternBuilder` is the recommended way for library users to express
+QGPs in code.  It mirrors the shape of the paper's example patterns closely;
+the running example ``Q1`` of the paper (potential album buyers) reads:
+
+>>> from repro.patterns import PatternBuilder
+>>> q1 = (PatternBuilder("Q1")
+...       .focus("xo", "person")
+...       .node("club", "music_club")
+...       .node("z", "person")
+...       .node("y", "album")
+...       .edge("xo", "club", "in")
+...       .edge("xo", "z", "follow", at_least_percent=80)
+...       .edge("z", "y", "like")
+...       .edge("xo", "y", "like")
+...       .build())
+>>> q1.size_signature()
+(4, 4, 80.0, 0)
+
+The builder validates the finished pattern (connectivity, focus, the paper's
+simple-path restrictions) in :meth:`PatternBuilder.build`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.patterns.qgp import QuantifiedGraphPattern
+from repro.patterns.quantifier import CountingQuantifier
+from repro.utils.errors import PatternError
+
+__all__ = ["PatternBuilder"]
+
+NodeId = Hashable
+
+
+class PatternBuilder:
+    """Incrementally assemble a :class:`QuantifiedGraphPattern`."""
+
+    def __init__(self, name: str = "Q") -> None:
+        self._pattern = QuantifiedGraphPattern(name=name)
+        self._focus_set = False
+
+    # ----------------------------------------------------------------- nodes
+
+    def focus(self, node: NodeId, label: str) -> "PatternBuilder":
+        """Declare the query focus node ``xo`` and its label."""
+        self._pattern.add_node(node, label)
+        self._pattern.set_focus(node)
+        self._focus_set = True
+        return self
+
+    def node(self, node: NodeId, label: str) -> "PatternBuilder":
+        """Declare an ordinary pattern node."""
+        self._pattern.add_node(node, label)
+        return self
+
+    # ----------------------------------------------------------------- edges
+
+    def edge(
+        self,
+        source: NodeId,
+        target: NodeId,
+        label: str,
+        quantifier: Optional[CountingQuantifier] = None,
+        *,
+        at_least: Optional[int] = None,
+        at_least_percent: Optional[float] = None,
+        exactly: Optional[int] = None,
+        more_than: Optional[int] = None,
+        universal: bool = False,
+        negated: bool = False,
+    ) -> "PatternBuilder":
+        """Add a pattern edge with an optional counting quantifier.
+
+        Exactly one of the quantifier keywords may be used; with none of them
+        the edge carries the existential default ``σ(e) ≥ 1``.
+        """
+        chosen = [
+            quantifier is not None,
+            at_least is not None,
+            at_least_percent is not None,
+            exactly is not None,
+            more_than is not None,
+            universal,
+            negated,
+        ]
+        if sum(bool(flag) for flag in chosen) > 1:
+            raise PatternError("specify at most one quantifier form per edge")
+        if at_least is not None:
+            quantifier = CountingQuantifier.at_least(at_least)
+        elif at_least_percent is not None:
+            quantifier = CountingQuantifier.ratio_at_least(at_least_percent)
+        elif exactly is not None:
+            quantifier = CountingQuantifier.exactly(exactly)
+        elif more_than is not None:
+            quantifier = CountingQuantifier.more_than(more_than)
+        elif universal:
+            quantifier = CountingQuantifier.universal()
+        elif negated:
+            quantifier = CountingQuantifier.negation()
+        self._pattern.add_edge(source, target, label, quantifier)
+        return self
+
+    def negated_edge(self, source: NodeId, target: NodeId, label: str) -> "PatternBuilder":
+        """Shorthand for an edge carrying the negation quantifier ``σ(e) = 0``."""
+        return self.edge(source, target, label, negated=True)
+
+    # ------------------------------------------------------------------ build
+
+    def build(self, validate: bool = True, max_quantified_per_path: int = 2) -> QuantifiedGraphPattern:
+        """Finish construction, optionally validating the paper's restrictions."""
+        if not self._focus_set:
+            raise PatternError("a pattern needs a focus; call .focus(node, label) first")
+        if validate:
+            self._pattern.validate(max_quantified_per_path=max_quantified_per_path)
+        return self._pattern
+
+    def peek(self) -> QuantifiedGraphPattern:
+        """The pattern under construction, without validation (for tests)."""
+        return self._pattern

@@ -1,0 +1,257 @@
+"""Workload pattern generator (the paper's query generator, Section 7).
+
+The experiments of the paper generate QGPs directly from the data graph:
+
+1. mine *frequent features* — edges and short paths (length ≤ 3) described by
+   their label sequences — and keep the top-k most frequent as *seeds*;
+2. combine seeds into a stratified pattern ``Qπ`` with the requested numbers
+   of nodes and edges;
+3. attach a positive ratio quantifier ``σ(e) ≥ p%`` (default 30%) to frequent
+   pattern edges, which yields ``Π(Q)``;
+4. add the requested number of negated edges, which yields ``Q``.
+
+The generator below follows that recipe.  Patterns are grown around a focus
+node whose label is the most frequent source label among the seeds, so the
+generated workloads are star-like — matching the empirical observation the
+paper cites that 99% of real-world queries are star-like.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.digraph import PropertyGraph
+from repro.patterns.qgp import QuantifiedGraphPattern
+from repro.patterns.quantifier import CountingQuantifier
+from repro.utils.errors import PatternError
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = [
+    "FrequentEdge",
+    "mine_frequent_edges",
+    "mine_frequent_paths",
+    "generate_pattern",
+    "generate_workload",
+]
+
+
+@dataclass(frozen=True)
+class FrequentEdge:
+    """A frequent typed edge ``(source label) -[edge label]-> (target label)``."""
+
+    source_label: str
+    edge_label: str
+    target_label: str
+    count: int
+
+
+def mine_frequent_edges(graph: PropertyGraph, top_k: int = 5) -> List[FrequentEdge]:
+    """The *top_k* most frequent (source label, edge label, target label) triples."""
+    counts: Counter = Counter()
+    for source, target, label in graph.edges():
+        counts[(graph.node_label(source), label, graph.node_label(target))] += 1
+    ranked = counts.most_common(top_k)
+    return [
+        FrequentEdge(source_label, edge_label, target_label, count)
+        for (source_label, edge_label, target_label), count in ranked
+    ]
+
+
+def mine_frequent_paths(
+    graph: PropertyGraph,
+    max_length: int = 3,
+    top_k: int = 5,
+    sample_nodes: int = 2000,
+    seed: SeedLike = None,
+) -> List[Tuple[Tuple[str, ...], int]]:
+    """Frequent label sequences of directed paths up to *max_length* edges.
+
+    A path feature is the alternating label sequence
+    ``(node label, edge label, node label, ...)``.  To stay cheap on large
+    graphs, paths are counted from a random sample of start nodes.
+    """
+    rng = ensure_rng(seed)
+    nodes = list(graph.nodes())
+    if len(nodes) > sample_nodes:
+        nodes = rng.sample(nodes, sample_nodes)
+    counts: Counter = Counter()
+
+    def walk(node, feature: Tuple[str, ...], depth: int) -> None:
+        if depth >= max_length:
+            return
+        for label in graph.out_edge_labels(node):
+            for child in graph.successors(node, label):
+                extended = feature + (label, graph.node_label(child))
+                counts[extended] += 1
+                walk(child, extended, depth + 1)
+
+    for node in nodes:
+        walk(node, (graph.node_label(node),), 0)
+    return counts.most_common(top_k)
+
+
+def _pick_focus_label(seeds: Sequence[FrequentEdge]) -> str:
+    """The most common source label among the seeds becomes the focus label."""
+    tally = Counter(seed.source_label for seed in seeds)
+    return tally.most_common(1)[0][0]
+
+
+def generate_pattern(
+    graph: PropertyGraph,
+    num_nodes: int,
+    num_edges: int,
+    ratio_percent: float = 30.0,
+    num_negated: int = 0,
+    num_quantified: Optional[int] = None,
+    seeds: Optional[Sequence[FrequentEdge]] = None,
+    seed: SeedLike = None,
+    name: str = "Q",
+) -> QuantifiedGraphPattern:
+    """Generate one QGP of size ``(num_nodes, num_edges, ratio_percent, num_negated)``.
+
+    Parameters
+    ----------
+    graph:
+        Data graph to mine frequent features from.
+    num_nodes, num_edges:
+        Target pattern size; ``num_edges`` must be at least ``num_nodes - 1``
+        so the pattern can be connected.
+    ratio_percent:
+        The ratio threshold attached to quantified edges (the paper's ``p%``).
+    num_negated:
+        Number of negated edges appended to ``Π(Q)``.
+    num_quantified:
+        How many positive edges receive the ratio quantifier; defaults to one
+        per two pattern edges, capped by the simple-path restriction.
+    seeds:
+        Pre-mined frequent edges; mined from *graph* when omitted.
+    """
+    if num_nodes < 2:
+        raise PatternError("a workload pattern needs at least two nodes")
+    if num_edges < num_nodes - 1:
+        raise PatternError("num_edges must be at least num_nodes - 1 for connectivity")
+    rng = ensure_rng(seed)
+    seeds = list(seeds) if seeds else mine_frequent_edges(graph, top_k=5)
+    if not seeds:
+        raise PatternError("the data graph has no edges to mine seeds from")
+
+    focus_label = _pick_focus_label(seeds)
+    by_source: Dict[str, List[FrequentEdge]] = {}
+    for feature in seeds:
+        by_source.setdefault(feature.source_label, []).append(feature)
+
+    pattern = QuantifiedGraphPattern(name=name)
+    focus = "x0"
+    pattern.add_node(focus, focus_label)
+    pattern.set_focus(focus)
+    node_count = 1
+    labels_of: Dict[str, str] = {focus: focus_label}
+
+    # Each negated edge introduces one fresh node below, so the positive part
+    # grows to the remaining node budget.
+    positive_node_budget = max(2, num_nodes - num_negated)
+
+    # Grow a connected stratified pattern by repeatedly expanding a random
+    # existing node with a frequent feature whose source label matches it —
+    # the seed-combination step of the paper's workload generator.  Only
+    # features whose source label matches the expanded node are used, so the
+    # stratified pattern always describes label sequences that actually occur
+    # in the data graph.
+    attempts = 0
+    while node_count < positive_node_budget and attempts < 50 * num_nodes:
+        attempts += 1
+        expandable = [n for n in labels_of if by_source.get(labels_of[n])]
+        if not expandable:
+            break
+        anchor = rng.choice(expandable)
+        feature = rng.choice(by_source[labels_of[anchor]])
+        new_node = f"x{node_count}"
+        pattern.add_node(new_node, feature.target_label)
+        labels_of[new_node] = feature.target_label
+        pattern.add_edge(anchor, new_node, feature.edge_label)
+        node_count += 1
+
+    # Add extra edges between existing nodes until the edge budget for the
+    # positive part is exhausted (leave room for the negated edges).  Real
+    # workloads are overwhelmingly star-like (the paper cites [18]), so the
+    # extra edges are biased towards leaving the focus.
+    positive_budget = max(num_edges - num_negated, node_count - 1)
+    attempts = 0
+    existing = list(labels_of)
+    while pattern.num_edges < positive_budget and attempts < 50 * num_edges:
+        attempts += 1
+        source = focus if rng.random() < 0.7 else rng.choice(existing)
+        feature_options = by_source.get(labels_of[source])
+        if not feature_options:
+            continue
+        feature = rng.choice(feature_options)
+        targets = [n for n in existing if labels_of[n] == feature.target_label and n != source]
+        if not targets:
+            continue
+        target = rng.choice(targets)
+        if pattern.graph.has_edge(source, target, feature.edge_label):
+            continue
+        pattern.add_edge(source, target, feature.edge_label)
+
+    # Attach ratio quantifiers to edges leaving the focus (star-like usage),
+    # respecting the simple-path restriction of at most 2 non-existential
+    # quantifiers per path.
+    if num_quantified is None:
+        num_quantified = max(1, pattern.num_edges // 3)
+    quantified = 0
+    for edge in pattern.out_edges(focus):
+        if quantified >= num_quantified:
+            break
+        pattern.set_quantifier(
+            edge.source,
+            edge.target,
+            edge.label,
+            CountingQuantifier.ratio_at_least(ratio_percent),
+        )
+        quantified += 1
+
+    # Append negated edges: each goes from an existing node to a fresh node
+    # labeled by a frequent target label, which keeps the pattern valid (no
+    # double negation on any simple path).  Nodes with no outgoing frequent
+    # feature (pure "constants") cannot anchor a negated edge.
+    for index in range(num_negated):
+        anchor_choices = [n for n in labels_of if by_source.get(labels_of[n])]
+        if not anchor_choices:
+            break
+        anchor = rng.choice(anchor_choices)
+        feature = rng.choice(by_source[labels_of[anchor]])
+        new_node = f"neg{index}"
+        pattern.add_node(new_node, feature.target_label)
+        pattern.add_edge(anchor, new_node, feature.edge_label, CountingQuantifier.negation())
+
+    pattern.validate()
+    return pattern
+
+
+def generate_workload(
+    graph: PropertyGraph,
+    count: int,
+    num_nodes: int,
+    num_edges: int,
+    ratio_percent: float = 30.0,
+    num_negated: int = 1,
+    seed: SeedLike = None,
+) -> List[QuantifiedGraphPattern]:
+    """Generate *count* patterns with a shared seed mine (one mining pass)."""
+    rng = ensure_rng(seed)
+    seeds = mine_frequent_edges(graph, top_k=5)
+    return [
+        generate_pattern(
+            graph,
+            num_nodes=num_nodes,
+            num_edges=num_edges,
+            ratio_percent=ratio_percent,
+            num_negated=num_negated,
+            seeds=seeds,
+            seed=rng,
+            name=f"Q{i}",
+        )
+        for i in range(count)
+    ]

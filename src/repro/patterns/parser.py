@@ -1,0 +1,121 @@
+"""A small textual DSL for quantified graph patterns.
+
+The DSL keeps examples, tests and interactive exploration readable.  A pattern
+is a block of lines:
+
+.. code-block:: text
+
+    # Q2 of the paper: everyone xo follows recommends the phone
+    focus xo : person
+    node  z  : person
+    node  redmi : product
+    edge  xo -follow-> z        [= 100%]
+    edge  z  -recom->  redmi
+
+Grammar (one declaration per line, ``#`` starts a comment):
+
+* ``focus <id> : <label>`` — the query focus (exactly one per pattern),
+* ``node <id> : <label>``  — an ordinary pattern node,
+* ``edge <src> -<label>-> <dst> [<quantifier>]`` — a pattern edge; the
+  bracketed quantifier is optional and one of ``>= p``, ``> p``, ``= p``,
+  ``>= p%``, ``= p%``, ``= 0`` (negation), ``forall`` (alias of ``= 100%``).
+
+:func:`parse_pattern` returns a validated :class:`QuantifiedGraphPattern`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.patterns.qgp import QuantifiedGraphPattern
+from repro.patterns.quantifier import CountingQuantifier
+from repro.utils.errors import ParseError
+
+__all__ = ["parse_pattern", "parse_quantifier", "pattern_to_text"]
+
+_NODE_RE = re.compile(r"^(focus|node)\s+(\S+)\s*:\s*(\S+)$")
+_EDGE_RE = re.compile(r"^edge\s+(\S+)\s*-(\S+?)->\s*(\S+)(?:\s*\[(.+)\])?$")
+_QUANT_RE = re.compile(r"^(>=|=|>)\s*([0-9]+(?:\.[0-9]+)?)\s*(%?)$")
+
+
+def parse_quantifier(text: str) -> CountingQuantifier:
+    """Parse a quantifier expression such as ``">= 80%"`` or ``"= 0"``.
+
+    ``"forall"`` is accepted as an alias for ``"= 100%"`` and ``"exists"`` for
+    the existential default ``">= 1"``.
+    """
+    stripped = text.strip().lower()
+    if stripped == "forall":
+        return CountingQuantifier.universal()
+    if stripped == "exists":
+        return CountingQuantifier.existential()
+    match = _QUANT_RE.match(text.strip())
+    if not match:
+        raise ParseError(f"cannot parse quantifier {text!r}")
+    op, value, percent = match.groups()
+    if percent:
+        return CountingQuantifier(op, float(value), True)
+    number = float(value)
+    if not number.is_integer():
+        raise ParseError(f"numeric quantifier threshold must be an integer: {text!r}")
+    return CountingQuantifier(op, int(number), False)
+
+
+def parse_pattern(text: str, name: str = "Q", validate: bool = True) -> QuantifiedGraphPattern:
+    """Parse the DSL in *text* into a :class:`QuantifiedGraphPattern`."""
+    pattern = QuantifiedGraphPattern(name=name)
+    focus: Optional[str] = None
+    pending_edges = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        node_match = _NODE_RE.match(line)
+        if node_match:
+            kind, node, label = node_match.groups()
+            pattern.add_node(node, label)
+            if kind == "focus":
+                if focus is not None:
+                    raise ParseError(f"line {line_number}: a pattern can have only one focus")
+                focus = node
+            continue
+        edge_match = _EDGE_RE.match(line)
+        if edge_match:
+            source, label, target, quantifier_text = edge_match.groups()
+            quantifier = (
+                parse_quantifier(quantifier_text)
+                if quantifier_text is not None
+                else CountingQuantifier.existential()
+            )
+            pending_edges.append((line_number, source, target, label, quantifier))
+            continue
+        raise ParseError(f"line {line_number}: cannot parse {raw.strip()!r}")
+
+    if focus is None:
+        raise ParseError("the pattern declares no focus")
+    pattern.set_focus(focus)
+    for line_number, source, target, label, quantifier in pending_edges:
+        if not pattern.graph.has_node(source):
+            raise ParseError(f"line {line_number}: undeclared node {source!r}")
+        if not pattern.graph.has_node(target):
+            raise ParseError(f"line {line_number}: undeclared node {target!r}")
+        pattern.add_edge(source, target, label, quantifier)
+    if validate:
+        pattern.validate()
+    return pattern
+
+
+def pattern_to_text(pattern: QuantifiedGraphPattern) -> str:
+    """Render *pattern* back into the DSL (inverse of :func:`parse_pattern`)."""
+    lines = []
+    focus = pattern.focus
+    lines.append(f"focus {focus} : {pattern.node_label(focus)}")
+    for node in sorted(pattern.nodes(), key=str):
+        if node == focus:
+            continue
+        lines.append(f"node {node} : {pattern.node_label(node)}")
+    for edge in pattern.edges():
+        suffix = "" if edge.is_existential else f" [{edge.quantifier}]"
+        lines.append(f"edge {edge.source} -{edge.label}-> {edge.target}{suffix}")
+    return "\n".join(lines)

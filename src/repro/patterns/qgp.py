@@ -1,0 +1,424 @@
+"""Quantified graph patterns (QGPs).
+
+A QGP ``Q(xo) = (VQ, EQ, LQ, f)`` (paper Section 2.2) is a conventional graph
+pattern — pattern nodes with labels, directed labeled pattern edges, and a
+designated *query focus* ``xo`` — together with a function ``f`` that assigns a
+:class:`~repro.patterns.quantifier.CountingQuantifier` to every edge.  Edges
+without an explicit quantifier carry the existential default ``σ(e) ≥ 1``, so a
+conventional pattern is just the special case where every edge is existential.
+
+The class also implements the derived constructions the algorithms need:
+
+* ``stratified()`` — ``Qπ``, the pattern with all quantifiers stripped
+  (replaced by the existential default);
+* ``pi()`` — ``Π(Q)``, the positive sub-pattern induced by the nodes connected
+  to the focus through non-negated edges;
+* ``positify(edge)`` — ``Q⁺ᵉ``, the pattern with one negated edge turned into
+  an existential edge;
+* ``radius()`` — the longest shortest (undirected) distance from the focus to
+  any pattern node, which drives the choice of *d* for d-hop partitions;
+* ``validate()`` — the structural restriction of the paper's *Remark*: at most
+  ``l`` non-existential quantifiers and at most one negated edge on any simple
+  path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.graph.digraph import PropertyGraph
+from repro.graph.traversal import bfs_levels
+from repro.patterns.quantifier import CountingQuantifier
+from repro.utils.errors import PatternError, PatternValidationError
+
+__all__ = ["PatternEdge", "QuantifiedGraphPattern", "EdgeKey"]
+
+NodeId = Hashable
+EdgeKey = Tuple[NodeId, NodeId, str]
+
+
+@dataclass(frozen=True)
+class PatternEdge:
+    """One pattern edge together with its counting quantifier."""
+
+    source: NodeId
+    target: NodeId
+    label: str
+    quantifier: CountingQuantifier
+
+    @property
+    def key(self) -> EdgeKey:
+        return (self.source, self.target, self.label)
+
+    @property
+    def is_negated(self) -> bool:
+        return self.quantifier.is_negation
+
+    @property
+    def is_existential(self) -> bool:
+        return self.quantifier.is_existential
+
+    def __str__(self) -> str:
+        return f"{self.source} -[{self.label}]-> {self.target} [{self.quantifier}]"
+
+
+class QuantifiedGraphPattern:
+    """A quantified graph pattern with a designated query focus.
+
+    Parameters
+    ----------
+    focus:
+        The query focus ``xo``.  It can be declared up-front or set later via
+        :meth:`set_focus` (the builder does the latter), but it must be set and
+        present before the pattern is used for matching.
+    name:
+        Optional name used in reports and ``repr``.
+    """
+
+    def __init__(self, focus: Optional[NodeId] = None, name: str = "Q") -> None:
+        self.name = name
+        self.graph = PropertyGraph(name=f"{name}-pattern")
+        self._focus: Optional[NodeId] = focus
+        self._quantifiers: Dict[EdgeKey, CountingQuantifier] = {}
+
+    # -------------------------------------------------------------- structure
+
+    @property
+    def focus(self) -> NodeId:
+        """The query focus ``xo``; raises if it was never set."""
+        if self._focus is None:
+            raise PatternError("the pattern has no query focus")
+        return self._focus
+
+    def has_focus(self) -> bool:
+        return self._focus is not None
+
+    def set_focus(self, node: NodeId) -> None:
+        """Designate *node* (which must already be a pattern node) as the focus."""
+        if not self.graph.has_node(node):
+            raise PatternError(f"focus {node!r} is not a pattern node")
+        self._focus = node
+
+    def add_node(self, node: NodeId, label: str) -> NodeId:
+        """Add a pattern node carrying *label*."""
+        return self.graph.add_node(node, label)
+
+    def add_edge(
+        self,
+        source: NodeId,
+        target: NodeId,
+        label: str,
+        quantifier: Optional[CountingQuantifier] = None,
+    ) -> PatternEdge:
+        """Add a pattern edge; *quantifier* defaults to the existential ``≥ 1``."""
+        if quantifier is None:
+            quantifier = CountingQuantifier.existential()
+        if not self.graph.has_node(source):
+            raise PatternError(f"source {source!r} is not a pattern node")
+        if not self.graph.has_node(target):
+            raise PatternError(f"target {target!r} is not a pattern node")
+        self.graph.add_edge(source, target, label)
+        key = (source, target, label)
+        self._quantifiers[key] = quantifier
+        return PatternEdge(source, target, label, quantifier)
+
+    def set_quantifier(self, source: NodeId, target: NodeId, label: str,
+                       quantifier: CountingQuantifier) -> None:
+        """Replace the quantifier of an existing edge."""
+        key = (source, target, label)
+        if key not in self._quantifiers:
+            raise PatternError(f"edge {key!r} is not in the pattern")
+        self._quantifiers[key] = quantifier
+
+    def quantifier(self, source: NodeId, target: NodeId, label: str) -> CountingQuantifier:
+        """The quantifier of the edge ``source -[label]-> target``."""
+        try:
+            return self._quantifiers[(source, target, label)]
+        except KeyError:
+            raise PatternError(f"edge ({source!r}, {target!r}, {label!r}) is not in the pattern") from None
+
+    def nodes(self) -> Iterator[NodeId]:
+        return self.graph.nodes()
+
+    def node_label(self, node: NodeId) -> str:
+        return self.graph.node_label(node)
+
+    def edges(self) -> List[PatternEdge]:
+        """All pattern edges (deterministically ordered) with their quantifiers."""
+        result = [
+            PatternEdge(source, target, label, quantifier)
+            for (source, target, label), quantifier in self._quantifiers.items()
+        ]
+        result.sort(key=lambda e: (str(e.source), str(e.target), e.label))
+        return result
+
+    def out_edges(self, node: NodeId) -> List[PatternEdge]:
+        """Pattern edges whose source is *node*."""
+        return [edge for edge in self.edges() if edge.source == node]
+
+    def in_edges(self, node: NodeId) -> List[PatternEdge]:
+        """Pattern edges whose target is *node*."""
+        return [edge for edge in self.edges() if edge.target == node]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._quantifiers)
+
+    # ----------------------------------------------------------- classification
+
+    def negated_edges(self) -> List[PatternEdge]:
+        """``E⁻Q``: the negated edges of the pattern."""
+        return [edge for edge in self.edges() if edge.is_negated]
+
+    def non_existential_edges(self) -> List[PatternEdge]:
+        """Edges whose quantifier is not the existential default."""
+        return [edge for edge in self.edges() if not edge.is_existential]
+
+    @property
+    def is_positive(self) -> bool:
+        """True when the pattern has no negated edges (paper Section 2.2)."""
+        return not any(edge.is_negated for edge in self.edges())
+
+    @property
+    def is_conventional(self) -> bool:
+        """True when every edge carries the existential default quantifier."""
+        return all(edge.is_existential for edge in self.edges())
+
+    def size_signature(self) -> Tuple[int, int, float, int]:
+        """``(|VQ|, |EQ|, pa, |E⁻Q|)`` — the size descriptor used in Section 7.
+
+        ``pa`` is the average threshold over non-existential positive
+        quantifiers (percentages for ratios, counts for numerics); 0.0 when
+        there are none.
+        """
+        thresholds = [
+            float(edge.quantifier.value)
+            for edge in self.edges()
+            if not edge.is_existential and not edge.is_negated
+        ]
+        average = sum(thresholds) / len(thresholds) if thresholds else 0.0
+        return (self.num_nodes, self.num_edges, average, len(self.negated_edges()))
+
+    # ------------------------------------------------------- derived patterns
+
+    def stratified(self) -> "QuantifiedGraphPattern":
+        """``Qπ``: the same topology with every quantifier replaced by ``≥ 1``."""
+        stripped = QuantifiedGraphPattern(name=f"{self.name}#pi")
+        for node in self.nodes():
+            stripped.add_node(node, self.node_label(node))
+        for edge in self.edges():
+            stripped.add_edge(edge.source, edge.target, edge.label,
+                              CountingQuantifier.existential())
+        if self._focus is not None:
+            stripped.set_focus(self._focus)
+        return stripped
+
+    def _positive_connected_nodes(self) -> Set[NodeId]:
+        """Nodes on a directed non-negated path *from or to* the focus.
+
+        This mirrors the paper's definition of Π(Q): in Fig. 3, Π(Q3) keeps
+        only ``xo → z1 → Redmi 2A`` and drops ``z2`` entirely even though
+        ``z2`` also points at the phone — ``z2`` is reachable from the focus
+        only through the negated edge.
+        """
+        positive = PropertyGraph("positive-skeleton")
+        for node in self.nodes():
+            positive.add_node(node, self.node_label(node))
+        reversed_skeleton = PropertyGraph("positive-skeleton-reversed")
+        for node in self.nodes():
+            reversed_skeleton.add_node(node, self.node_label(node))
+        for edge in self.edges():
+            if not edge.is_negated:
+                positive.add_edge(edge.source, edge.target, edge.label)
+                reversed_skeleton.add_edge(edge.target, edge.source, edge.label)
+        forward = set(bfs_levels(positive, self.focus, directed=True))
+        backward = set(bfs_levels(reversed_skeleton, self.focus, directed=True))
+        return forward | backward
+
+    def pi(self) -> "QuantifiedGraphPattern":
+        """``Π(Q)``: the positive sub-pattern around the focus.
+
+        Nodes connected to the focus only through negated edges are dropped,
+        and so are all negated edges, so the result is always a positive QGP
+        containing the focus.  A positive pattern is returned unchanged (up to
+        a copy): Π(Q) = Q when there is nothing to strip.
+        """
+        if self.is_positive:
+            copy = self.copy(name=f"Pi({self.name})")
+            return copy
+        keep = self._positive_connected_nodes()
+        result = QuantifiedGraphPattern(name=f"Pi({self.name})")
+        for node in keep:
+            result.add_node(node, self.node_label(node))
+        for edge in self.edges():
+            if edge.is_negated:
+                continue
+            if edge.source in keep and edge.target in keep:
+                result.add_edge(edge.source, edge.target, edge.label, edge.quantifier)
+        result.set_focus(self.focus)
+        return result
+
+    def positify(self, edge: PatternEdge) -> "QuantifiedGraphPattern":
+        """``Q⁺ᵉ``: the pattern with negated edge *edge* turned into ``≥ 1``."""
+        if not edge.is_negated:
+            raise PatternError(f"edge {edge} is not negated; cannot positify")
+        key = edge.key
+        if key not in self._quantifiers:
+            raise PatternError(f"edge {edge} is not in the pattern")
+        result = self.copy(name=f"{self.name}+{edge.label}")
+        result.set_quantifier(edge.source, edge.target, edge.label,
+                              edge.quantifier.positified())
+        return result
+
+    def positified_pi_patterns(self) -> List[Tuple[PatternEdge, "QuantifiedGraphPattern"]]:
+        """``[(e, Π(Q⁺ᵉ)) for e in E⁻Q]`` — the patterns subtracted in the semantics."""
+        return [(edge, self.positify(edge).pi()) for edge in self.negated_edges()]
+
+    # ----------------------------------------------------------------- metrics
+
+    def radius(self) -> int:
+        """Longest shortest undirected distance from the focus to any pattern node."""
+        distances = bfs_levels(self.graph, self.focus, directed=False)
+        unreached = self.graph.num_nodes - len(distances)
+        if unreached:
+            raise PatternError(
+                "pattern is not connected: some nodes are unreachable from the focus"
+            )
+        return max(distances.values()) if distances else 0
+
+    def is_connected(self) -> bool:
+        """Whether every pattern node is (undirectedly) reachable from the focus."""
+        if self.graph.num_nodes == 0:
+            return False
+        return len(bfs_levels(self.graph, self.focus, directed=False)) == self.graph.num_nodes
+
+    # -------------------------------------------------------------- validation
+
+    def _simple_paths_from(self, start: NodeId) -> Iterator[List[EdgeKey]]:
+        """Yield every maximal *directed* simple path (as a list of edge keys).
+
+        The paper's structural restriction counts quantifiers along simple
+        paths of the pattern; its own example ``Q5`` carries two negated edges
+        on different outgoing branches, so the paths are followed along edge
+        direction (a path never revisits a node).
+        """
+        adjacency: Dict[NodeId, List[Tuple[NodeId, EdgeKey]]] = {n: [] for n in self.nodes()}
+        for edge in self.edges():
+            adjacency[edge.source].append((edge.target, edge.key))
+
+        def extend(node: NodeId, visited: Set[NodeId], path: List[EdgeKey]) -> Iterator[List[EdgeKey]]:
+            extended = False
+            for neighbor, key in adjacency[node]:
+                if neighbor in visited or key in path:
+                    continue
+                extended = True
+                yield from extend(neighbor, visited | {neighbor}, path + [key])
+            if not extended and path:
+                yield path
+
+        yield from extend(start, {start}, [])
+
+    def validate(self, max_quantified_per_path: int = 2) -> None:
+        """Enforce the structural restrictions of the paper's Remark (Section 2.2).
+
+        * the pattern must be connected and contain the focus;
+        * on every simple path there are at most ``max_quantified_per_path``
+          (the paper's constant ``l``, empirically ≤ 2) non-existential
+          quantifiers;
+        * on every simple path there is at most one negated edge (no "double
+          negation").
+
+        Raises :class:`PatternValidationError` when violated.
+        """
+        if self.graph.num_nodes == 0:
+            raise PatternValidationError("the pattern has no nodes")
+        if self._focus is None:
+            raise PatternValidationError("the pattern has no query focus")
+        if not self.is_connected():
+            raise PatternValidationError("the pattern must be connected")
+        quantifier_by_key = {edge.key: edge.quantifier for edge in self.edges()}
+        for start in self.nodes():
+            for path in self._simple_paths_from(start):
+                non_existential = 0
+                negated = 0
+                for key in path:
+                    quantifier = quantifier_by_key[key]
+                    if not quantifier.is_existential:
+                        non_existential += 1
+                    if quantifier.is_negation:
+                        negated += 1
+                if non_existential > max_quantified_per_path:
+                    raise PatternValidationError(
+                        f"a simple path carries {non_existential} non-existential "
+                        f"quantifiers (limit {max_quantified_per_path})"
+                    )
+                if negated > 1:
+                    raise PatternValidationError(
+                        "a simple path carries more than one negated edge "
+                        "(double negation is excluded)"
+                    )
+
+    # ----------------------------------------------------------------- copying
+
+    def copy(self, name: Optional[str] = None) -> "QuantifiedGraphPattern":
+        clone = QuantifiedGraphPattern(name=name or self.name)
+        for node in self.nodes():
+            clone.add_node(node, self.node_label(node))
+        for edge in self.edges():
+            clone.add_edge(edge.source, edge.target, edge.label, edge.quantifier)
+        if self._focus is not None:
+            clone.set_focus(self._focus)
+        return clone
+
+    def relabel_nodes(self, mapping: Dict[NodeId, NodeId]) -> "QuantifiedGraphPattern":
+        """A copy with node ids renamed according to *mapping* (missing ids kept)."""
+        clone = QuantifiedGraphPattern(name=self.name)
+        for node in self.nodes():
+            clone.add_node(mapping.get(node, node), self.node_label(node))
+        for edge in self.edges():
+            clone.add_edge(
+                mapping.get(edge.source, edge.source),
+                mapping.get(edge.target, edge.target),
+                edge.label,
+                edge.quantifier,
+            )
+        if self._focus is not None:
+            clone.set_focus(mapping.get(self._focus, self._focus))
+        return clone
+
+    # ---------------------------------------------------------------- protocol
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantifiedGraphPattern):
+            return NotImplemented
+        if self._focus != other._focus:
+            return False
+        if {n: self.node_label(n) for n in self.nodes()} != {
+            n: other.node_label(n) for n in other.nodes()
+        }:
+            return False
+        return self._quantifiers == other._quantifiers
+
+    def __hash__(self) -> int:  # patterns are mutable during construction
+        return id(self)
+
+    def __repr__(self) -> str:
+        signature = self.size_signature() if self.num_nodes else (0, 0, 0.0, 0)
+        return (
+            f"QuantifiedGraphPattern(name={self.name!r}, nodes={signature[0]}, "
+            f"edges={signature[1]}, negated={signature[3]})"
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable description (used by examples and reports)."""
+        lines = [f"QGP {self.name} (focus: {self._focus!r})"]
+        for node in sorted(self.nodes(), key=str):
+            lines.append(f"  node {node!r}: {self.node_label(node)}")
+        for edge in self.edges():
+            lines.append(f"  edge {edge}")
+        return "\n".join(lines)

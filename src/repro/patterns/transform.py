@@ -1,0 +1,211 @@
+"""Complexity reductions from the paper's appendix (Lemmas 3 and 4).
+
+These constructions are not used on the hot path of QMatch — the engine
+converts ratio thresholds per candidate instead (Section 4.1) — but they are
+part of the paper's contribution: they are *why* positive quantified matching
+stays in NP.  Implementing them executable makes the upper-bound arguments
+testable: the test suite checks on small instances that the transformed
+problem has exactly the same answers as the original.
+
+* :func:`expand_numeric_to_conventional` — Lemma 3: a positive QGP whose
+  quantifiers are numeric ``σ(e) ≥ p`` can be rewritten into a *conventional*
+  pattern by cloning, for every such edge ``(u, u')``, the sub-pattern hanging
+  below ``u'`` ``p`` times.  Because isomorphisms are injective, the ``p``
+  clones must map to ``p`` distinct children, which is precisely the counting
+  condition.
+* :func:`ratio_to_numeric` — Lemma 4: ratio quantifiers can be eliminated by
+  padding the *graph* with dummy children so that the ratio threshold becomes
+  a fixed numeric threshold.  For every node ``v`` with ``g`` children via the
+  quantified edge label we add ``(d - g)`` dummy children, of which a
+  ``p%`` share is made to *match* (each dummy match carries a fresh copy of
+  the pattern sub-tree below ``u'``) and the rest is made non-matching; the
+  quantifier ``σ(e) ≥ p%`` then becomes ``σ(e) ≥ ⌈p% · d⌉``.
+
+Both constructions are defined for *tree-shaped* sub-patterns below the
+quantified edge (the overwhelmingly common star-like case; the paper cites
+[18] that 99% of real queries are star-like).  They raise
+:class:`~repro.utils.errors.PatternError` otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.graph.digraph import PropertyGraph
+from repro.patterns.qgp import PatternEdge, QuantifiedGraphPattern
+from repro.patterns.quantifier import CountingQuantifier
+from repro.utils.errors import PatternError
+
+__all__ = ["expand_numeric_to_conventional", "ratio_to_numeric"]
+
+NodeId = Hashable
+
+_DUMMY_LABEL = "__dummy__"
+
+
+def _subtree_nodes(pattern: QuantifiedGraphPattern, root: NodeId) -> List[NodeId]:
+    """Nodes reachable from *root* following pattern edges forward (root included).
+
+    Raises :class:`PatternError` if the reachable region is not a tree (a node
+    reachable by two distinct paths), since the cloning constructions below
+    assume tree shape.
+    """
+    order: List[NodeId] = [root]
+    seen: Set[NodeId] = {root}
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        for edge in pattern.out_edges(node):
+            if edge.target in seen:
+                raise PatternError(
+                    "the sub-pattern below the quantified edge must be a tree"
+                )
+            seen.add(edge.target)
+            order.append(edge.target)
+            frontier.append(edge.target)
+    return order
+
+
+def expand_numeric_to_conventional(pattern: QuantifiedGraphPattern) -> QuantifiedGraphPattern:
+    """Lemma 3 construction: eliminate ``σ(e) ≥ p`` quantifiers by cloning.
+
+    For every edge ``(u, u')`` with ``σ(e) ≥ p`` the pattern receives ``p - 1``
+    additional copies of ``u'`` as children of ``u``; every copy carries the
+    same outgoing edges as ``u'`` (pointing at the *original* downstream
+    pattern nodes, so shared constants such as "Redmi 2A" stay shared).
+    Because isomorphisms are injective, the ``p`` siblings must map to ``p``
+    distinct children — the counting condition.
+
+    Only positive patterns with ``≥``-numeric quantifiers are supported (the
+    lemma's setting), and the edges *below* a quantified edge must be
+    existential (nested counting would need nested cloning).  The result is a
+    conventional pattern ``Qe`` with ``Q(xo, G) = Qe(xo, G)``, an equality the
+    test suite checks against the reference engine.
+    """
+    for edge in pattern.edges():
+        quantifier = edge.quantifier
+        if quantifier.is_negation or quantifier.is_ratio:
+            raise PatternError(
+                "expand_numeric_to_conventional handles positive numeric quantifiers only"
+            )
+        if quantifier.op != ">=":
+            raise PatternError("only '>=' numeric quantifiers can be expanded")
+        if quantifier.value > 1:
+            for below in _subtree_nodes(pattern, edge.target)[1:]:
+                for nested in pattern.out_edges(below):
+                    if not nested.quantifier.is_existential:
+                        raise PatternError(
+                            "nested non-existential quantifiers below a quantified "
+                            "edge are not supported by the expansion"
+                        )
+
+    counter = itertools.count()
+
+    def clone_name(original: NodeId) -> NodeId:
+        return f"{original}__copy{next(counter)}"
+
+    expanded = QuantifiedGraphPattern(name=f"{pattern.name}#expanded")
+    for node in pattern.nodes():
+        expanded.add_node(node, pattern.node_label(node))
+    expanded.set_focus(pattern.focus)
+
+    def emit_copy(edge: PatternEdge) -> None:
+        """Add one extra copy of *edge.target* as a child of *edge.source*."""
+        clone = clone_name(edge.target)
+        expanded.add_node(clone, pattern.node_label(edge.target))
+        expanded.add_edge(edge.source, clone, edge.label)
+        for child_edge in pattern.out_edges(edge.target):
+            expanded.add_edge(clone, child_edge.target, child_edge.label)
+
+    for edge in pattern.edges():
+        threshold = int(edge.quantifier.value)
+        # The first copy is the original edge (kept on original node ids);
+        # the remaining threshold - 1 copies duplicate the child node.
+        expanded.add_edge(edge.source, edge.target, edge.label)
+        for _ in range(threshold - 1):
+            emit_copy(edge)
+    return expanded
+
+
+def ratio_to_numeric(
+    pattern: QuantifiedGraphPattern, graph: PropertyGraph
+) -> Tuple[QuantifiedGraphPattern, PropertyGraph]:
+    """Lemma 4 construction: eliminate ratio quantifiers by padding the graph.
+
+    Returns ``(Qd, Gd)`` such that ``Q(xo, G) = Qd(xo, Gd)``.  Supported for
+    positive patterns whose ratio quantifiers use ``≥`` and whose sub-pattern
+    below the quantified edge is a tree.  Numeric quantifiers are passed
+    through unchanged.
+    """
+    for edge in pattern.edges():
+        if edge.quantifier.is_negation:
+            raise PatternError("ratio_to_numeric expects a positive pattern")
+        if edge.quantifier.is_ratio and edge.quantifier.op not in (">=",):
+            raise PatternError("only '>=' ratio quantifiers are supported")
+
+    ratio_edges = [edge for edge in pattern.edges() if edge.quantifier.is_ratio]
+    padded = graph.copy(name=f"{graph.name}#padded")
+    transformed = pattern.copy(name=f"{pattern.name}#numeric")
+    if not ratio_edges:
+        return transformed, padded
+
+    fresh = itertools.count()
+
+    def add_dummy_node(label: str) -> NodeId:
+        node = f"__pad{next(fresh)}"
+        padded.add_node(node, label)
+        return node
+
+    for edge in ratio_edges:
+        percent = float(edge.quantifier.value) / 100.0
+        source_label = pattern.node_label(edge.source)
+        target_label = pattern.node_label(edge.target)
+        subtree = _subtree_nodes(pattern, edge.target)
+        # d must be at least the largest relevant out-degree; choosing the max
+        # keeps the padding small while making every node's total equal to d.
+        candidates = list(padded.nodes_with_label(source_label))
+        degrees = [
+            len([c for c in padded.successors(v, edge.label)])
+            for v in candidates
+        ]
+        d = max(degrees, default=0)
+        if d == 0:
+            continue
+        threshold = int(math.ceil(percent * d - 1e-9))
+        for v in candidates:
+            g = len(padded.successors(v, edge.label))
+            if g == 0:
+                # A node with no children via this edge label cannot match the
+                # stratified pattern either, in the original or in the padded
+                # graph; padding it would wrongly make it a match.
+                continue
+            missing = d - g
+            if missing <= 0:
+                continue
+            matching = int(round(percent * missing))
+            non_matching = missing - matching
+            for _ in range(non_matching):
+                dummy = add_dummy_node(_DUMMY_LABEL)
+                padded.add_edge(v, dummy, edge.label)
+            for _ in range(matching):
+                # A matching dummy child is a fresh copy of the pattern
+                # sub-tree below the target, so it completes an isomorphic
+                # image of that sub-tree.
+                mapping: Dict[NodeId, NodeId] = {}
+                for original in subtree:
+                    mapping[original] = add_dummy_node(pattern.node_label(original))
+                padded.add_edge(v, mapping[edge.target], edge.label)
+                for original in subtree:
+                    for child_edge in pattern.out_edges(original):
+                        padded.add_edge(
+                            mapping[original], mapping[child_edge.target], child_edge.label
+                        )
+        transformed.set_quantifier(
+            edge.source,
+            edge.target,
+            edge.label,
+            CountingQuantifier.at_least(max(threshold, 1)),
+        )
+    return transformed, padded

@@ -1,0 +1,25 @@
+"""Quantified graph association rules: model, GPAR baseline, mining."""
+
+from repro.rules.gpar import GPAR, is_gpar
+from repro.rules.mining import (
+    DiscoveredRule,
+    MiningConfig,
+    extend_to_qgar,
+    mine_gpars,
+    mine_qgars,
+)
+from repro.rules.qgar import QGAR, RuleEvaluation, dgar_match, gar_match
+
+__all__ = [
+    "QGAR",
+    "RuleEvaluation",
+    "gar_match",
+    "dgar_match",
+    "GPAR",
+    "is_gpar",
+    "DiscoveredRule",
+    "MiningConfig",
+    "mine_gpars",
+    "extend_to_qgar",
+    "mine_qgars",
+]

@@ -1,0 +1,92 @@
+"""GPARs: graph-pattern association rules without quantifiers (the baseline of [16]).
+
+The paper positions QGARs against the GPARs of Fan et al. (PVLDB 2015): a GPAR
+``Q1(xo) ⇒ q(xo, y)`` restricts the consequent to a *single edge* and allows
+no counting quantifiers.  GPARs are both the mining seed of the paper's Exp-3
+procedure (top GPARs are mined first and then *extended* with quantifiers and
+richer consequents) and the natural expressivity baseline for the examples.
+
+This module represents a GPAR as a thin wrapper producing the equivalent
+:class:`~repro.rules.qgar.QGAR`, plus helpers to check the GPAR restrictions.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.patterns.qgp import QuantifiedGraphPattern
+from repro.patterns.quantifier import CountingQuantifier
+from repro.rules.qgar import QGAR
+from repro.utils.errors import RuleError
+
+__all__ = ["GPAR", "is_gpar"]
+
+NodeId = Hashable
+
+
+def is_gpar(rule: QGAR) -> bool:
+    """Whether *rule* satisfies the GPAR restrictions of [16].
+
+    The antecedent must be a conventional pattern (no quantifiers beyond the
+    existential default) and the consequent must be a single existential edge.
+    """
+    if not rule.antecedent.is_conventional:
+        return False
+    consequent_edges = rule.consequent.edges()
+    if len(consequent_edges) != 1:
+        return False
+    return consequent_edges[0].is_existential
+
+
+class GPAR:
+    """A graph-pattern association rule with a single-edge consequent.
+
+    Parameters
+    ----------
+    antecedent:
+        A conventional (quantifier-free) pattern with focus ``xo``.
+    consequent_label:
+        The edge label of the predicted edge ``q(xo, y)``.
+    consequent_target_label:
+        The node label of the predicted edge's target ``y``.
+    """
+
+    def __init__(
+        self,
+        antecedent: QuantifiedGraphPattern,
+        consequent_label: str,
+        consequent_target_label: str,
+        consequent_target: NodeId = "_y",
+        name: str = "GPAR",
+    ) -> None:
+        if not antecedent.is_conventional:
+            raise RuleError("a GPAR antecedent must be a conventional pattern")
+        self.name = name
+        self.antecedent = antecedent
+        self.consequent_label = consequent_label
+        self.consequent_target_label = consequent_target_label
+        self.consequent_target = consequent_target
+
+    def consequent_pattern(self) -> QuantifiedGraphPattern:
+        """The single-edge consequent as a QGP sharing the antecedent's focus."""
+        focus = self.antecedent.focus
+        consequent = QuantifiedGraphPattern(name=f"{self.name}-consequent")
+        consequent.add_node(focus, self.antecedent.node_label(focus))
+        target = self.consequent_target
+        if target == focus:
+            raise RuleError("the consequent target must differ from the focus")
+        consequent.add_node(target, self.consequent_target_label)
+        consequent.add_edge(focus, target, self.consequent_label,
+                            CountingQuantifier.existential())
+        consequent.set_focus(focus)
+        return consequent
+
+    def as_qgar(self) -> QGAR:
+        """The equivalent QGAR (GPARs are the quantifier-free special case)."""
+        return QGAR(self.antecedent, self.consequent_pattern(), name=self.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"GPAR(name={self.name!r}, consequent="
+            f"{self.consequent_label}->{self.consequent_target_label})"
+        )

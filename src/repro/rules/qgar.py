@@ -1,0 +1,219 @@
+"""Quantified graph association rules (QGARs) — paper Section 6.
+
+A QGAR ``R(xo): Q1(xo) ⇒ Q2(xo)`` pairs two QGPs sharing the query focus: the
+*antecedent* ``Q1`` describes a behaviour pattern, the *consequent* ``Q2`` the
+predicted behaviour (e.g. "will buy the album").  The rule's matches are
+
+``R(xo, G) = Q1(xo, G) ∩ Q2(xo, G)``,
+
+its **support** is ``|R(xo, G)|`` (anti-monotonic under extensions, Lemma 10),
+and its **confidence** follows the local closed-world assumption (LCWA):
+
+``conf(R, G) = |R(xo, G)| / |Q1(xo, G) ∩ Xo|``,
+
+where ``Xo`` keeps only the "true negative" candidates — nodes that carry, for
+every edge ``(xo, u)`` of the consequent, at least one outgoing edge of that
+type in ``G`` (so a user with no ``buy`` edges at all is not counted as a
+negative example of "buys the album").
+
+The *quantified entity identification* (QEI) problem returns ``R(xo, G)``
+whenever ``conf(R, G) ≥ η``; :func:`gar_match` is the sequential algorithm of
+Corollary 11 and :func:`dgar_match` its fragment-parallel counterpart built on
+PQMatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Set
+
+from repro.graph.digraph import PropertyGraph
+from repro.matching.qmatch import QMatch
+from repro.parallel.coordinator import PQMatch
+from repro.patterns.qgp import QuantifiedGraphPattern
+from repro.utils.errors import RuleError
+
+__all__ = ["QGAR", "RuleEvaluation", "gar_match", "dgar_match"]
+
+NodeId = Hashable
+
+
+@dataclass
+class RuleEvaluation:
+    """The full outcome of evaluating one QGAR on one graph."""
+
+    matches: Set[NodeId] = field(default_factory=set)
+    antecedent_matches: Set[NodeId] = field(default_factory=set)
+    consequent_matches: Set[NodeId] = field(default_factory=set)
+    negative_candidates: Set[NodeId] = field(default_factory=set)
+    support: int = 0
+    confidence: float = 0.0
+
+    def identified_entities(self, eta: float) -> Set[NodeId]:
+        """``R(xo, η, G)``: the matches, provided the confidence reaches *eta*."""
+        if self.confidence >= eta:
+            return set(self.matches)
+        return set()
+
+
+class QGAR:
+    """A quantified graph association rule ``Q1(xo) ⇒ Q2(xo)``.
+
+    The constructor enforces the well-formedness conditions of the paper:
+    both patterns are connected, non-empty (at least one edge each), share the
+    focus node id (with the same label), and do not share any edge.
+    """
+
+    def __init__(
+        self,
+        antecedent: QuantifiedGraphPattern,
+        consequent: QuantifiedGraphPattern,
+        name: str = "R",
+    ) -> None:
+        self.name = name
+        self.antecedent = antecedent
+        self.consequent = consequent
+        self._validate()
+
+    # -------------------------------------------------------------- validity
+
+    def _validate(self) -> None:
+        if self.antecedent.num_edges == 0 or self.consequent.num_edges == 0:
+            raise RuleError("both the antecedent and the consequent need at least one edge")
+        if not self.antecedent.has_focus() or not self.consequent.has_focus():
+            raise RuleError("both patterns must declare the query focus")
+        if self.antecedent.focus != self.consequent.focus:
+            raise RuleError("antecedent and consequent must share the focus node id")
+        focus = self.antecedent.focus
+        if self.antecedent.node_label(focus) != self.consequent.node_label(focus):
+            raise RuleError("the focus must carry the same label in both patterns")
+        if not self.antecedent.is_connected() or not self.consequent.is_connected():
+            raise RuleError("antecedent and consequent must each be connected")
+        antecedent_edges = {edge.key for edge in self.antecedent.edges()}
+        consequent_edges = {edge.key for edge in self.consequent.edges()}
+        if antecedent_edges & consequent_edges:
+            raise RuleError("antecedent and consequent must not share edges")
+
+    # ----------------------------------------------------------- composition
+
+    @property
+    def focus(self) -> NodeId:
+        return self.antecedent.focus
+
+    def combined_pattern(self) -> QuantifiedGraphPattern:
+        """``Q1 ∪ Q2`` as a single QGP (used when treating R itself as a pattern).
+
+        Node labels must agree on shared node ids; the consequent's label wins
+        only if the antecedent did not define the node.
+        """
+        combined = QuantifiedGraphPattern(name=f"{self.name}-combined")
+        for pattern in (self.antecedent, self.consequent):
+            for node in pattern.nodes():
+                if combined.graph.has_node(node):
+                    if combined.node_label(node) != pattern.node_label(node):
+                        raise RuleError(
+                            f"node {node!r} carries different labels in Q1 and Q2"
+                        )
+                else:
+                    combined.add_node(node, pattern.node_label(node))
+        for pattern in (self.antecedent, self.consequent):
+            for edge in pattern.edges():
+                combined.add_edge(edge.source, edge.target, edge.label, edge.quantifier)
+        combined.set_focus(self.focus)
+        return combined
+
+    # ------------------------------------------------------------ evaluation
+
+    def negative_candidate_pool(self, graph: PropertyGraph) -> Set[NodeId]:
+        """``Xo``: candidates of the focus with every consequent edge *type* present.
+
+        Under LCWA a node only counts as a negative example if the graph knows
+        about the relevant relationship types for it at all.
+        """
+        focus_label = self.antecedent.node_label(self.focus)
+        required_labels = {
+            edge.label for edge in self.consequent.edges() if edge.source == self.focus
+        }
+        pool: Set[NodeId] = set()
+        for node in graph.nodes_with_label(focus_label):
+            if all(graph.out_degree(node, label) > 0 for label in required_labels):
+                pool.add(node)
+        return pool
+
+    def evaluate(
+        self,
+        graph: PropertyGraph,
+        engine: Optional[object] = None,
+    ) -> RuleEvaluation:
+        """Evaluate support and confidence of the rule on *graph*.
+
+        *engine* is any object with ``evaluate_answer(pattern, graph)`` — the
+        sequential QMatch by default; pass a :class:`PQMatch` instance for the
+        parallel variant.
+        """
+        engine = engine or QMatch()
+        antecedent_matches = set(engine.evaluate_answer(self.antecedent, graph))
+        consequent_matches = set(engine.evaluate_answer(self.consequent, graph))
+        matches = antecedent_matches & consequent_matches
+        negatives = self.negative_candidate_pool(graph)
+        denominator = antecedent_matches & negatives
+        confidence = (len(matches) / len(denominator)) if denominator else 0.0
+        return RuleEvaluation(
+            matches=matches,
+            antecedent_matches=antecedent_matches,
+            consequent_matches=consequent_matches,
+            negative_candidates=negatives,
+            support=len(matches),
+            confidence=confidence,
+        )
+
+    def identify(self, graph: PropertyGraph, eta: float, engine: Optional[object] = None) -> Set[NodeId]:
+        """``R(xo, η, G)`` — the QEI answer (Section 6)."""
+        return self.evaluate(graph, engine=engine).identified_entities(eta)
+
+    # ---------------------------------------------------------------- dunder
+
+    def __repr__(self) -> str:
+        return (
+            f"QGAR(name={self.name!r}, antecedent={self.antecedent.name!r}, "
+            f"consequent={self.consequent.name!r})"
+        )
+
+    def describe(self) -> str:
+        return "\n".join(
+            [
+                f"QGAR {self.name}: {self.antecedent.name}(xo) => {self.consequent.name}(xo)",
+                self.antecedent.describe(),
+                self.consequent.describe(),
+            ]
+        )
+
+
+def gar_match(rule: QGAR, graph: PropertyGraph, eta: float) -> Set[NodeId]:
+    """Sequential quantified entity identification (Corollary 11(1)).
+
+    Returns ``R(xo, η, G)``: the rule's matches when its confidence reaches
+    *eta*, and the empty set otherwise.
+    """
+    evaluation = rule.evaluate(graph, engine=QMatch())
+    return evaluation.identified_entities(eta)
+
+
+def dgar_match(
+    rule: QGAR,
+    graph: PropertyGraph,
+    eta: float,
+    num_workers: int = 4,
+    d: Optional[int] = None,
+    executor: str = "serial",
+) -> Set[NodeId]:
+    """Parallel quantified entity identification (Corollary 11(2)).
+
+    Both patterns are evaluated fragment-parallel over one d-hop preserving
+    partition whose radius covers the larger of the two pattern radii.
+    Returns ``R(xo, η, G)`` like :func:`gar_match`.
+    """
+    radius = max(rule.antecedent.radius(), rule.consequent.radius())
+    engine = PQMatch(num_workers=num_workers, d=d if d is not None else radius, executor=executor)
+    evaluation = rule.evaluate(graph, engine=engine)
+    return evaluation.identified_entities(eta)

@@ -1,0 +1,43 @@
+"""Shared utilities: errors, deterministic RNG, timing, counters, tables."""
+
+from repro.utils.errors import (
+    EdgeNotFoundError,
+    GraphError,
+    MatchingError,
+    NodeNotFoundError,
+    ParseError,
+    PartitionError,
+    PatternError,
+    PatternValidationError,
+    QuantifierError,
+    ReproError,
+    RuleError,
+)
+from repro.utils.counters import WorkCounter
+from repro.utils.rng import ensure_rng, sample_without_replacement, weighted_choice
+from repro.utils.tables import render_kv, render_series, render_table
+from repro.utils.timing import StopwatchRegistry, Timer, format_seconds
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeNotFoundError",
+    "PatternError",
+    "QuantifierError",
+    "PatternValidationError",
+    "MatchingError",
+    "PartitionError",
+    "RuleError",
+    "ParseError",
+    "WorkCounter",
+    "ensure_rng",
+    "weighted_choice",
+    "sample_without_replacement",
+    "Timer",
+    "StopwatchRegistry",
+    "format_seconds",
+    "render_table",
+    "render_series",
+    "render_kv",
+]

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific failures derive from :class:`ReproError` so that callers
+can catch a single base class.  Sub-classes are deliberately fine-grained: the
+matching engines, the pattern model and the parallel layer each raise their
+own error type, which makes test assertions and user-facing error handling
+precise.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeNotFoundError",
+    "PatternError",
+    "QuantifierError",
+    "PatternValidationError",
+    "MatchingError",
+    "PartitionError",
+    "RuleError",
+    "ParseError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid operations on :class:`repro.graph.PropertyGraph`."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """Raised when a node identifier is not present in the graph."""
+
+    def __init__(self, node):
+        super().__init__(node)
+        self.node = node
+
+    def __str__(self) -> str:  # KeyError quotes its argument; keep it readable.
+        return f"node {self.node!r} is not in the graph"
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an edge (source, target, label) is not present in the graph."""
+
+    def __init__(self, source, target, label=None):
+        super().__init__((source, target, label))
+        self.source = source
+        self.target = target
+        self.label = label
+
+    def __str__(self) -> str:
+        if self.label is None:
+            return f"edge ({self.source!r} -> {self.target!r}) is not in the graph"
+        return (
+            f"edge ({self.source!r} -[{self.label}]-> {self.target!r}) "
+            "is not in the graph"
+        )
+
+
+class PatternError(ReproError):
+    """Base class for errors in the quantified-graph-pattern model."""
+
+
+class QuantifierError(PatternError, ValueError):
+    """Raised for malformed counting quantifiers (bad operator, bad threshold)."""
+
+
+class PatternValidationError(PatternError, ValueError):
+    """Raised when a QGP violates the structural restrictions of the paper.
+
+    The paper (Section 2.2, *Remark*) requires that on any simple path of the
+    pattern there are at most ``l`` non-existential quantifiers and at most one
+    negated edge ("no double negation").
+    """
+
+
+class MatchingError(ReproError):
+    """Raised by the matching engines for invalid inputs or inconsistent state."""
+
+
+class PartitionError(ReproError):
+    """Raised by the d-hop preserving partition layer."""
+
+
+class RuleError(ReproError):
+    """Raised by the QGAR layer (malformed rules, overlapping consequent, ...)."""
+
+
+class ParseError(PatternError, ValueError):
+    """Raised by the textual pattern parser on malformed input."""

@@ -1,0 +1,102 @@
+"""Lightweight timing utilities used by the experiment harness.
+
+The paper reports wall-clock response times for each algorithm and figure.
+:class:`Timer` is a context manager that records elapsed seconds, and
+:class:`StopwatchRegistry` aggregates named phases (partition time, matching
+time, verification time) so that a benchmark can report the same breakdown the
+paper discusses (e.g. DPar time separate from PQMatch time in Fig. 8(d)/(e)).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+from contextlib import contextmanager
+
+__all__ = ["Timer", "StopwatchRegistry", "format_seconds"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start: Optional[float] = None
+        self.end: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed between entering and leaving the context.
+
+        If the timer is still running, returns the time elapsed so far.
+        """
+        if self.start is None:
+            return 0.0
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+
+@dataclass
+class StopwatchRegistry:
+    """Accumulates elapsed time for named phases.
+
+    The registry is additive: timing the same phase several times accumulates
+    the durations, which matches how a multi-query benchmark reports the total
+    time per algorithm.
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, phase: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[phase] = self.totals.get(phase, 0.0) + elapsed
+            self.counts[phase] = self.counts.get(phase, 0) + 1
+
+    def total(self, phase: str) -> float:
+        """Total accumulated seconds for *phase* (0.0 if never measured)."""
+        return self.totals.get(phase, 0.0)
+
+    def mean(self, phase: str) -> float:
+        """Mean seconds per measurement of *phase* (0.0 if never measured)."""
+        count = self.counts.get(phase, 0)
+        if count == 0:
+            return 0.0
+        return self.totals[phase] / count
+
+    def as_dict(self) -> Dict[str, float]:
+        """A copy of the accumulated totals, keyed by phase name."""
+        return dict(self.totals)
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable rendering of a duration (``1.234 s`` / ``12.3 ms``)."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds * 1e6:.0f} µs"

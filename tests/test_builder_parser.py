@@ -1,0 +1,166 @@
+"""Tests for the fluent builder and the textual pattern DSL."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.patterns import (
+    CountingQuantifier,
+    PatternBuilder,
+    parse_pattern,
+    parse_quantifier,
+    pattern_to_text,
+)
+from repro.utils import ParseError, PatternError
+
+
+class TestBuilder:
+    def test_builds_the_paper_q1(self):
+        q1 = (
+            PatternBuilder("Q1")
+            .focus("xo", "person")
+            .node("club", "music_club")
+            .node("z", "person")
+            .node("y", "album")
+            .edge("xo", "club", "in")
+            .edge("xo", "z", "follow", at_least_percent=80)
+            .edge("z", "y", "like")
+            .edge("xo", "y", "like")
+            .build()
+        )
+        assert q1.size_signature() == (4, 4, 80.0, 0)
+        assert q1.quantifier("xo", "z", "follow").is_ratio
+
+    def test_requires_focus(self):
+        builder = PatternBuilder().node("a", "person")
+        with pytest.raises(PatternError):
+            builder.build()
+
+    def test_rejects_multiple_quantifier_keywords(self):
+        builder = PatternBuilder().focus("a", "person").node("b", "person")
+        with pytest.raises(PatternError):
+            builder.edge("a", "b", "follow", at_least=2, universal=True)
+
+    def test_all_quantifier_keywords(self):
+        pattern = (
+            PatternBuilder("K")
+            .focus("a", "person")
+            .node("b", "person")
+            .node("c", "person")
+            .node("d", "person")
+            .node("e", "person")
+            .node("f", "person")
+            .edge("a", "b", "r1", at_least=2)
+            .edge("a", "c", "r2", exactly=3)
+            .edge("a", "d", "r3", more_than=1)
+            .edge("a", "e", "r4", universal=True)
+            .negated_edge("a", "f", "r5")
+            .build()
+        )
+        by_label = {edge.label: edge.quantifier for edge in pattern.edges()}
+        assert by_label["r1"] == CountingQuantifier.at_least(2)
+        assert by_label["r2"] == CountingQuantifier.exactly(3)
+        assert by_label["r3"] == CountingQuantifier.more_than(1)
+        assert by_label["r4"].is_universal
+        assert by_label["r5"].is_negation
+
+    def test_explicit_quantifier_object(self):
+        pattern = (
+            PatternBuilder()
+            .focus("a", "person")
+            .node("b", "person")
+            .edge("a", "b", "follow", quantifier=CountingQuantifier.ratio_at_least(55))
+            .build()
+        )
+        assert pattern.quantifier("a", "b", "follow").value == 55
+
+    def test_build_validates_by_default(self):
+        builder = (
+            PatternBuilder()
+            .focus("a", "person")
+            .node("b", "person")
+            .node("c", "person")
+            .negated_edge("a", "b", "r")
+            .negated_edge("b", "c", "r")
+        )
+        with pytest.raises(Exception):
+            builder.build()
+        # skipping validation is possible for experimentation
+        assert builder.build(validate=False).num_edges == 2
+
+    def test_peek_returns_pattern_under_construction(self):
+        builder = PatternBuilder().focus("a", "person")
+        assert builder.peek().num_nodes == 1
+
+
+class TestQuantifierParsing:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            (">= 3", CountingQuantifier.at_least(3)),
+            ("= 0", CountingQuantifier.negation()),
+            ("> 2", CountingQuantifier.more_than(2)),
+            (">= 80%", CountingQuantifier.ratio_at_least(80)),
+            ("= 100%", CountingQuantifier.universal()),
+            ("forall", CountingQuantifier.universal()),
+            ("exists", CountingQuantifier.existential()),
+            (">=80%", CountingQuantifier.ratio_at_least(80)),
+        ],
+    )
+    def test_parse_quantifier(self, text, expected):
+        assert parse_quantifier(text) == expected
+
+    @pytest.mark.parametrize("text", ["<= 3", "at least 3", ">= 2.5", ""])
+    def test_parse_quantifier_errors(self, text):
+        with pytest.raises(ParseError):
+            parse_quantifier(text)
+
+
+SAMPLE = """
+# Q2 of the paper
+focus xo : person
+node  z  : person
+node  redmi : Redmi_2A
+edge  xo -follow-> z [= 100%]
+edge  z  -recom->  redmi
+"""
+
+
+class TestPatternDsl:
+    def test_parse_sample(self):
+        pattern = parse_pattern(SAMPLE, name="Q2")
+        assert pattern.focus == "xo"
+        assert pattern.num_nodes == 3
+        assert pattern.quantifier("xo", "z", "follow").is_universal
+        assert pattern.quantifier("z", "redmi", "recom").is_existential
+
+    def test_round_trip(self):
+        pattern = parse_pattern(SAMPLE)
+        again = parse_pattern(pattern_to_text(pattern))
+        assert again == pattern
+
+    def test_round_trip_with_negation_and_counts(self, pattern_q3):
+        text = pattern_to_text(pattern_q3)
+        assert "= 0" in text and ">= 2" in text
+        assert parse_pattern(text) == pattern_q3
+
+    def test_missing_focus(self):
+        with pytest.raises(ParseError):
+            parse_pattern("node a : person\nnode b : person\nedge a -r-> b")
+
+    def test_two_focus_declarations(self):
+        with pytest.raises(ParseError):
+            parse_pattern("focus a : person\nfocus b : person\nedge a -r-> b")
+
+    def test_undeclared_node_in_edge(self):
+        with pytest.raises(ParseError):
+            parse_pattern("focus a : person\nedge a -r-> ghost")
+
+    def test_unparseable_line(self):
+        with pytest.raises(ParseError):
+            parse_pattern("focus a : person\nthis is not a declaration")
+
+    def test_comments_and_blanks_ignored(self):
+        text = "focus a : person\n\n# just a comment\nnode b : person\nedge a -r-> b  # inline"
+        pattern = parse_pattern(text)
+        assert pattern.num_edges == 1

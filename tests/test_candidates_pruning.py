@@ -1,0 +1,115 @@
+"""Tests for candidate filtering (FilterCandidate) and the pruning heuristics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching import (
+    EnumMatcher,
+    build_candidate_index,
+    candidate_potential,
+    label_candidates,
+    potential_ordering,
+)
+from repro.patterns import PatternBuilder
+from repro.utils import WorkCounter
+
+from conftest import build_q3
+
+
+class TestCandidateIndex:
+    def test_example5_upper_bound_pruning(self, paper_g1, pattern_q3):
+        """Example 5 of the paper: x1 is removed from C(xo) because U(x1, e) = 1 < 2."""
+        positive = pattern_q3.pi()
+        index = build_candidate_index(positive, paper_g1, use_simulation=False)
+        assert "x1" not in index.candidate_set("xo")
+        assert {"x2", "x3"} <= index.candidate_set("xo")
+        assert index.pruned >= 1
+
+    def test_upper_bounds_recorded(self, paper_g1, pattern_q3):
+        positive = pattern_q3.pi()
+        index = build_candidate_index(positive, paper_g1, use_simulation=False)
+        edge = next(e for e in positive.edges() if e.label == "follow")
+        assert index.upper_bound(edge.key, "x3") == 3
+        assert index.upper_bound(edge.key, "x2") == 2
+
+    def test_simulation_filter_is_tighter(self, small_pokec, dataset_q1):
+        positive = dataset_q1.pi()
+        with_simulation = build_candidate_index(positive, small_pokec, use_simulation=True)
+        without = build_candidate_index(positive, small_pokec, use_simulation=False)
+        for node in positive.nodes():
+            assert with_simulation.candidate_set(node) <= without.candidate_set(node)
+
+    def test_filters_never_drop_true_matches(self, paper_g1, pattern_q2):
+        """Soundness: candidates of the focus always contain the real answer."""
+        answer = EnumMatcher().evaluate_answer(pattern_q2, paper_g1)
+        for use_simulation in (True, False):
+            index = build_candidate_index(pattern_q2, paper_g1, use_simulation=use_simulation)
+            assert answer <= index.candidate_set("xo")
+
+    def test_is_empty(self, paper_g1):
+        pattern = (
+            PatternBuilder()
+            .focus("x", "person")
+            .node("m", "missing_label")
+            .edge("x", "m", "follow")
+            .build()
+        )
+        index = build_candidate_index(pattern, paper_g1, use_simulation=False)
+        assert index.is_empty()
+
+    def test_counter_accumulates_pruned(self, paper_g1, pattern_q3):
+        counter = WorkCounter()
+        build_candidate_index(pattern_q3.pi(), paper_g1, use_simulation=False, counter=counter)
+        assert counter.candidates_pruned >= 1
+
+
+class TestGlobalPruneCheck:
+    def test_lemma12_failure_when_too_few_candidates(self, paper_g1):
+        """With p = 4, C(z1) has only 3 recommenders left: no match can exist."""
+        positive = build_q3(p=4).pi()
+        index = build_candidate_index(positive, paper_g1, use_simulation=False)
+        assert not index.global_prune_check()
+        # And indeed the answer is empty.
+        assert EnumMatcher().evaluate_answer(build_q3(p=4), paper_g1) == set()
+
+    def test_lemma12_passes_when_enough_candidates(self, paper_g1):
+        positive = build_q3(p=2).pi()
+        index = build_candidate_index(positive, paper_g1, use_simulation=False)
+        assert index.global_prune_check()
+
+
+class TestPotential:
+    def test_potential_prefers_candidates_with_headroom(self, paper_g1, pattern_q3):
+        positive = pattern_q3.pi()
+        index = build_candidate_index(positive, paper_g1, use_simulation=False)
+        score_x3 = candidate_potential(positive, paper_g1, index, "xo", "x3")
+        score_x2 = candidate_potential(positive, paper_g1, index, "xo", "x2")
+        # x3 has three follow children with recom edges vs x2's two, so more headroom.
+        assert score_x3 > score_x2
+
+    def test_potential_ordering_is_sorted(self, paper_g1, pattern_q3):
+        positive = pattern_q3.pi()
+        index = build_candidate_index(positive, paper_g1, use_simulation=False)
+        ordering = potential_ordering(positive, paper_g1, index)
+        for node in positive.nodes():
+            assert set(ordering[node]) == index.candidate_set(node)
+        assert ordering["xo"][0] == "x3"
+
+    def test_ordering_with_restriction(self, paper_g1, pattern_q3):
+        positive = pattern_q3.pi()
+        index = build_candidate_index(positive, paper_g1, use_simulation=False)
+        ordering = potential_ordering(
+            positive, paper_g1, index, restrict_to={"xo": {"x2"}}
+        )
+        assert ordering["xo"] == ["x2"]
+
+    def test_potential_of_leaf_node(self, paper_g1, pattern_q2):
+        index = build_candidate_index(pattern_q2, paper_g1, use_simulation=False)
+        score = candidate_potential(pattern_q2, paper_g1, index, "redmi", "redmi")
+        assert score > 0.0
+
+    def test_label_candidates_baseline(self, paper_g1, pattern_q2):
+        candidates = label_candidates(pattern_q2, paper_g1)
+        assert candidates["redmi"] == {"redmi"}
+        assert len(candidates["xo"]) == 8

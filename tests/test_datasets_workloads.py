@@ -1,0 +1,140 @@
+"""Tests for the synthetic datasets, the paper patterns/rules and the bench harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import EngineSpec, records_to_table, run_engines, summarize_records
+from repro.datasets import (
+    DATASET_NAMES,
+    PokecConfig,
+    YagoConfig,
+    benchmark_graph,
+    paper_pattern,
+    paper_rule,
+    pokec_like_graph,
+    workload_patterns,
+    yago_like_graph,
+)
+from repro.matching import EnumMatcher, QMatch
+from repro.utils import ReproError
+
+
+class TestPokecLike:
+    def test_vocabulary(self, small_pokec):
+        labels = small_pokec.node_labels()
+        assert {"person", "album", "product", "music_club", "Redmi_2A"} <= labels
+        edge_labels = {label for _, _, label in small_pokec.edges()}
+        assert {"follow", "like", "recom", "buy", "in"} <= edge_labels
+
+    def test_determinism(self):
+        config = PokecConfig(num_users=80, seed=3)
+        assert pokec_like_graph(config) == pokec_like_graph(config)
+
+    def test_planted_q1_cohort_matches(self, small_pokec):
+        answer = QMatch().evaluate_answer(paper_pattern("Q1"), small_pokec)
+        assert answer, "the planted 80%-likers cohort should produce Q1 matches"
+
+    def test_planted_q2_cohort_matches(self, small_pokec):
+        answer = QMatch().evaluate_answer(paper_pattern("Q2"), small_pokec)
+        assert answer
+
+    def test_planted_q3_cohort_and_negation(self, small_pokec):
+        q3 = paper_pattern("Q3", p=2)
+        result = QMatch().evaluate(q3, small_pokec)
+        assert result.positive_answer, "the >= p branch should have matches"
+        assert result.answer < result.positive_answer, (
+            "the planted detractor followers should be removed by the negated edge"
+        )
+
+    def test_scaling_changes_size_not_vocabulary(self):
+        small = benchmark_graph("pokec", scale=0.3, seed=2)
+        larger = benchmark_graph("pokec", scale=0.6, seed=2)
+        assert larger.num_nodes > small.num_nodes
+        assert small.node_labels() == larger.node_labels()
+
+
+class TestYagoLike:
+    def test_vocabulary(self, small_yago):
+        labels = small_yago.node_labels()
+        assert {"person", "prof", "PhD", "UK", "USA", "prize", "university"} <= labels
+        edge_labels = {label for _, _, label in small_yago.edges()}
+        assert {"is_a", "advised", "in", "won", "citizen_of", "graduated"} <= edge_labels
+
+    def test_determinism(self):
+        config = YagoConfig(num_persons=100, seed=9)
+        assert yago_like_graph(config) == yago_like_graph(config)
+
+    def test_planted_q4_cohort_matches(self, small_yago):
+        answer = QMatch().evaluate_answer(paper_pattern("Q4", p=2), small_yago)
+        assert answer, "the planted UK professors without a PhD should match Q4"
+
+    def test_planted_q5_cohort_matches(self, small_yago):
+        answer = QMatch().evaluate_answer(paper_pattern("Q5"), small_yago)
+        assert answer
+
+    def test_planted_r7_cohort_matches(self, small_yago):
+        evaluation = paper_rule("R7").evaluate(small_yago)
+        assert evaluation.support > 0
+        assert evaluation.confidence > 0.5
+
+
+class TestBenchmarkGraphFactory:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_all_datasets_build(self, name):
+        graph = benchmark_graph(name, scale=0.2, seed=1)
+        assert graph.num_nodes > 0
+        assert graph.num_edges > 0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ReproError):
+            benchmark_graph("twitter")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ReproError):
+            benchmark_graph("pokec", scale=0.0)
+
+    def test_unknown_pattern_and_rule(self):
+        with pytest.raises(ReproError):
+            paper_pattern("Q9")
+        with pytest.raises(ReproError):
+            paper_rule("R9")
+
+    def test_paper_patterns_validate(self):
+        for name in ("Q1", "Q2", "Q3", "Q4", "Q5"):
+            paper_pattern(name).validate()
+
+    def test_workload_patterns_are_valid_and_deterministic(self, small_pokec):
+        first = workload_patterns(small_pokec, count=3, seed=7)
+        second = workload_patterns(small_pokec, count=3, seed=7)
+        assert first == second
+        for pattern in first:
+            pattern.validate()
+            assert pattern.size_signature()[3] == 1
+
+
+class TestBenchHarness:
+    def test_run_engines_produces_records(self, small_pokec, dataset_q1):
+        engines = [
+            EngineSpec("QMatch", lambda: QMatch()),
+            EngineSpec("Enum", lambda: EnumMatcher()),
+        ]
+        records = run_engines(engines, [dataset_q1], small_pokec)
+        assert len(records) == 2
+        answers = {record.answer_size for record in records}
+        assert len(answers) == 1, "all engines must report the same answer size"
+
+    def test_summary_and_table(self, small_pokec, dataset_q1):
+        engines = [EngineSpec("QMatch", lambda: QMatch())]
+        records = run_engines(engines, [dataset_q1], small_pokec)
+        summary = summarize_records(records)
+        assert summary["QMatch"]["queries"] == 1
+        table = records_to_table(records, title="demo")
+        assert "QMatch" in table and "demo" in table
+
+    def test_parallel_engine_extras(self, small_pokec, dataset_q1):
+        from repro.parallel import pqmatch_engine
+
+        engines = [EngineSpec("PQMatch", lambda: pqmatch_engine(num_workers=2))]
+        records = run_engines(engines, [dataset_q1], small_pokec)
+        assert "work_speedup" in records[0].extras

@@ -1,0 +1,186 @@
+"""Tests for DMatch and the QMatch driver: correctness, caches, options, work."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.matching import (
+    DMatchOptions,
+    EnumMatcher,
+    QMatch,
+    dmatch,
+    qmatch_engine,
+    qmatch_n_engine,
+)
+from repro.patterns import PatternBuilder
+from repro.utils import MatchingError, WorkCounter
+
+from conftest import build_q3
+
+
+class TestDMatch:
+    def test_positive_pattern_answer(self, paper_g1, pattern_q2):
+        outcome = dmatch(pattern_q2, paper_g1)
+        assert outcome.answer == {"x1", "x2"}
+
+    def test_rejects_negative_patterns(self, paper_g1, pattern_q3):
+        with pytest.raises(MatchingError):
+            dmatch(pattern_q3, paper_g1)
+
+    def test_node_match_caches_cover_answer(self, paper_g1, pattern_q2):
+        outcome = dmatch(pattern_q2, paper_g1)
+        assert outcome.answer <= outcome.node_matches["xo"]
+        assert outcome.node_matches["redmi"] == {"redmi"}
+        # Witness bindings of z are among the actual recommenders.
+        assert outcome.node_matches["z"] <= {"v0", "v1", "v2", "v3"}
+
+    def test_focus_restriction(self, paper_g1, pattern_q2):
+        outcome = dmatch(pattern_q2, paper_g1, focus_restriction={"x1", "x3"})
+        assert outcome.answer == {"x1"}
+
+    def test_counts_verifications(self, paper_g1, pattern_q2):
+        counter = WorkCounter()
+        dmatch(pattern_q2, paper_g1, counter=counter)
+        assert counter.verifications >= 1
+        assert counter.quantifier_checks >= 1
+
+    def test_empty_candidates_short_circuit(self, paper_g1):
+        pattern = (
+            PatternBuilder()
+            .focus("x", "alien")
+            .node("y", "person")
+            .edge("x", "y", "follow")
+            .build()
+        )
+        counter = WorkCounter()
+        outcome = dmatch(pattern, paper_g1, counter=counter)
+        assert outcome.answer == set()
+        assert counter.verifications == 0
+
+    def test_as_match_result(self, paper_g1, pattern_q2):
+        result = dmatch(pattern_q2, paper_g1).as_match_result(engine="DMatch")
+        assert result.answer == {"x1", "x2"}
+        assert result.engine == "DMatch"
+
+
+class TestOptionCombinations:
+    """Every optimisation switch must preserve the answer (ablation correctness)."""
+
+    @pytest.mark.parametrize(
+        "use_simulation, use_potential, early_exit, use_locality",
+        list(itertools.product([True, False], repeat=4)),
+    )
+    def test_all_option_combinations_agree(
+        self, paper_g1, use_simulation, use_potential, early_exit, use_locality
+    ):
+        options = DMatchOptions(
+            use_simulation=use_simulation,
+            use_potential=use_potential,
+            early_exit=early_exit,
+            use_locality=use_locality,
+        )
+        pattern = build_q3(p=2)
+        assert QMatch(options=options).evaluate_answer(pattern, paper_g1) == {"x2"}
+
+    def test_options_agree_on_dataset_patterns(self, small_pokec, dataset_q1, dataset_q3):
+        reference = EnumMatcher()
+        for pattern in (dataset_q1, dataset_q3):
+            expected = reference.evaluate_answer(pattern, small_pokec)
+            for options in (
+                DMatchOptions(),
+                DMatchOptions(use_simulation=False),
+                DMatchOptions(use_potential=False, early_exit=False),
+                DMatchOptions(use_locality=True),
+            ):
+                assert QMatch(options=options).evaluate_answer(pattern, small_pokec) == expected
+
+
+class TestQMatchDriver:
+    def test_engine_names(self):
+        assert QMatch().name == "QMatch"
+        assert QMatch(use_incremental=False).name == "QMatchN"
+        assert qmatch_engine().use_incremental
+        assert not qmatch_n_engine().use_incremental
+
+    def test_result_fields(self, paper_g1, pattern_q3):
+        result = QMatch().evaluate(pattern_q3, paper_g1)
+        assert result.engine == "QMatch"
+        assert result.answer == {"x2"}
+        assert result.positive_answer == {"x2", "x3"}
+        assert result.elapsed >= 0.0
+        assert len(result.incremental) == 1
+        assert result.counter.total_work() > 0
+
+    def test_incremental_and_scratch_agree(self, paper_g1, small_pokec, dataset_q3):
+        for graph, pattern in ((paper_g1, build_q3(p=2)), (small_pokec, dataset_q3)):
+            incremental = QMatch(use_incremental=True).evaluate(pattern, graph)
+            scratch = QMatch(use_incremental=False).evaluate(pattern, graph)
+            assert incremental.answer == scratch.answer
+
+    def test_negation_only_subtracts(self, paper_g1):
+        """Adding a negated edge can only shrink the answer (Lemma 10 flavour)."""
+        with_negation = build_q3(p=1)
+        positive_only = with_negation.pi()
+        answer_full = QMatch().evaluate_answer(with_negation, paper_g1)
+        answer_positive = QMatch().evaluate_answer(positive_only, paper_g1)
+        assert answer_full <= answer_positive
+
+    def test_conventional_pattern_reduces_to_subgraph_isomorphism(self, paper_g1):
+        pattern = (
+            PatternBuilder()
+            .focus("x", "person")
+            .node("y", "person")
+            .node("r", "Redmi_2A")
+            .edge("x", "y", "follow")
+            .edge("y", "r", "recom")
+            .build()
+        )
+        assert QMatch().evaluate_answer(pattern, paper_g1) == {"x1", "x2", "x3"}
+
+    def test_focus_restriction_passthrough(self, paper_g1, pattern_q3):
+        result = QMatch().evaluate(pattern_q3, paper_g1, focus_restriction={"x3"})
+        assert result.answer == set()
+        result = QMatch().evaluate(pattern_q3, paper_g1, focus_restriction={"x2"})
+        assert result.answer == {"x2"}
+
+    def test_more_than_quantifier(self, paper_g1):
+        pattern = (
+            PatternBuilder("gt")
+            .focus("x", "person")
+            .node("y", "person")
+            .node("r", "Redmi_2A")
+            .edge("x", "y", "follow", more_than=2)
+            .edge("y", "r", "recom")
+            .build()
+        )
+        # Only x3 follows more than two recommenders... but only 2 of its
+        # followees recommend, so nobody qualifies.
+        assert QMatch().evaluate_answer(pattern, paper_g1) == set()
+        assert EnumMatcher().evaluate_answer(pattern, paper_g1) == set()
+
+    def test_exact_count_quantifier(self, paper_g1):
+        pattern = (
+            PatternBuilder("eq")
+            .focus("x", "person")
+            .node("y", "person")
+            .node("r", "Redmi_2A")
+            .edge("x", "y", "follow", exactly=2)
+            .edge("y", "r", "recom")
+            .build()
+        )
+        expected = EnumMatcher().evaluate_answer(pattern, paper_g1)
+        assert QMatch().evaluate_answer(pattern, paper_g1) == expected == {"x2", "x3"}
+
+
+class TestWorkAccounting:
+    def test_qmatch_prunes_more_candidates_than_it_verifies(self, small_pokec, dataset_q3):
+        result = QMatch().evaluate(dataset_q3, small_pokec)
+        focus_candidates = len(small_pokec.nodes_with_label("person"))
+        assert result.counter.verifications <= focus_candidates + len(result.positive_answer)
+
+    def test_enum_does_more_quantifier_checks_than_qmatch(self, small_pokec, dataset_q3):
+        enum_result = EnumMatcher().evaluate(dataset_q3, small_pokec)
+        qmatch_result = QMatch().evaluate(dataset_q3, small_pokec)
+        assert qmatch_result.counter.extensions <= enum_result.counter.extensions

@@ -1,0 +1,98 @@
+"""Tests for match explanations and graph statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.statistics import (
+    degree_histogram,
+    graph_statistics,
+    neighborhood_size_bound,
+)
+from repro.matching import QMatch
+from repro.matching.explain import explain_match
+from repro.utils import MatchingError
+
+
+class TestExplainMatch:
+    def test_explains_a_positive_match(self, paper_g1, pattern_q2):
+        explanation = explain_match(pattern_q2, paper_g1, "x1")
+        assert explanation.is_match and explanation.positive_match
+        assert explanation.witness is not None
+        assert explanation.witness["xo"] == "x1"
+        assert all(item.satisfied for item in explanation.evidence)
+        assert "MATCH" in explanation.describe()
+
+    def test_explains_a_quantifier_failure(self, paper_g1, pattern_q2):
+        """x3 fails Q2 because only 2 of its 3 followees recommend the phone."""
+        explanation = explain_match(pattern_q2, paper_g1, "x3")
+        assert not explanation.is_match
+        follow_evidence = next(
+            item for item in explanation.evidence if item.edge.label == "follow"
+        )
+        assert not follow_evidence.satisfied
+        assert follow_evidence.total_children == 3
+        assert follow_evidence.counted_children == {"v2", "v3"}
+
+    def test_explains_a_negation_violation(self, paper_g1, pattern_q3):
+        """x3 satisfies Π(Q3) but follows the detractor v4."""
+        explanation = explain_match(pattern_q3, paper_g1, "x3")
+        assert explanation.positive_match
+        assert not explanation.is_match
+        assert explanation.violated_negations
+        violated = explanation.violated_negations[0]
+        assert "v4" in violated.counted_children
+        assert "negation violated" in explanation.describe()
+
+    def test_explanations_agree_with_qmatch(self, paper_g1, pattern_q3):
+        answer = QMatch().evaluate_answer(pattern_q3, paper_g1)
+        for candidate in ("x1", "x2", "x3"):
+            explanation = explain_match(pattern_q3, paper_g1, candidate)
+            assert explanation.is_match == (candidate in answer)
+
+    def test_non_candidate_node(self, paper_g1, pattern_q2):
+        explanation = explain_match(pattern_q2, paper_g1, "redmi")
+        assert not explanation.is_match
+        assert not explanation.positive_match
+
+    def test_unknown_node_raises(self, paper_g1, pattern_q2):
+        with pytest.raises(MatchingError):
+            explain_match(pattern_q2, paper_g1, "ghost")
+
+
+class TestGraphStatistics:
+    def test_summary_fields(self, paper_g1):
+        stats = graph_statistics(paper_g1)
+        assert stats.num_nodes == paper_g1.num_nodes
+        assert stats.num_edges == paper_g1.num_edges
+        assert stats.node_label_counts["person"] == 8
+        assert stats.edge_label_counts["follow"] == 6
+        assert stats.max_in_degree == 5  # the phone has five reviewers pointing at it
+        assert "graph paper-G1" in stats.describe()
+
+    def test_degree_histogram(self, paper_g1):
+        out_hist = degree_histogram(paper_g1, "out")
+        assert out_hist[3] == 1  # x3 follows three reviewers
+        assert sum(out_hist.values()) == paper_g1.num_nodes
+        total_hist = degree_histogram(paper_g1, "total")
+        assert sum(k * v for k, v in total_hist.items()) == 2 * paper_g1.num_edges
+        with pytest.raises(ValueError):
+            degree_histogram(paper_g1, "sideways")
+
+    def test_neighborhood_size_bound(self, small_pokec):
+        report = neighborhood_size_bound(small_pokec, d=2, num_workers=4, sample_size=50)
+        assert report["sum_neighborhood_sizes"] > 0
+        assert report["budget"] == pytest.approx(small_pokec.size() / 4)
+        assert report["implied_cd"] > 0
+        with pytest.raises(ValueError):
+            neighborhood_size_bound(small_pokec, d=-1, num_workers=4)
+        with pytest.raises(ValueError):
+            neighborhood_size_bound(small_pokec, d=1, num_workers=0)
+
+    def test_statistics_on_empty_graph(self):
+        from repro.graph import PropertyGraph
+
+        stats = graph_statistics(PropertyGraph("empty"))
+        assert stats.num_nodes == 0 and stats.num_edges == 0
+        report = neighborhood_size_bound(PropertyGraph("empty"), d=1, num_workers=2)
+        assert report["sum_neighborhood_sizes"] == 0.0

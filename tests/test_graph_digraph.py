@@ -1,0 +1,181 @@
+"""Unit tests for the PropertyGraph substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import PropertyGraph
+from repro.utils import EdgeNotFoundError, GraphError, NodeNotFoundError
+
+
+@pytest.fixture
+def small_graph() -> PropertyGraph:
+    graph = PropertyGraph("small")
+    graph.add_node("a", "person", city="Presov")
+    graph.add_node("b", "person")
+    graph.add_node("p", "product")
+    graph.add_edge("a", "b", "follow")
+    graph.add_edge("a", "p", "buy")
+    graph.add_edge("b", "p", "recom")
+    return graph
+
+
+class TestNodes:
+    def test_add_and_query_nodes(self, small_graph):
+        assert small_graph.has_node("a")
+        assert small_graph.node_label("a") == "person"
+        assert small_graph.node_attrs("a")["city"] == "Presov"
+        assert small_graph.num_nodes == 3
+
+    def test_nodes_with_label_index(self, small_graph):
+        assert small_graph.nodes_with_label("person") == {"a", "b"}
+        assert small_graph.nodes_with_label("product") == {"p"}
+        assert small_graph.nodes_with_label("missing") == set()
+        assert small_graph.node_labels() == {"person", "product"}
+
+    def test_relabeling_updates_index(self, small_graph):
+        small_graph.add_node("a", "bot")
+        assert small_graph.node_label("a") == "bot"
+        assert "a" not in small_graph.nodes_with_label("person")
+        assert "a" in small_graph.nodes_with_label("bot")
+        small_graph.validate()
+
+    def test_missing_node_raises(self, small_graph):
+        with pytest.raises(NodeNotFoundError):
+            small_graph.node_label("ghost")
+        with pytest.raises(NodeNotFoundError):
+            small_graph.node_attrs("ghost")
+        with pytest.raises(NodeNotFoundError):
+            small_graph.successors("ghost")
+        with pytest.raises(NodeNotFoundError):
+            small_graph.remove_node("ghost")
+
+    def test_set_node_attr(self, small_graph):
+        small_graph.set_node_attr("b", "age", 30)
+        assert small_graph.node_attrs("b")["age"] == 30
+
+    def test_remove_node_removes_incident_edges(self, small_graph):
+        small_graph.remove_node("b")
+        assert not small_graph.has_node("b")
+        assert not small_graph.has_edge("a", "b", "follow")
+        assert not small_graph.has_edge("b", "p", "recom")
+        assert small_graph.num_edges == 1
+        small_graph.validate()
+
+    def test_contains_and_len(self, small_graph):
+        assert "a" in small_graph
+        assert "ghost" not in small_graph
+        assert len(small_graph) == 3
+
+
+class TestEdges:
+    def test_add_edge_requires_endpoints(self, small_graph):
+        with pytest.raises(NodeNotFoundError):
+            small_graph.add_edge("a", "ghost", "follow")
+        with pytest.raises(NodeNotFoundError):
+            small_graph.add_edge("ghost", "a", "follow")
+
+    def test_duplicate_edge_is_idempotent(self, small_graph):
+        before = small_graph.num_edges
+        small_graph.add_edge("a", "b", "follow")
+        assert small_graph.num_edges == before
+
+    def test_parallel_edges_with_different_labels(self, small_graph):
+        small_graph.add_edge("a", "b", "like")
+        assert small_graph.edge_labels("a", "b") == {"follow", "like"}
+        assert small_graph.has_edge("a", "b")
+        assert small_graph.has_edge("a", "b", "like")
+        assert not small_graph.has_edge("a", "b", "recom")
+
+    def test_remove_edge(self, small_graph):
+        small_graph.remove_edge("a", "b", "follow")
+        assert not small_graph.has_edge("a", "b", "follow")
+        with pytest.raises(EdgeNotFoundError):
+            small_graph.remove_edge("a", "b", "follow")
+        small_graph.validate()
+
+    def test_edges_iteration(self, small_graph):
+        assert set(small_graph.edges()) == {
+            ("a", "b", "follow"),
+            ("a", "p", "buy"),
+            ("b", "p", "recom"),
+        }
+
+    def test_size_is_nodes_plus_edges(self, small_graph):
+        assert small_graph.size() == small_graph.num_nodes + small_graph.num_edges
+
+
+class TestAdjacency:
+    def test_successors_by_label(self, small_graph):
+        assert small_graph.successors("a", "follow") == {"b"}
+        assert small_graph.successors("a") == {"b", "p"}
+        assert small_graph.successors("p") == set()
+
+    def test_predecessors_by_label(self, small_graph):
+        assert small_graph.predecessors("p", "buy") == {"a"}
+        assert small_graph.predecessors("p") == {"a", "b"}
+
+    def test_degrees(self, small_graph):
+        assert small_graph.out_degree("a") == 2
+        assert small_graph.out_degree("a", "buy") == 1
+        assert small_graph.in_degree("p") == 2
+        assert small_graph.in_degree("p", "recom") == 1
+        assert small_graph.out_degree("p") == 0
+
+    def test_neighbors_union(self, small_graph):
+        assert small_graph.neighbors("b") == {"a", "p"}
+
+    def test_out_edge_labels(self, small_graph):
+        assert small_graph.out_edge_labels("a") == {"follow", "buy"}
+        assert small_graph.out_edge_labels("p") == set()
+
+    def test_average_degree(self, small_graph):
+        assert small_graph.average_degree() == pytest.approx(1.0)
+        assert PropertyGraph().average_degree() == 0.0
+
+
+class TestSubgraphsAndCopies:
+    def test_induced_subgraph(self, small_graph):
+        sub = small_graph.induced_subgraph({"a", "b"})
+        assert set(sub.nodes()) == {"a", "b"}
+        assert set(sub.edges()) == {("a", "b", "follow")}
+        assert sub.node_attrs("a")["city"] == "Presov"
+
+    def test_induced_subgraph_missing_node(self, small_graph):
+        with pytest.raises(NodeNotFoundError):
+            small_graph.induced_subgraph({"a", "ghost"})
+
+    def test_copy_is_independent(self, small_graph):
+        clone = small_graph.copy()
+        assert clone == small_graph
+        clone.add_node("new", "person")
+        clone.add_edge("new", "p", "buy")
+        assert not small_graph.has_node("new")
+        assert clone != small_graph
+
+    def test_merge_from(self, small_graph):
+        other = PropertyGraph("other")
+        other.add_node("z", "person")
+        other.add_node("p", "product")
+        other.add_edge("z", "p", "recom")
+        small_graph.merge_from(other)
+        assert small_graph.has_node("z")
+        assert small_graph.has_edge("z", "p", "recom")
+        small_graph.validate()
+
+    def test_equality_checks_structure(self, small_graph):
+        clone = small_graph.copy()
+        assert clone == small_graph
+        clone.remove_edge("a", "b", "follow")
+        assert clone != small_graph
+        assert small_graph != 42
+
+    def test_validate_detects_corruption(self, small_graph):
+        # Corrupt the reverse index deliberately.
+        small_graph._in["b"]["follow"].discard("a")
+        with pytest.raises(GraphError):
+            small_graph.validate()
+
+    def test_repr_mentions_sizes(self, small_graph):
+        text = repr(small_graph)
+        assert "nodes=3" in text and "edges=3" in text

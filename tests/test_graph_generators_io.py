@@ -1,0 +1,128 @@
+"""Tests for the synthetic graph generators and graph I/O round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    PropertyGraph,
+    default_label_alphabet,
+    graph_from_json,
+    graph_to_json,
+    random_labeled_graph,
+    read_edge_list,
+    read_json,
+    ring_of_cliques,
+    small_world_social_graph,
+    write_edge_list,
+    write_json,
+)
+from repro.utils import GraphError
+
+
+class TestSmallWorldGenerator:
+    def test_sizes_are_respected(self):
+        graph = small_world_social_graph(200, 600, seed=1)
+        assert graph.num_nodes == 200
+        assert graph.num_edges == pytest.approx(600, abs=60)
+
+    def test_determinism_per_seed(self):
+        a = small_world_social_graph(120, 360, seed=42)
+        b = small_world_social_graph(120, 360, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = small_world_social_graph(120, 360, seed=1)
+        b = small_world_social_graph(120, 360, seed=2)
+        assert a != b
+
+    def test_labels_come_from_alphabet(self):
+        labels = ["X", "Y"]
+        graph = small_world_social_graph(50, 100, node_labels=labels, seed=3)
+        assert graph.node_labels() <= set(labels)
+
+    def test_default_alphabet_size(self):
+        assert len(default_label_alphabet()) == 30
+        assert default_label_alphabet(5) == ["L0", "L1", "L2", "L3", "L4"]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            small_world_social_graph(0, 10)
+        with pytest.raises(ValueError):
+            small_world_social_graph(10, -1)
+
+    def test_single_node_graph(self):
+        graph = small_world_social_graph(1, 10, seed=1)
+        assert graph.num_nodes == 1
+        assert graph.num_edges == 0
+
+    def test_degree_distribution_is_skewed(self):
+        """The preferential-attachment pass should create a heavy tail."""
+        graph = small_world_social_graph(300, 1500, seed=9)
+        degrees = sorted((graph.out_degree(n) + graph.in_degree(n)) for n in graph.nodes())
+        top_share = sum(degrees[-30:]) / sum(degrees)
+        assert top_share > 0.15  # top 10% of nodes carry a disproportionate share
+
+
+class TestSimpleGenerators:
+    def test_random_labeled_graph_probability_bounds(self):
+        with pytest.raises(ValueError):
+            random_labeled_graph(5, 1.5)
+        graph = random_labeled_graph(10, 0.0, seed=1)
+        assert graph.num_edges == 0
+        full = random_labeled_graph(5, 1.0, seed=1)
+        assert full.num_edges == 5 * 4
+
+    def test_ring_of_cliques_structure(self):
+        graph = ring_of_cliques(3, 4)
+        assert graph.num_nodes == 12
+        # each clique: 4*3 directed edges; 3 bridges
+        assert graph.num_edges == 3 * 12 + 3
+        graph.validate()
+
+    def test_ring_of_cliques_invalid(self):
+        with pytest.raises(ValueError):
+            ring_of_cliques(0, 3)
+
+
+class TestIo:
+    def test_edge_list_round_trip(self, tmp_path):
+        graph = small_world_social_graph(60, 150, seed=4)
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path, name=graph.name)
+        assert loaded == graph
+
+    def test_json_round_trip_preserves_attrs(self, tmp_path):
+        graph = PropertyGraph("attrs")
+        graph.add_node("a", "person", city="Presov", age=30)
+        graph.add_node("b", "person")
+        graph.add_edge("a", "b", "follow")
+        path = tmp_path / "graph.json"
+        write_json(graph, path)
+        loaded = read_json(path)
+        assert loaded == graph
+        assert loaded.node_attrs("a")["city"] == "Presov"
+
+    def test_json_dict_round_trip(self):
+        graph = random_labeled_graph(12, 0.2, seed=2)
+        assert graph_from_json(graph_to_json(graph)) == graph
+
+    def test_malformed_edge_list_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("N a person\nE a\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_unknown_record_type_raises(self, tmp_path):
+        path = tmp_path / "bad2.txt"
+        path.write_text("X what is this\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "ok.txt"
+        path.write_text("# header\n\nN 1 person\nN 2 person\nE 1 2 follow\n", encoding="utf-8")
+        graph = read_edge_list(path)
+        assert graph.num_nodes == 2
+        assert graph.has_edge(1, 2, "follow")

@@ -1,0 +1,88 @@
+"""Tests for graph simulation and its soundness as an isomorphism pre-filter."""
+
+from __future__ import annotations
+
+from repro.graph import PropertyGraph, dual_simulation_relation, simulation_relation
+from repro.matching import find_isomorphisms
+from repro.patterns import PatternBuilder
+
+
+def two_hop_pattern():
+    """person -follow-> person -recom-> product."""
+    return (
+        PatternBuilder("P")
+        .focus("x", "person")
+        .node("y", "person")
+        .node("p", "product")
+        .edge("x", "y", "follow")
+        .edge("y", "p", "recom")
+        .build()
+    )
+
+
+def sample_graph() -> PropertyGraph:
+    graph = PropertyGraph("sim")
+    for person in ("a", "b", "c", "d"):
+        graph.add_node(person, "person")
+    graph.add_node("prod", "product")
+    graph.add_edge("a", "b", "follow")
+    graph.add_edge("b", "prod", "recom")
+    graph.add_edge("c", "d", "follow")  # d does not recommend anything
+    return graph
+
+
+class TestSimulation:
+    def test_forward_simulation_prunes_unsupported_nodes(self):
+        pattern = two_hop_pattern()
+        graph = sample_graph()
+        relation = simulation_relation(pattern.graph, graph)
+        # 'a' simulates x (its child b recommends); 'c' does not (d has no recom).
+        assert relation["x"] == {"a"}
+        assert relation["y"] == {"b"}
+        assert relation["p"] == {"prod"}
+
+    def test_dual_simulation_requires_parent_support(self):
+        pattern = two_hop_pattern()
+        graph = sample_graph()
+        # Add a recommender with no follower: forward simulation keeps it as a
+        # candidate for y, dual simulation removes it.
+        graph.add_node("lonely", "person")
+        graph.add_edge("lonely", "prod", "recom")
+        forward = simulation_relation(pattern.graph, graph)
+        dual = dual_simulation_relation(pattern.graph, graph)
+        assert "lonely" in forward["y"]
+        assert "lonely" not in dual["y"]
+
+    def test_empty_candidate_set_when_label_absent(self):
+        pattern = two_hop_pattern()
+        graph = PropertyGraph()
+        graph.add_node("a", "person")
+        relation = simulation_relation(pattern.graph, graph)
+        assert relation["p"] == set()
+        assert relation["x"] == set()
+
+    def test_simulation_contains_every_isomorphic_image(self, small_pokec):
+        """Soundness (Lemma 13): every isomorphism binding is inside the relation."""
+        pattern = two_hop_pattern()
+        relation = dual_simulation_relation(pattern.graph, small_pokec)
+        count = 0
+        for assignment in find_isomorphisms(pattern, small_pokec, limit=50):
+            count += 1
+            for pattern_node, graph_node in assignment.items():
+                assert graph_node in relation[pattern_node]
+        assert count > 0, "the fixture graph should contain follow/recom chains"
+
+    def test_simulation_on_cycle_pattern(self, triangle_graph):
+        pattern = (
+            PatternBuilder("cycle")
+            .focus("u1", "N")
+            .node("u2", "N")
+            .node("u3", "N")
+            .edge("u1", "u2", "e")
+            .edge("u2", "u3", "e")
+            .edge("u3", "u1", "e")
+            .build()
+        )
+        relation = dual_simulation_relation(pattern.graph, triangle_graph)
+        assert relation["u1"] == {"a", "b", "c"}
+        assert relation["u2"] == {"a", "b", "c"}

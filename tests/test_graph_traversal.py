@@ -1,0 +1,94 @@
+"""Unit tests for BFS, d-hop neighbourhoods, radius and connectivity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    PropertyGraph,
+    bfs_levels,
+    connected_components,
+    d_hop_neighborhood,
+    eccentricity_from,
+    is_weakly_connected,
+    nodes_within_hops,
+    undirected_shortest_path_length,
+)
+from repro.utils import NodeNotFoundError
+
+
+@pytest.fixture
+def chain_graph() -> PropertyGraph:
+    """a -> b -> c -> d plus an isolated node e."""
+    graph = PropertyGraph("chain")
+    for node in ("a", "b", "c", "d", "e"):
+        graph.add_node(node, "N")
+    graph.add_edge("a", "b", "r")
+    graph.add_edge("b", "c", "r")
+    graph.add_edge("c", "d", "r")
+    return graph
+
+
+class TestBfs:
+    def test_undirected_levels(self, chain_graph):
+        levels = bfs_levels(chain_graph, "c")
+        assert levels == {"c": 0, "b": 1, "d": 1, "a": 2}
+
+    def test_directed_levels_follow_out_edges_only(self, chain_graph):
+        levels = bfs_levels(chain_graph, "c", directed=True)
+        assert levels == {"c": 0, "d": 1}
+
+    def test_max_depth_truncates(self, chain_graph):
+        levels = bfs_levels(chain_graph, "a", max_depth=2)
+        assert levels == {"a": 0, "b": 1, "c": 2}
+
+    def test_missing_source_raises(self, chain_graph):
+        with pytest.raises(NodeNotFoundError):
+            bfs_levels(chain_graph, "ghost")
+
+
+class TestNeighborhoods:
+    def test_nodes_within_hops(self, chain_graph):
+        assert nodes_within_hops(chain_graph, "b", 1) == {"a", "b", "c"}
+        assert nodes_within_hops(chain_graph, "b", 0) == {"b"}
+
+    def test_d_hop_neighborhood_is_induced(self, chain_graph):
+        neighborhood = d_hop_neighborhood(chain_graph, "b", 1)
+        assert set(neighborhood.nodes()) == {"a", "b", "c"}
+        assert set(neighborhood.edges()) == {("a", "b", "r"), ("b", "c", "r")}
+
+    def test_neighborhood_of_isolated_node(self, chain_graph):
+        neighborhood = d_hop_neighborhood(chain_graph, "e", 3)
+        assert set(neighborhood.nodes()) == {"e"}
+        assert neighborhood.num_edges == 0
+
+
+class TestDistances:
+    def test_shortest_path_length(self, chain_graph):
+        assert undirected_shortest_path_length(chain_graph, "a", "d") == 3
+        assert undirected_shortest_path_length(chain_graph, "a", "a") == 0
+        assert undirected_shortest_path_length(chain_graph, "a", "e") is None
+
+    def test_shortest_path_missing_target(self, chain_graph):
+        with pytest.raises(NodeNotFoundError):
+            undirected_shortest_path_length(chain_graph, "a", "ghost")
+
+    def test_eccentricity(self, chain_graph):
+        assert eccentricity_from(chain_graph, "a") == 3
+        assert eccentricity_from(chain_graph, "b") == 2
+        assert eccentricity_from(chain_graph, "e") == 0
+
+
+class TestComponents:
+    def test_connected_components_sorted_by_size(self, chain_graph):
+        components = connected_components(chain_graph)
+        assert [len(c) for c in components] == [4, 1]
+        assert components[0] == {"a", "b", "c", "d"}
+
+    def test_is_weakly_connected(self, chain_graph):
+        assert not is_weakly_connected(chain_graph)
+        chain_graph.add_edge("d", "e", "r")
+        assert is_weakly_connected(chain_graph)
+
+    def test_empty_graph_is_connected(self):
+        assert is_weakly_connected(PropertyGraph())

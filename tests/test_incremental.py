@@ -1,0 +1,127 @@
+"""Tests for IncQMatch: correctness, affected-area accounting, optimality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching import QMatch, dmatch, inc_qmatch
+from repro.utils import WorkCounter
+
+from conftest import build_q3
+
+
+def run_incremental(pattern, graph):
+    """Helper: evaluate Π(Q), then run IncQMatch for the single negated edge."""
+    positive = pattern.pi()
+    counter = WorkCounter()
+    cached = dmatch(positive, graph, counter=counter)
+    negated_edge, positified_pi = pattern.positified_pi_patterns()[0]
+    answer, stats = inc_qmatch(
+        pattern, negated_edge, positified_pi, graph, cached, counter=counter
+    )
+    return cached, answer, stats
+
+
+class TestCorrectness:
+    def test_matches_from_scratch_evaluation(self, paper_g1):
+        pattern = build_q3(p=2)
+        cached, incremental_answer, _ = run_incremental(pattern, paper_g1)
+        scratch = dmatch(pattern.positified_pi_patterns()[0][1], paper_g1)
+        # Both must agree on the matches inside the cached positive answer;
+        # the incremental run is allowed to skip focus candidates that were
+        # not positive matches, because they cannot be in the final answer.
+        assert incremental_answer == set(scratch.answer) & cached.answer
+
+    def test_example7_result(self, paper_g1, pattern_q3):
+        """Example 7: Π(Q3 +(xo,z2))(xo, G1) = {x3}."""
+        _, answer, stats = run_incremental(pattern_q3, paper_g1)
+        assert answer == {"x3"}
+        assert "x2" not in answer
+
+    def test_empty_positive_answer_short_circuits(self, paper_g1):
+        pattern = build_q3(p=4)  # nobody follows 4 recommenders
+        cached, answer, stats = run_incremental(pattern, paper_g1)
+        assert cached.answer == set()
+        assert answer == set()
+        assert stats.verifications == 0
+
+    def test_dataset_equivalence(self, small_pokec, dataset_q3):
+        incremental = QMatch(use_incremental=True).evaluate(dataset_q3, small_pokec)
+        scratch = QMatch(use_incremental=False).evaluate(dataset_q3, small_pokec)
+        assert incremental.answer == scratch.answer
+        assert incremental.positive_answer == scratch.positive_answer
+
+
+class TestAffectedAreaAccounting:
+    def test_aff_contains_cached_matches(self, paper_g1, pattern_q3):
+        _, _, stats = run_incremental(pattern_q3, paper_g1)
+        assert {"x2", "x3"} <= stats.affected_area
+
+    def test_optimality_verifications_bounded_by_aff(self, paper_g1, pattern_q3):
+        """Proposition 6: at most |AFF| verifications are performed."""
+        _, _, stats = run_incremental(pattern_q3, paper_g1)
+        assert stats.verifications <= stats.aff_size
+
+    def test_optimality_on_dataset(self, small_pokec, dataset_q3):
+        result = QMatch(use_incremental=True).evaluate(dataset_q3, small_pokec)
+        for stats in result.incremental:
+            assert stats.verifications <= max(stats.aff_size, 1)
+
+    def test_incremental_reuses_cached_candidates(self, paper_g1, pattern_q3):
+        _, _, stats = run_incremental(pattern_q3, paper_g1)
+        assert stats.reused_candidates > 0
+
+    def test_incremental_verifies_fewer_candidates_than_scratch(self, small_pokec, dataset_q3):
+        """The point of IncQMatch: only cached positive matches are re-verified."""
+        incremental = QMatch(use_incremental=True).evaluate(dataset_q3, small_pokec)
+        scratch = QMatch(use_incremental=False).evaluate(dataset_q3, small_pokec)
+        assert incremental.counter.verifications <= scratch.counter.verifications
+
+    def test_removed_set_reported(self, paper_g1, pattern_q3):
+        result = QMatch().evaluate(pattern_q3, paper_g1)
+        stats = result.incremental[0]
+        assert stats.removed == {"x3"}
+
+
+class TestMultipleNegatedEdges:
+    @pytest.fixture
+    def two_negation_pattern(self):
+        from repro.patterns import PatternBuilder
+
+        return (
+            PatternBuilder("Q5-like")
+            .focus("xo", "person")
+            .node("prof", "prof")
+            .node("uk", "UK")
+            .node("z", "person")
+            .node("phd", "PhD")
+            .edge("xo", "prof", "is_a")
+            .edge("xo", "uk", "in", negated=True)
+            .edge("xo", "z", "advisor")
+            .edge("z", "prof", "is_a")
+            .edge("z", "phd", "is_a", negated=True)
+            .build()
+        )
+
+    def test_each_negated_edge_processed(self, paper_g2, two_negation_pattern):
+        result = QMatch().evaluate(two_negation_pattern, paper_g2)
+        # Every professor in G2 is in the UK, so the first negation empties
+        # the answer; both negated edges still yield stats entries unless the
+        # answer empties early.
+        assert result.answer == set()
+        assert 1 <= len(result.incremental) <= 2
+
+    def test_set_difference_semantics(self, paper_g2, two_negation_pattern):
+        """Q(xo,G) = Π(Q) minus the union of the positified answers."""
+        from repro.matching import EnumMatcher
+
+        assert (
+            QMatch().evaluate_answer(two_negation_pattern, paper_g2)
+            == EnumMatcher().evaluate_answer(two_negation_pattern, paper_g2)
+        )
+
+    def test_non_uk_professor_matches(self, paper_g2, two_negation_pattern):
+        graph = paper_g2.copy()
+        # Move x6 out of the UK and strip the PhD from its students.
+        graph.remove_edge("x6", "uk", "in")
+        assert QMatch().evaluate_answer(two_negation_pattern, graph) == {"x6"}

@@ -1,0 +1,163 @@
+"""Tests for the MKP assignment and the d-hop preserving partitioner DPar."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import PropertyGraph, nodes_within_hops, ring_of_cliques, small_world_social_graph
+from repro.parallel import DPar, KnapsackItem, base_partition, greedy_mkp, mkp_assign
+from repro.utils import PartitionError
+
+
+class TestMkp:
+    def test_all_items_fit(self):
+        items = [KnapsackItem(i, weight=2.0) for i in range(4)]
+        assignment, unassigned = greedy_mkp(items, capacities=[4.0, 4.0])
+        assert unassigned == []
+        assert len(assignment) == 4
+        loads = [0.0, 0.0]
+        for item_id, bin_index in assignment.items():
+            loads[bin_index] += 2.0
+        assert all(load <= 4.0 for load in loads)
+
+    def test_capacity_is_respected(self):
+        items = [KnapsackItem("big", weight=10.0), KnapsackItem("small", weight=1.0)]
+        assignment, unassigned = greedy_mkp(items, capacities=[5.0])
+        assert "big" in unassigned
+        assert assignment == {"small": 0}
+
+    def test_preferred_bin_used_when_possible(self):
+        items = [KnapsackItem("a", weight=1.0)]
+        assignment, _ = greedy_mkp(items, capacities=[10.0, 10.0], preferred_bins={"a": 1})
+        assert assignment["a"] == 1
+
+    def test_preferred_bin_overflow_falls_back(self):
+        items = [KnapsackItem("a", weight=5.0)]
+        assignment, _ = greedy_mkp(items, capacities=[10.0, 1.0], preferred_bins={"a": 1})
+        assert assignment["a"] == 0
+
+    def test_lightest_items_packed_first(self):
+        items = [KnapsackItem("heavy", weight=6.0), KnapsackItem("light", weight=2.0)]
+        assignment, unassigned = greedy_mkp(items, capacities=[7.0])
+        # The light item is considered first and fits; the heavy one no longer does.
+        assert assignment == {"light": 0}
+        assert unassigned == ["heavy"]
+
+    def test_improvement_pass_recovers_unassigned(self):
+        # Greedy puts the light items in the large bin; the exchange pass must
+        # relocate one of them so the heavy item also fits somewhere.
+        items = [
+            KnapsackItem("w4", weight=4.0),
+            KnapsackItem("w3", weight=3.0),
+            KnapsackItem("w5", weight=5.0),
+        ]
+        greedy_assignment, greedy_unassigned = greedy_mkp(items, capacities=[7.0, 5.0])
+        improved_assignment, improved_unassigned = mkp_assign(items, capacities=[7.0, 5.0])
+        assert len(improved_unassigned) <= len(greedy_unassigned)
+        assert len(improved_assignment) >= len(greedy_assignment)
+
+    def test_mkp_assign_empty_items(self):
+        assignment, unassigned = mkp_assign([], capacities=[3.0])
+        assert assignment == {} and unassigned == []
+
+
+class TestBasePartition:
+    def test_blocks_cover_all_nodes_once(self, small_pokec):
+        blocks = base_partition(small_pokec, 4, seed=1)
+        union = set().union(*blocks)
+        assert union == set(small_pokec.nodes())
+        assert sum(len(block) for block in blocks) == small_pokec.num_nodes
+
+    def test_blocks_are_balanced(self, small_pokec):
+        blocks = base_partition(small_pokec, 4, seed=1)
+        sizes = [len(block) for block in blocks]
+        assert max(sizes) <= 2 * (small_pokec.num_nodes // 4 + 1)
+
+    def test_invalid_fragment_count(self, small_pokec):
+        with pytest.raises(PartitionError):
+            base_partition(small_pokec, 0)
+
+
+class TestDPar:
+    @pytest.fixture(scope="class")
+    def partitioned(self):
+        graph = ring_of_cliques(6, 5)
+        partition = DPar(d=1, seed=3).partition(graph, 3)
+        return graph, partition
+
+    def test_partition_is_covering_and_complete(self, partitioned):
+        _, partition = partitioned
+        assert partition.is_covering()
+        assert partition.is_complete()
+
+    def test_every_node_has_exactly_one_owner(self, partitioned):
+        graph, partition = partitioned
+        owners = {}
+        for fragment in partition.fragments:
+            for node in fragment.owned_nodes:
+                assert node not in owners, "a node is owned by two fragments"
+                owners[node] = fragment.fragment_id
+        assert set(owners) == set(graph.nodes())
+
+    def test_owned_neighborhood_resides_in_fragment(self, partitioned):
+        graph, partition = partitioned
+        for fragment in partition.fragments:
+            for node in fragment.owned_nodes:
+                assert nodes_within_hops(graph, node, partition.d) <= fragment.node_set
+
+    def test_statistics_fields(self, partitioned):
+        _, partition = partitioned
+        stats = partition.statistics()
+        assert stats["fragments"] == 3.0
+        assert 0.0 < stats["skew"] <= 1.0
+        assert stats["replication"] >= 1.0
+        assert stats["largest"] >= stats["smallest"]
+
+    def test_fragments_reasonably_balanced_on_social_graph(self):
+        graph = small_world_social_graph(400, 1200, seed=2)
+        partition = DPar(d=1, seed=0).partition(graph, 4)
+        assert partition.is_covering() and partition.is_complete()
+        assert partition.skew() >= 0.3
+
+    def test_fragment_graph_cached(self, partitioned):
+        _, partition = partitioned
+        fragment = partition.fragments[0]
+        assert partition.fragment_graph(fragment) is partition.fragment_graph(fragment)
+
+    def test_extend_to_larger_radius(self, partitioned):
+        graph, partition = partitioned
+        extended = DPar(d=1, seed=3).extend(partition, 2)
+        assert extended.d == 2
+        assert extended.is_covering() and extended.is_complete()
+        # Ownership never changes during an extension.
+        for before, after in zip(partition.fragments, extended.fragments):
+            assert before.owned_nodes == after.owned_nodes
+            assert before.node_set <= after.node_set
+
+    def test_extend_cannot_shrink(self, partitioned):
+        _, partition = partitioned
+        with pytest.raises(PartitionError):
+            DPar(d=1).extend(partition, 0)
+        assert DPar(d=1).extend(partition, 1) is partition
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PartitionError):
+            DPar(d=-1)
+        with pytest.raises(PartitionError):
+            DPar(capacity_factor=0.5)
+        with pytest.raises(PartitionError):
+            DPar().partition(PropertyGraph(), 0)
+
+    def test_owner_of(self, partitioned):
+        graph, partition = partitioned
+        some_node = next(iter(graph.nodes()))
+        owner = partition.owner_of(some_node)
+        assert owner is not None
+        assert some_node in partition.fragments[owner].owned_nodes
+        assert partition.owner_of("not-a-node") is None
+
+    def test_single_fragment_partition(self, small_yago):
+        partition = DPar(d=2, seed=1).partition(small_yago, 1)
+        assert partition.num_fragments == 1
+        assert partition.is_complete() and partition.is_covering()
+        assert partition.fragments[0].node_set == set(small_yago.nodes())

@@ -1,0 +1,201 @@
+"""Tests for the workload pattern generator and the complexity reductions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import PropertyGraph
+from repro.matching import EnumMatcher
+from repro.patterns import (
+    PatternBuilder,
+    expand_numeric_to_conventional,
+    generate_pattern,
+    generate_workload,
+    mine_frequent_edges,
+    mine_frequent_paths,
+    ratio_to_numeric,
+)
+from repro.utils import PatternError
+
+
+class TestFrequentFeatureMining:
+    def test_mine_frequent_edges_orders_by_count(self, small_pokec):
+        features = mine_frequent_edges(small_pokec, top_k=5)
+        assert len(features) == 5
+        counts = [feature.count for feature in features]
+        assert counts == sorted(counts, reverse=True)
+        # follow person->person is by construction the most frequent feature.
+        assert features[0].edge_label == "follow"
+
+    def test_mine_frequent_paths(self, small_pokec):
+        paths = mine_frequent_paths(small_pokec, max_length=2, top_k=5, seed=1)
+        assert len(paths) == 5
+        for feature, count in paths:
+            assert count > 0
+            assert len(feature) % 2 == 1  # alternating node/edge labels
+
+    def test_mining_empty_graph(self):
+        assert mine_frequent_edges(PropertyGraph(), top_k=3) == []
+
+
+class TestPatternGenerator:
+    def test_generated_pattern_has_requested_shape(self, small_pokec):
+        pattern = generate_pattern(
+            small_pokec, num_nodes=5, num_edges=7, ratio_percent=30.0, num_negated=1, seed=3
+        )
+        nodes, edges, average, negated = pattern.size_signature()
+        assert nodes == 5
+        assert negated == 1
+        assert edges >= nodes - 1
+        assert average == pytest.approx(30.0)
+        pattern.validate()
+
+    def test_generated_pattern_is_deterministic(self, small_pokec):
+        a = generate_pattern(small_pokec, 5, 7, seed=11)
+        b = generate_pattern(small_pokec, 5, 7, seed=11)
+        assert a == b
+
+    def test_generated_pattern_without_negation_is_positive(self, small_pokec):
+        pattern = generate_pattern(small_pokec, 4, 5, num_negated=0, seed=2)
+        assert pattern.is_positive
+
+    def test_workload_generation(self, small_pokec):
+        workload = generate_workload(small_pokec, count=3, num_nodes=4, num_edges=5, seed=1)
+        assert len(workload) == 3
+        assert len({pattern.name for pattern in workload}) == 3
+        for pattern in workload:
+            pattern.validate()
+
+    def test_invalid_sizes_rejected(self, small_pokec):
+        with pytest.raises(PatternError):
+            generate_pattern(small_pokec, num_nodes=1, num_edges=1)
+        with pytest.raises(PatternError):
+            generate_pattern(small_pokec, num_nodes=5, num_edges=2)
+
+    def test_generator_needs_edges_in_graph(self):
+        empty = PropertyGraph()
+        empty.add_node("a", "x")
+        with pytest.raises(PatternError):
+            generate_pattern(empty, 3, 3)
+
+
+def star_graph(followers_that_recommend: int, followers_total: int) -> PropertyGraph:
+    """One user following ``followers_total`` reviewers, some of which recommend."""
+    graph = PropertyGraph("star")
+    graph.add_node("u", "person")
+    graph.add_node("prod", "product")
+    for index in range(followers_total):
+        reviewer = f"r{index}"
+        graph.add_node(reviewer, "person")
+        graph.add_edge("u", reviewer, "follow")
+        if index < followers_that_recommend:
+            graph.add_edge(reviewer, "prod", "recom")
+    return graph
+
+
+def numeric_star_pattern(p: int):
+    return (
+        PatternBuilder("P")
+        .focus("x", "person")
+        .node("y", "person")
+        .node("prod", "product")
+        .edge("x", "y", "follow", at_least=p)
+        .edge("y", "prod", "recom")
+        .build()
+    )
+
+
+def ratio_star_pattern(percent: float):
+    return (
+        PatternBuilder("P")
+        .focus("x", "person")
+        .node("y", "person")
+        .node("prod", "product")
+        .edge("x", "y", "follow", at_least_percent=percent)
+        .edge("y", "prod", "recom")
+        .build()
+    )
+
+
+class TestLemma3Expansion:
+    """expand_numeric_to_conventional must preserve the answer set (Lemma 3)."""
+
+    @pytest.mark.parametrize("recommenders, total, p", [(3, 5, 2), (2, 5, 3), (4, 4, 4), (1, 3, 1)])
+    def test_equivalence_on_star_graphs(self, recommenders, total, p):
+        graph = star_graph(recommenders, total)
+        pattern = numeric_star_pattern(p)
+        expanded = expand_numeric_to_conventional(pattern)
+        assert expanded.is_conventional
+        reference = EnumMatcher()
+        assert reference.evaluate_answer(pattern, graph) == reference.evaluate_answer(
+            expanded, graph
+        )
+
+    def test_expansion_clones_subtrees(self):
+        pattern = numeric_star_pattern(3)
+        expanded = expand_numeric_to_conventional(pattern)
+        # 3 follow branches, each with its own recom edge (plus the original).
+        follow_edges = [e for e in expanded.edges() if e.label == "follow"]
+        recom_edges = [e for e in expanded.edges() if e.label == "recom"]
+        assert len(follow_edges) == 3
+        assert len(recom_edges) == 3
+
+    def test_rejects_ratio_and_negation(self, pattern_q3):
+        with pytest.raises(PatternError):
+            expand_numeric_to_conventional(ratio_star_pattern(50))
+        with pytest.raises(PatternError):
+            expand_numeric_to_conventional(pattern_q3)
+
+
+class TestLemma4RatioElimination:
+    """ratio_to_numeric must preserve the answer set (Lemma 4)."""
+
+    @pytest.mark.parametrize(
+        "recommenders, total, percent",
+        [(4, 5, 80.0), (3, 5, 80.0), (2, 4, 50.0), (1, 4, 50.0), (5, 5, 100.0)],
+    )
+    def test_equivalence_on_star_graphs(self, recommenders, total, percent):
+        graph = star_graph(recommenders, total)
+        pattern = ratio_star_pattern(percent)
+        transformed, padded = ratio_to_numeric(pattern, graph)
+        assert all(not e.quantifier.is_ratio for e in transformed.edges())
+        reference = EnumMatcher()
+        assert reference.evaluate_answer(pattern, graph) == reference.evaluate_answer(
+            transformed, padded
+        )
+
+    def test_mixed_degree_graph(self):
+        """Two users with different out-degrees exercise the padding logic."""
+        graph = PropertyGraph("mixed")
+        graph.add_node("prod", "product")
+        for user, followees, recommending in [("a", 5, 4), ("b", 2, 1)]:
+            graph.add_node(user, "person")
+            for index in range(followees):
+                reviewer = f"{user}_r{index}"
+                graph.add_node(reviewer, "person")
+                graph.add_edge(user, reviewer, "follow")
+                if index < recommending:
+                    graph.add_edge(reviewer, "prod", "recom")
+        pattern = ratio_star_pattern(80.0)
+        transformed, padded = ratio_to_numeric(pattern, graph)
+        reference = EnumMatcher()
+        assert reference.evaluate_answer(pattern, graph) == reference.evaluate_answer(
+            transformed, padded
+        )
+
+    def test_original_graph_untouched(self, small_pokec):
+        pattern = ratio_star_pattern(80.0)
+        before_nodes = small_pokec.num_nodes
+        ratio_to_numeric(pattern, small_pokec)
+        assert small_pokec.num_nodes == before_nodes
+
+    def test_pattern_without_ratios_passthrough(self):
+        pattern = numeric_star_pattern(2)
+        graph = star_graph(2, 3)
+        transformed, padded = ratio_to_numeric(pattern, graph)
+        assert transformed == pattern
+        assert padded == graph
+
+    def test_rejects_negative_patterns(self, pattern_q3):
+        with pytest.raises(PatternError):
+            ratio_to_numeric(pattern_q3, star_graph(1, 2))

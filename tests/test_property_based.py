@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis) for the core data structures and engines.
+
+The single most important property in the whole suite: on randomly generated
+graphs and randomly generated quantified patterns, the optimized QMatch (in
+any configuration) and the parallel PQMatch return exactly the same answer as
+the enumerate-then-verify reference implementation, which is a direct
+transcription of the paper's semantics.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import PropertyGraph
+from repro.matching import DMatchOptions, EnumMatcher, QMatch
+from repro.parallel import PQMatch
+from repro.patterns import CountingQuantifier, QuantifiedGraphPattern
+
+NODE_LABELS = ["person", "product"]
+EDGE_LABELS = ["follow", "recom"]
+
+SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def labeled_graphs(draw, max_nodes: int = 14, max_edges: int = 40) -> PropertyGraph:
+    """Small random labeled digraphs with a skew toward 'person' nodes."""
+    num_nodes = draw(st.integers(min_value=3, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    graph = PropertyGraph(f"hyp-{seed}")
+    for node in range(num_nodes):
+        label = "person" if rng.random() < 0.7 else "product"
+        graph.add_node(node, label)
+    num_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    for _ in range(num_edges):
+        source = rng.randrange(num_nodes)
+        target = rng.randrange(num_nodes)
+        if source == target:
+            continue
+        label = rng.choice(EDGE_LABELS)
+        graph.add_edge(source, target, label)
+    return graph
+
+
+@st.composite
+def quantified_patterns(draw) -> QuantifiedGraphPattern:
+    """Small star-or-path shaped QGPs over the same vocabulary as the graphs."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    pattern = QuantifiedGraphPattern(name=f"hyp-Q{seed}")
+    pattern.add_node("x", "person")
+    pattern.set_focus("x")
+    branches = draw(st.integers(min_value=1, max_value=3))
+    include_negation = draw(st.booleans())
+    quantifier_kind = draw(st.sampled_from(["exist", "count", "ratio", "universal"]))
+    for index in range(branches):
+        child = f"y{index}"
+        pattern.add_node(child, "person")
+        if index == 0:
+            if quantifier_kind == "count":
+                quantifier = CountingQuantifier.at_least(draw(st.integers(1, 3)))
+            elif quantifier_kind == "ratio":
+                quantifier = CountingQuantifier.ratio_at_least(
+                    draw(st.sampled_from([25.0, 50.0, 80.0]))
+                )
+            elif quantifier_kind == "universal":
+                quantifier = CountingQuantifier.universal()
+            else:
+                quantifier = CountingQuantifier.existential()
+        else:
+            quantifier = CountingQuantifier.existential()
+        pattern.add_edge("x", child, "follow", quantifier)
+        if rng.random() < 0.6:
+            leaf = f"p{index}"
+            pattern.add_node(leaf, "product")
+            pattern.add_edge(child, leaf, "recom")
+    if include_negation:
+        pattern.add_node("neg", "person")
+        pattern.add_edge("x", "neg", "follow", CountingQuantifier.negation())
+    pattern.validate()
+    return pattern
+
+
+# ---------------------------------------------------------------------------
+# Engine equivalence
+# ---------------------------------------------------------------------------
+
+
+@given(graph=labeled_graphs(), pattern=quantified_patterns())
+@settings(**SETTINGS)
+def test_qmatch_agrees_with_reference_semantics(graph, pattern):
+    expected = EnumMatcher().evaluate_answer(pattern, graph)
+    assert QMatch().evaluate_answer(pattern, graph) == expected
+
+
+@given(graph=labeled_graphs(), pattern=quantified_patterns())
+@settings(**SETTINGS)
+def test_qmatch_without_optimisations_agrees(graph, pattern):
+    options = DMatchOptions(
+        use_simulation=False, use_potential=False, early_exit=False, use_locality=False
+    )
+    expected = EnumMatcher().evaluate_answer(pattern, graph)
+    assert QMatch(options=options).evaluate_answer(pattern, graph) == expected
+
+
+@given(graph=labeled_graphs(), pattern=quantified_patterns())
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+def test_parallel_matching_agrees_with_sequential(graph, pattern):
+    sequential = QMatch().evaluate_answer(pattern, graph)
+    parallel = PQMatch(num_workers=3, d=max(pattern.radius(), 1), seed=0).evaluate_answer(
+        pattern, graph
+    )
+    assert parallel == sequential
+
+
+@given(graph=labeled_graphs(), pattern=quantified_patterns())
+@settings(**SETTINGS)
+def test_negation_only_shrinks_the_answer(graph, pattern):
+    """Q(xo, G) ⊆ Π(Q)(xo, G): removing the negated branches can only add matches."""
+    result = QMatch().evaluate(pattern, graph)
+    assert result.answer <= result.positive_answer
+
+
+@given(graph=labeled_graphs(), pattern=quantified_patterns())
+@settings(**SETTINGS)
+def test_answers_are_focus_label_nodes(graph, pattern):
+    answer = QMatch().evaluate_answer(pattern, graph)
+    for node in answer:
+        assert graph.node_label(node) == pattern.node_label(pattern.focus)
+
+
+# ---------------------------------------------------------------------------
+# Quantifier properties
+# ---------------------------------------------------------------------------
+
+
+@given(
+    count=st.integers(min_value=0, max_value=20),
+    total=st.integers(min_value=0, max_value=20),
+    percent=st.sampled_from([10.0, 25.0, 50.0, 80.0, 100.0]),
+)
+def test_ratio_check_equals_numeric_threshold(count, total, percent):
+    """check(count, total) for '>= p%' is equivalent to count >= numeric_threshold(total)."""
+    quantifier = CountingQuantifier.ratio_at_least(percent)
+    if total == 0:
+        assert not quantifier.check(count, total)
+    else:
+        count = min(count, total)
+        assert quantifier.check(count, total) == (count >= quantifier.numeric_threshold(total))
+
+
+@given(
+    threshold=st.integers(min_value=1, max_value=10),
+    count=st.integers(min_value=0, max_value=20),
+    upper=st.integers(min_value=0, max_value=20),
+)
+def test_pruning_is_sound(threshold, count, upper):
+    """If the quantifier holds for a count below the upper bound, pruning must not fire."""
+    quantifier = CountingQuantifier.at_least(threshold)
+    if count <= upper and quantifier.check(count, upper):
+        assert quantifier.may_still_hold(upper, upper)
+
+
+# ---------------------------------------------------------------------------
+# Graph invariants
+# ---------------------------------------------------------------------------
+
+
+@given(graph=labeled_graphs())
+@settings(**SETTINGS)
+def test_graph_internal_consistency(graph):
+    graph.validate()
+    assert graph.num_edges == len(list(graph.edges()))
+    for source, target, label in graph.edges():
+        assert target in graph.successors(source, label)
+        assert source in graph.predecessors(target, label)
+
+
+@given(graph=labeled_graphs())
+@settings(**SETTINGS)
+def test_induced_subgraph_never_gains_edges(graph):
+    nodes = [node for node in graph.nodes() if isinstance(node, int) and node % 2 == 0]
+    sub = graph.induced_subgraph(nodes)
+    assert sub.num_nodes == len(nodes)
+    assert sub.num_edges <= graph.num_edges
+    for source, target, label in sub.edges():
+        assert graph.has_edge(source, target, label)
+
+
+@given(graph=labeled_graphs())
+@settings(**SETTINGS)
+def test_json_round_trip_property(graph):
+    from repro.graph import graph_from_json, graph_to_json
+
+    assert graph_from_json(graph_to_json(graph)) == graph

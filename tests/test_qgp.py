@@ -1,0 +1,217 @@
+"""Unit tests for the QGP model: structure, Π(Q), positification, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.patterns import CountingQuantifier, PatternBuilder, QuantifiedGraphPattern
+from repro.utils import PatternError, PatternValidationError
+
+from conftest import build_q3, build_q4
+
+
+class TestStructure:
+    def test_focus_required(self):
+        pattern = QuantifiedGraphPattern()
+        pattern.add_node("a", "person")
+        with pytest.raises(PatternError):
+            _ = pattern.focus
+        pattern.set_focus("a")
+        assert pattern.focus == "a"
+
+    def test_set_focus_requires_existing_node(self):
+        pattern = QuantifiedGraphPattern()
+        with pytest.raises(PatternError):
+            pattern.set_focus("ghost")
+
+    def test_add_edge_requires_nodes(self):
+        pattern = QuantifiedGraphPattern()
+        pattern.add_node("a", "person")
+        with pytest.raises(PatternError):
+            pattern.add_edge("a", "ghost", "follow")
+
+    def test_default_quantifier_is_existential(self):
+        pattern = QuantifiedGraphPattern()
+        pattern.add_node("a", "person")
+        pattern.add_node("b", "person")
+        edge = pattern.add_edge("a", "b", "follow")
+        assert edge.is_existential
+        assert pattern.quantifier("a", "b", "follow").is_existential
+
+    def test_quantifier_lookup_missing_edge(self):
+        pattern = QuantifiedGraphPattern()
+        pattern.add_node("a", "person")
+        with pytest.raises(PatternError):
+            pattern.quantifier("a", "a", "x")
+
+    def test_set_quantifier(self, pattern_q3):
+        pattern_q3.set_quantifier("xo", "z1", "follow", CountingQuantifier.at_least(5))
+        assert pattern_q3.quantifier("xo", "z1", "follow").value == 5
+        with pytest.raises(PatternError):
+            pattern_q3.set_quantifier("xo", "z1", "like", CountingQuantifier.at_least(5))
+
+    def test_edges_are_deterministically_ordered(self, pattern_q3):
+        assert [e.key for e in pattern_q3.edges()] == sorted(
+            e.key for e in pattern_q3.edges()
+        )
+
+    def test_in_and_out_edges(self, pattern_q3):
+        out_labels = {e.label for e in pattern_q3.out_edges("xo")}
+        assert out_labels == {"follow"}
+        in_edges = pattern_q3.in_edges("redmi")
+        assert {e.source for e in in_edges} == {"z1", "z2"}
+
+
+class TestClassification:
+    def test_positive_and_negative(self, pattern_q2, pattern_q3):
+        assert pattern_q2.is_positive
+        assert not pattern_q3.is_positive
+        assert len(pattern_q3.negated_edges()) == 1
+
+    def test_conventional(self):
+        conventional = (
+            PatternBuilder("C")
+            .focus("a", "person")
+            .node("b", "person")
+            .edge("a", "b", "follow")
+            .build()
+        )
+        assert conventional.is_conventional
+        assert conventional.is_positive
+
+    def test_size_signature(self, pattern_q3):
+        nodes, edges, average, negated = pattern_q3.size_signature()
+        assert (nodes, edges, negated) == (4, 4, 1)
+        assert average == pytest.approx(2.0)  # the single '>= 2' numeric aggregate
+
+    def test_non_existential_edges(self, pattern_q2):
+        assert [e.quantifier.is_universal for e in pattern_q2.non_existential_edges()] == [True]
+
+
+class TestDerivedPatterns:
+    def test_stratified_strips_quantifiers(self, pattern_q3):
+        stratified = pattern_q3.stratified()
+        assert stratified.is_conventional
+        assert stratified.num_nodes == pattern_q3.num_nodes
+        assert stratified.num_edges == pattern_q3.num_edges
+        assert stratified.focus == pattern_q3.focus
+
+    def test_pi_drops_negated_branch(self, pattern_q3):
+        positive = pattern_q3.pi()
+        assert positive.is_positive
+        assert "z2" not in set(positive.nodes())
+        # redmi stays because it is reachable through the positive z1 branch.
+        assert "redmi" in set(positive.nodes())
+        assert positive.num_edges == 2
+
+    def test_pi_of_positive_pattern_is_identity(self, pattern_q2):
+        assert pattern_q2.pi() == pattern_q2
+
+    def test_positify(self, pattern_q3):
+        negated = pattern_q3.negated_edges()[0]
+        positified = pattern_q3.positify(negated)
+        assert positified.quantifier(*negated.key).is_existential
+        # The original pattern is untouched.
+        assert pattern_q3.quantifier(*negated.key).is_negation
+
+    def test_positify_requires_negated_edge(self, pattern_q2):
+        edge = pattern_q2.edges()[0]
+        with pytest.raises(PatternError):
+            pattern_q2.positify(edge)
+
+    def test_positified_pi_patterns(self, pattern_q3):
+        pairs = pattern_q3.positified_pi_patterns()
+        assert len(pairs) == 1
+        edge, positified_pi = pairs[0]
+        assert edge.is_negated
+        assert positified_pi.is_positive
+        assert "z2" in set(positified_pi.nodes())
+
+    def test_q4_pi_keeps_shared_constants(self, pattern_q4):
+        positive = pattern_q4.pi()
+        assert "phd" not in set(positive.nodes())
+        assert {"prof", "uk", "z"} <= set(positive.nodes())
+
+
+class TestMetricsAndValidation:
+    def test_radius(self, pattern_q2, pattern_q3, pattern_q4):
+        assert pattern_q2.radius() == 2
+        assert pattern_q3.radius() == 2
+        assert pattern_q4.radius() == 1
+
+    def test_radius_requires_connectivity(self):
+        pattern = QuantifiedGraphPattern()
+        pattern.add_node("a", "person")
+        pattern.add_node("b", "person")
+        pattern.add_node("c", "person")
+        pattern.add_edge("a", "b", "follow")
+        pattern.set_focus("a")
+        with pytest.raises(PatternError):
+            pattern.radius()
+
+    def test_validate_rejects_disconnected(self):
+        pattern = QuantifiedGraphPattern()
+        pattern.add_node("a", "person")
+        pattern.add_node("b", "person")
+        pattern.set_focus("a")
+        with pytest.raises(PatternValidationError):
+            pattern.validate()
+
+    def test_validate_rejects_double_negation_on_a_path(self):
+        pattern = QuantifiedGraphPattern()
+        for node, label in [("a", "person"), ("b", "person"), ("c", "person")]:
+            pattern.add_node(node, label)
+        pattern.set_focus("a")
+        pattern.add_edge("a", "b", "follow", CountingQuantifier.negation())
+        pattern.add_edge("b", "c", "follow", CountingQuantifier.negation())
+        with pytest.raises(PatternValidationError):
+            pattern.validate()
+
+    def test_validate_allows_negations_on_different_branches(self):
+        # The paper's Q5 carries two negated edges on different branches.
+        pattern = QuantifiedGraphPattern()
+        for node, label in [("a", "person"), ("b", "person"), ("c", "person")]:
+            pattern.add_node(node, label)
+        pattern.set_focus("a")
+        pattern.add_edge("a", "b", "follow", CountingQuantifier.negation())
+        pattern.add_edge("a", "c", "like", CountingQuantifier.negation())
+        pattern.validate()  # must not raise
+
+    def test_validate_limits_quantifiers_per_path(self):
+        pattern = QuantifiedGraphPattern()
+        for index in range(4):
+            pattern.add_node(f"n{index}", "person")
+        pattern.set_focus("n0")
+        for index in range(3):
+            pattern.add_edge(f"n{index}", f"n{index + 1}", "follow",
+                             CountingQuantifier.at_least(2))
+        with pytest.raises(PatternValidationError):
+            pattern.validate(max_quantified_per_path=2)
+        pattern.validate(max_quantified_per_path=3)
+
+    def test_validate_paper_patterns(self, pattern_q2, pattern_q3, pattern_q4):
+        for pattern in (pattern_q2, pattern_q3, pattern_q4):
+            pattern.validate()
+
+
+class TestCopyAndEquality:
+    def test_copy_is_equal_but_independent(self, pattern_q3):
+        clone = pattern_q3.copy()
+        assert clone == pattern_q3
+        clone.add_node("extra", "person")
+        clone.add_edge("xo", "extra", "follow")
+        assert clone != pattern_q3
+
+    def test_relabel_nodes(self, pattern_q2):
+        renamed = pattern_q2.relabel_nodes({"xo": "focus", "z": "friend"})
+        assert renamed.focus == "focus"
+        assert renamed.node_label("friend") == "person"
+        assert renamed.num_edges == pattern_q2.num_edges
+
+    def test_q3_q4_factories_with_different_thresholds(self):
+        assert build_q3(3).quantifier("xo", "z1", "follow").value == 3
+        assert build_q4(5).quantifier("xo", "z", "advisor").value == 5
+
+    def test_describe_contains_all_edges(self, pattern_q3):
+        text = pattern_q3.describe()
+        assert "follow" in text and "= 0" in text and ">= 2" in text

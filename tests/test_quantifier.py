@@ -1,0 +1,137 @@
+"""Unit tests for counting quantifiers (syntax, classification, evaluation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.patterns import CountingQuantifier
+from repro.utils import QuantifierError
+
+
+class TestConstruction:
+    def test_existential_default(self):
+        q = CountingQuantifier.existential()
+        assert q.is_existential and q.is_positive
+        assert not q.is_negation and not q.is_universal
+
+    def test_universal(self):
+        q = CountingQuantifier.universal()
+        assert q.is_universal and q.is_ratio and q.is_positive
+
+    def test_negation(self):
+        q = CountingQuantifier.negation()
+        assert q.is_negation and not q.is_positive
+
+    def test_numeric_constructors(self):
+        assert CountingQuantifier.at_least(3).describe() == ">= 3"
+        assert CountingQuantifier.exactly(2).describe() == "= 2"
+        assert CountingQuantifier.more_than(1).describe() == "> 1"
+
+    def test_ratio_constructors(self):
+        assert CountingQuantifier.ratio_at_least(80).describe() == ">= 80%"
+        assert CountingQuantifier.ratio_exactly(100).is_universal
+
+    @pytest.mark.parametrize(
+        "op, value, is_ratio",
+        [
+            ("<", 1, False),          # unsupported operator
+            (">=", 0, False),         # zero only with '='
+            (">=", -1, False),        # negative
+            (">=", 1.5, False),       # non-integer numeric
+            (">=", 0, True),          # ratio must be in (0, 100]
+            (">=", 120, True),        # ratio above 100
+        ],
+    )
+    def test_invalid_quantifiers(self, op, value, is_ratio):
+        with pytest.raises(QuantifierError):
+            CountingQuantifier(op, value, is_ratio)
+
+    def test_immutability(self):
+        q = CountingQuantifier.at_least(2)
+        with pytest.raises(Exception):
+            q.value = 5  # type: ignore[misc]
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "quantifier, count, total, expected",
+        [
+            (CountingQuantifier.at_least(2), 2, 10, True),
+            (CountingQuantifier.at_least(2), 1, 10, False),
+            (CountingQuantifier.exactly(0), 0, 10, True),
+            (CountingQuantifier.exactly(0), 1, 10, False),
+            (CountingQuantifier.more_than(2), 3, 10, True),
+            (CountingQuantifier.more_than(2), 2, 10, False),
+            (CountingQuantifier.ratio_at_least(80), 4, 5, True),
+            (CountingQuantifier.ratio_at_least(80), 3, 5, False),
+            (CountingQuantifier.universal(), 5, 5, True),
+            (CountingQuantifier.universal(), 4, 5, False),
+            (CountingQuantifier.ratio_exactly(50), 2, 4, True),
+            (CountingQuantifier.ratio_exactly(50), 3, 4, False),
+        ],
+    )
+    def test_check(self, quantifier, count, total, expected):
+        assert quantifier.check(count, total) is expected
+
+    def test_ratio_with_zero_total_is_unsatisfiable(self):
+        assert not CountingQuantifier.universal().check(0, 0)
+        assert not CountingQuantifier.ratio_at_least(10).check(0, 0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(QuantifierError):
+            CountingQuantifier.at_least(1).check(-1, 3)
+
+    def test_numeric_threshold_for_ratios_rounds_up_for_geq(self):
+        q = CountingQuantifier.ratio_at_least(80)
+        assert q.numeric_threshold(5) == 4
+        assert q.numeric_threshold(4) == 4   # 3.2 children is not reachable -> need 4
+        assert q.numeric_threshold(10) == 8
+
+    def test_numeric_threshold_for_numeric_quantifiers(self):
+        assert CountingQuantifier.at_least(3).numeric_threshold(100) == 3
+
+    def test_threshold_consistency_with_check(self):
+        """count >= numeric_threshold(total)  <=>  check(count, total) for '>=' ratios."""
+        q = CountingQuantifier.ratio_at_least(37.5)
+        for total in range(1, 12):
+            threshold = q.numeric_threshold(total)
+            for count in range(total + 1):
+                assert q.check(count, total) == (count >= threshold)
+
+
+class TestPruningSupport:
+    def test_may_still_hold_for_monotone_quantifiers(self):
+        q = CountingQuantifier.at_least(3)
+        assert q.may_still_hold(3, 10)
+        assert not q.may_still_hold(2, 10)
+
+    def test_may_still_hold_for_ratio(self):
+        q = CountingQuantifier.ratio_at_least(50)
+        assert q.may_still_hold(3, 6)
+        assert not q.may_still_hold(2, 6)
+
+    def test_negation_never_pruned_by_upper_bound(self):
+        assert CountingQuantifier.negation().may_still_hold(0, 10)
+        assert CountingQuantifier.negation().may_still_hold(5, 10)
+
+    def test_equality_pruned_when_upper_bound_below_target(self):
+        q = CountingQuantifier.exactly(4)
+        assert q.may_still_hold(4, 10)
+        assert not q.may_still_hold(3, 10)
+
+
+class TestMisc:
+    def test_positified(self):
+        assert CountingQuantifier.negation().positified().is_existential
+        with pytest.raises(QuantifierError):
+            CountingQuantifier.at_least(2).positified()
+
+    def test_describe_and_str(self):
+        assert str(CountingQuantifier.negation()) == "= 0"
+        assert str(CountingQuantifier.universal()) == "= 100%"
+        assert str(CountingQuantifier.ratio_at_least(37.5)) == ">= 37.5%"
+
+    def test_equality_and_hash(self):
+        assert CountingQuantifier.at_least(2) == CountingQuantifier(">=", 2, False)
+        assert hash(CountingQuantifier.at_least(2)) == hash(CountingQuantifier(">=", 2, False))
+        assert CountingQuantifier.at_least(2) != CountingQuantifier.exactly(2)

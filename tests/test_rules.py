@@ -1,0 +1,261 @@
+"""Tests for QGARs, GPARs and the rule-mining procedure (paper Section 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching import QMatch
+from repro.patterns import CountingQuantifier, PatternBuilder
+from repro.rules import (
+    GPAR,
+    QGAR,
+    MiningConfig,
+    dgar_match,
+    extend_to_qgar,
+    gar_match,
+    is_gpar,
+    mine_gpars,
+    mine_qgars,
+)
+from repro.utils import RuleError
+
+
+def antecedent_follow_recommenders(p: int = 2):
+    return (
+        PatternBuilder("A")
+        .focus("xo", "person")
+        .node("z", "person")
+        .node("redmi", "Redmi_2A")
+        .edge("xo", "z", "follow", at_least=p)
+        .edge("z", "redmi", "recom")
+        .build()
+    )
+
+
+def consequent_buy():
+    return (
+        PatternBuilder("C")
+        .focus("xo", "person")
+        .node("phone", "Redmi_2A")
+        .edge("xo", "phone", "buy")
+        .build()
+    )
+
+
+@pytest.fixture
+def g1_with_purchases(paper_g1):
+    """G1 plus purchase edges: x2 bought the phone, x3 did not (but could have)."""
+    graph = paper_g1.copy()
+    graph.add_edge("x2", "redmi", "buy")
+    graph.add_edge("v0", "redmi", "buy")  # a buyer outside the antecedent matches
+    return graph
+
+
+class TestQgarModel:
+    def test_valid_rule_construction(self):
+        rule = QGAR(antecedent_follow_recommenders(), consequent_buy(), name="R")
+        assert rule.focus == "xo"
+        assert "R" in repr(rule)
+
+    def test_antecedent_and_consequent_must_share_focus(self):
+        bad_consequent = (
+            PatternBuilder()
+            .focus("other", "person")
+            .node("p", "Redmi_2A")
+            .edge("other", "p", "buy")
+            .build()
+        )
+        with pytest.raises(RuleError):
+            QGAR(antecedent_follow_recommenders(), bad_consequent)
+
+    def test_focus_label_must_agree(self):
+        bad_consequent = (
+            PatternBuilder()
+            .focus("xo", "robot")
+            .node("p", "Redmi_2A")
+            .edge("xo", "p", "buy")
+            .build()
+        )
+        with pytest.raises(RuleError):
+            QGAR(antecedent_follow_recommenders(), bad_consequent)
+
+    def test_patterns_must_be_nonempty(self):
+        empty = PatternBuilder().focus("xo", "person").peek()
+        with pytest.raises(RuleError):
+            QGAR(empty, consequent_buy())
+
+    def test_patterns_must_not_share_edges(self):
+        duplicated = (
+            PatternBuilder()
+            .focus("xo", "person")
+            .node("z", "person")
+            .node("redmi", "Redmi_2A")
+            .edge("xo", "z", "follow", at_least=2)
+            .edge("z", "redmi", "recom")
+            .build()
+        )
+        with pytest.raises(RuleError):
+            QGAR(antecedent_follow_recommenders(), duplicated)
+
+    def test_combined_pattern_unions_both_sides(self):
+        rule = QGAR(antecedent_follow_recommenders(), consequent_buy())
+        combined = rule.combined_pattern()
+        assert combined.num_edges == 3
+        assert combined.focus == "xo"
+
+    def test_combined_pattern_label_conflict(self):
+        conflicting = (
+            PatternBuilder()
+            .focus("xo", "person")
+            .node("z", "product")  # 'z' is a person in the antecedent
+            .edge("xo", "z", "buy")
+            .build()
+        )
+        rule = QGAR(antecedent_follow_recommenders(), conflicting)
+        with pytest.raises(RuleError):
+            rule.combined_pattern()
+
+    def test_describe(self):
+        rule = QGAR(antecedent_follow_recommenders(), consequent_buy(), name="R9")
+        assert "R9" in rule.describe()
+
+
+class TestSupportAndConfidence:
+    def test_matches_are_the_intersection(self, g1_with_purchases):
+        rule = QGAR(antecedent_follow_recommenders(p=2), consequent_buy())
+        evaluation = rule.evaluate(g1_with_purchases)
+        assert evaluation.antecedent_matches == {"x2", "x3"}
+        assert evaluation.consequent_matches == {"x2", "v0"}
+        assert evaluation.matches == {"x2"}
+        assert evaluation.support == 1
+
+    def test_lcwa_confidence(self, g1_with_purchases):
+        """Only x2 has any 'buy' edge among antecedent matches, so conf = 1/1."""
+        rule = QGAR(antecedent_follow_recommenders(p=2), consequent_buy())
+        evaluation = rule.evaluate(g1_with_purchases)
+        assert evaluation.negative_candidates == {"x2", "v0"}
+        assert evaluation.confidence == pytest.approx(1.0)
+
+    def test_confidence_drops_when_negatives_exist(self, g1_with_purchases):
+        # Give x3 a buy edge to a *different* product: under LCWA x3 now counts
+        # as a true negative for the rule, halving the confidence.
+        g1_with_purchases.add_node("otherphone", "product")
+        g1_with_purchases.add_edge("x3", "otherphone", "buy")
+        rule = QGAR(antecedent_follow_recommenders(p=2), consequent_buy())
+        evaluation = rule.evaluate(g1_with_purchases)
+        assert evaluation.confidence == pytest.approx(0.5)
+
+    def test_zero_confidence_when_no_negative_pool(self, paper_g1):
+        rule = QGAR(antecedent_follow_recommenders(p=2), consequent_buy())
+        evaluation = rule.evaluate(paper_g1)  # nobody has a buy edge at all
+        assert evaluation.support == 0
+        assert evaluation.confidence == 0.0
+
+    def test_support_anti_monotonicity(self, g1_with_purchases):
+        """Lemma 10: increasing a positive threshold never increases support."""
+        weaker = QGAR(antecedent_follow_recommenders(p=1), consequent_buy())
+        stronger = QGAR(antecedent_follow_recommenders(p=3), consequent_buy())
+        assert stronger.evaluate(g1_with_purchases).support <= weaker.evaluate(
+            g1_with_purchases
+        ).support
+
+    def test_support_anti_monotonicity_on_extension(self, g1_with_purchases):
+        base = QGAR(antecedent_follow_recommenders(p=2), consequent_buy())
+        extended_antecedent = antecedent_follow_recommenders(p=2)
+        extended_antecedent.add_node("club", "music_club")
+        extended_antecedent.add_edge("xo", "club", "in")
+        extended = QGAR(extended_antecedent, consequent_buy())
+        assert extended.evaluate(g1_with_purchases).support <= base.evaluate(
+            g1_with_purchases
+        ).support
+
+
+class TestEntityIdentification:
+    def test_gar_match_respects_threshold(self, g1_with_purchases):
+        rule = QGAR(antecedent_follow_recommenders(p=2), consequent_buy())
+        assert gar_match(rule, g1_with_purchases, eta=0.9) == {"x2"}
+        assert gar_match(rule, g1_with_purchases, eta=1.01) == set()
+
+    def test_dgar_match_agrees_with_sequential(self, g1_with_purchases):
+        rule = QGAR(antecedent_follow_recommenders(p=2), consequent_buy())
+        assert dgar_match(rule, g1_with_purchases, eta=0.9, num_workers=2) == gar_match(
+            rule, g1_with_purchases, eta=0.9
+        )
+
+    def test_identify_uses_engine(self, g1_with_purchases):
+        rule = QGAR(antecedent_follow_recommenders(p=2), consequent_buy())
+        assert rule.identify(g1_with_purchases, eta=0.5, engine=QMatch()) == {"x2"}
+
+    def test_dataset_rule_r1(self, small_pokec, dataset_rule_r1):
+        evaluation = dataset_rule_r1.evaluate(small_pokec)
+        assert evaluation.support > 0
+        assert 0.0 < evaluation.confidence <= 1.0
+
+
+class TestGpar:
+    def test_gpar_requires_conventional_antecedent(self):
+        with pytest.raises(RuleError):
+            GPAR(antecedent_follow_recommenders(p=2), "buy", "Redmi_2A")
+
+    def test_gpar_as_qgar(self):
+        antecedent = (
+            PatternBuilder()
+            .focus("xo", "person")
+            .node("z", "person")
+            .edge("xo", "z", "follow")
+            .build()
+        )
+        gpar = GPAR(antecedent, consequent_label="buy", consequent_target_label="Redmi_2A")
+        rule = gpar.as_qgar()
+        assert is_gpar(rule)
+        assert rule.consequent.num_edges == 1
+
+    def test_is_gpar_rejects_quantified_rules(self):
+        rule = QGAR(antecedent_follow_recommenders(p=2), consequent_buy())
+        assert not is_gpar(rule)
+
+    def test_consequent_target_must_differ_from_focus(self):
+        antecedent = (
+            PatternBuilder()
+            .focus("xo", "person")
+            .node("z", "person")
+            .edge("xo", "z", "follow")
+            .build()
+        )
+        gpar = GPAR(antecedent, "buy", "product", consequent_target="xo")
+        with pytest.raises(RuleError):
+            gpar.consequent_pattern()
+
+
+class TestMining:
+    def test_mine_gpars_returns_interesting_rules(self, small_pokec):
+        config = MiningConfig(focus_label="person", min_support=2, min_confidence=0.3,
+                              max_rules=5)
+        rules = mine_gpars(small_pokec, config=config, seed=1)
+        assert rules, "the planted cohorts should yield at least one rule"
+        for record in rules:
+            assert record.support >= config.min_support
+            assert record.confidence >= config.min_confidence
+            assert is_gpar(record.rule)
+        confidences = [record.confidence for record in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_extend_to_qgar_keeps_confidence_above_eta(self, small_pokec):
+        config = MiningConfig(focus_label="person", min_support=2, min_confidence=0.3)
+        seeds = mine_gpars(small_pokec, config=config, seed=1)
+        seed_rule = seeds[0]
+        extended = extend_to_qgar(seed_rule.rule, small_pokec, eta=0.3, config=config)
+        assert extended.support > 0
+        assert extended.confidence >= 0.3
+
+    def test_mine_qgars_end_to_end(self, small_pokec):
+        config = MiningConfig(focus_label="person", min_support=2, min_confidence=0.3,
+                              max_rules=3, max_extension_rounds=2)
+        rules = mine_qgars(small_pokec, eta=0.3, config=config, seed=1)
+        assert rules
+        assert all(record.confidence >= 0.3 for record in rules)
+
+    def test_mining_empty_graph(self):
+        from repro.graph import PropertyGraph
+
+        assert mine_gpars(PropertyGraph()) == []

@@ -1,0 +1,149 @@
+"""Tests for the shared utilities: RNG, timing, tables, counters, errors."""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.utils import (
+    EdgeNotFoundError,
+    NodeNotFoundError,
+    ReproError,
+    StopwatchRegistry,
+    Timer,
+    WorkCounter,
+    ensure_rng,
+    format_seconds,
+    render_kv,
+    render_series,
+    render_table,
+    sample_without_replacement,
+    weighted_choice,
+)
+
+
+class TestRng:
+    def test_ensure_rng_from_int_is_deterministic(self):
+        assert ensure_rng(5).random() == ensure_rng(5).random()
+
+    def test_ensure_rng_passthrough(self):
+        rng = random.Random(1)
+        assert ensure_rng(rng) is rng
+
+    def test_ensure_rng_none(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_weighted_choice_respects_weights(self):
+        rng = ensure_rng(0)
+        picks = [weighted_choice(rng, ["a", "b"], [0.0, 1.0]) for _ in range(20)]
+        assert set(picks) == {"b"}
+
+    def test_weighted_choice_validation(self):
+        rng = ensure_rng(0)
+        with pytest.raises(ValueError):
+            weighted_choice(rng, [], [])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [0.0])
+
+    def test_sample_without_replacement(self):
+        rng = ensure_rng(0)
+        sample = sample_without_replacement(rng, list(range(10)), 4)
+        assert len(sample) == 4
+        assert len(set(sample)) == 4
+
+    def test_sample_with_exclusions_and_small_pool(self):
+        rng = ensure_rng(0)
+        sample = sample_without_replacement(rng, [1, 2, 3], 10, exclude={2})
+        assert sorted(sample) == [1, 3]
+
+
+class TestTiming:
+    def test_timer_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+
+    def test_timer_unstarted(self):
+        assert Timer().elapsed == 0.0
+
+    def test_stopwatch_accumulates(self):
+        registry = StopwatchRegistry()
+        for _ in range(3):
+            with registry.measure("phase"):
+                time.sleep(0.002)
+        assert registry.total("phase") >= 0.006
+        assert registry.mean("phase") > 0.0
+        assert registry.counts["phase"] == 3
+        assert "phase" in registry.as_dict()
+        registry.reset()
+        assert registry.total("phase") == 0.0
+
+    def test_unknown_phase_is_zero(self):
+        assert StopwatchRegistry().total("nothing") == 0.0
+
+    @pytest.mark.parametrize(
+        "seconds, expected_unit",
+        [(2.0, "s"), (0.005, "ms"), (0.0000005, "µs")],
+    )
+    def test_format_seconds(self, seconds, expected_unit):
+        assert expected_unit in format_seconds(seconds)
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        table = render_table(["name", "value"], [["alpha", 1], ["b", 22.5]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_series(self):
+        series = render_series("time", [1, 2], [0.5, 0.7])
+        assert "time" in series and "0.5" in series
+
+    def test_render_kv(self):
+        block = render_kv({"answers": 10, "speedup": 2.5}, title="stats")
+        assert "answers" in block and "2.5" in block
+        assert render_kv({}, title="empty") == "empty"
+
+
+class TestCounters:
+    def test_bump_and_merge(self):
+        a = WorkCounter(verifications=1, extensions=2)
+        a.bump("cache_hits", 3)
+        b = WorkCounter(verifications=4, quantifier_checks=5)
+        b.bump("cache_hits")
+        a.merge(b)
+        assert a.verifications == 5
+        assert a.extensions == 2
+        assert a.quantifier_checks == 5
+        assert a.extras["cache_hits"] == 4
+
+    def test_total_work_and_dict(self):
+        counter = WorkCounter(verifications=1, extensions=2, quantifier_checks=3)
+        assert counter.total_work() == 6
+        assert counter.as_dict()["extensions"] == 2
+
+    def test_copy_is_independent(self):
+        counter = WorkCounter(verifications=1)
+        counter.bump("x")
+        clone = counter.copy()
+        clone.verifications += 1
+        clone.bump("x")
+        assert counter.verifications == 1
+        assert counter.extras["x"] == 1
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(NodeNotFoundError, ReproError)
+        assert issubclass(EdgeNotFoundError, KeyError)
+
+    def test_messages(self):
+        assert "ghost" in str(NodeNotFoundError("ghost"))
+        assert "follow" in str(EdgeNotFoundError("a", "b", "follow"))
+        assert "->" in str(EdgeNotFoundError("a", "b"))
