@@ -6,6 +6,12 @@ matches, then verify quantifiers) over YAGO2, Pokec (two query sizes) and a
 larger synthetic graph.  This benchmark reproduces the same comparison on the
 scaled-down datasets: the workload per dataset mixes the paper's example
 patterns with generated queries of the same size signature.
+
+Two extra rows quantify the compiled graph index (``repro.index``):
+``QMatch-noidx`` runs the identical algorithm through the dict-backed
+fallback (``use_index=False``), and ``index-build`` reports the one-off
+snapshot compilation as its own phase, so the table directly shows the
+sequential speedup the index buys and what it costs to build.
 """
 
 from __future__ import annotations
@@ -14,10 +20,14 @@ import pytest
 
 from repro.bench import EngineSpec, run_engines, summarize_records
 from repro.datasets import paper_pattern, workload_patterns
-from repro.matching import EnumMatcher, QMatch
+from repro.matching import DMatchOptions, EnumMatcher, QMatch
 
 ENGINES = [
     EngineSpec("QMatch", lambda: QMatch()),
+    EngineSpec(
+        "QMatch-noidx",
+        lambda: QMatch(options=DMatchOptions(use_index=False), name="QMatch-noidx"),
+    ),
     EngineSpec("QMatchN", lambda: QMatch(use_incremental=False)),
     EngineSpec("Enum", lambda: EnumMatcher()),
 ]
@@ -37,7 +47,7 @@ def _workload(graph, dataset: str):
 
 
 def _run(graph, dataset):
-    records = run_engines(ENGINES, _workload(graph, dataset), graph)
+    records = run_engines(ENGINES, _workload(graph, dataset), graph, prebuild_index=True)
     return summarize_records(records)
 
 

@@ -11,6 +11,9 @@ The package layers cleanly:
   simulation, synthetic generators, I/O;
 * :mod:`repro.patterns` — quantified graph patterns (QGPs), a builder and a
   textual DSL, the workload generator, and the complexity reductions;
+* :mod:`repro.index`    — compiled graph snapshots (interned ids, per-label
+  CSR adjacency, degree arrays, neighbourhood signatures) powering the
+  ``use_index=True`` fast paths of the matching and parallel layers;
 * :mod:`repro.matching` — the Enum baseline, QMatch/DMatch and the incremental
   IncQMatch for negated edges;
 * :mod:`repro.parallel` — the d-hop preserving partitioner DPar and the
@@ -25,6 +28,7 @@ from repro.core import (
     DPar,
     DMatchOptions,
     EnumMatcher,
+    GraphIndex,
     HopPreservingPartition,
     MatchResult,
     ParallelMatchResult,
@@ -53,6 +57,7 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "PropertyGraph",
+    "GraphIndex",
     "small_world_social_graph",
     "CountingQuantifier",
     "QuantifiedGraphPattern",

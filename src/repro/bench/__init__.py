@@ -1,6 +1,7 @@
 """Benchmark harness shared by the figure-reproduction benchmarks."""
 
 from repro.bench.harness import (
+    INDEX_BUILD_ENGINE,
     EngineSpec,
     RunRecord,
     records_to_table,
@@ -14,4 +15,5 @@ __all__ = [
     "run_engines",
     "summarize_records",
     "records_to_table",
+    "INDEX_BUILD_ENGINE",
 ]

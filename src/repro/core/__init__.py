@@ -7,6 +7,7 @@ internal module layout.
 """
 
 from repro.graph import PropertyGraph, small_world_social_graph
+from repro.index import GraphIndex
 from repro.matching import (
     DMatchOptions,
     EnumMatcher,
@@ -35,6 +36,7 @@ from repro.rules import QGAR, dgar_match, gar_match, mine_qgars
 
 __all__ = [
     "PropertyGraph",
+    "GraphIndex",
     "small_world_social_graph",
     "CountingQuantifier",
     "QuantifiedGraphPattern",

@@ -52,7 +52,17 @@ class PropertyGraph:
     ['redmi']
     """
 
-    __slots__ = ("name", "_labels", "_attrs", "_out", "_in", "_edge_count", "_label_index")
+    __slots__ = (
+        "name",
+        "_labels",
+        "_attrs",
+        "_out",
+        "_in",
+        "_edge_count",
+        "_label_index",
+        "_version",
+        "_index_cache",
+    )
 
     def __init__(self, name: str = "graph") -> None:
         self.name = name
@@ -67,6 +77,29 @@ class PropertyGraph:
         self._edge_count = 0
         # node label -> set of node ids carrying that label
         self._label_index: Dict[Label, Set[NodeId]] = {}
+        # Monotone structural-mutation counter; compiled snapshots
+        # (repro.index.GraphIndex) remember it to detect staleness.
+        self._version = 0
+        self._index_cache: Optional[object] = None
+
+    # ---------------------------------------------------------- index support
+
+    @property
+    def version(self) -> int:
+        """Structural mutation counter (bumped by node/edge/label changes).
+
+        Attribute updates do not bump it: compiled indexes only mirror the
+        graph *structure*, so attribute-only changes never invalidate them.
+        """
+        return self._version
+
+    def cached_index(self) -> Optional[object]:
+        """The last compiled index snapshot cached on this graph (may be stale)."""
+        return self._index_cache
+
+    def cache_index(self, snapshot: object) -> None:
+        """Attach a compiled index snapshot (managed by ``GraphIndex.for_graph``)."""
+        self._index_cache = snapshot
 
     # ------------------------------------------------------------------ nodes
 
@@ -81,6 +114,8 @@ class PropertyGraph:
         if previous is None:
             self._out[node] = {}
             self._in[node] = {}
+        if previous != label:
+            self._version += 1
         self._labels[node] = label
         self._label_index.setdefault(label, set()).add(node)
         if attrs:
@@ -135,6 +170,7 @@ class PropertyGraph:
         self._attrs.pop(node, None)
         del self._out[node]
         del self._in[node]
+        self._version += 1
 
     # ------------------------------------------------------------------ edges
 
@@ -155,6 +191,7 @@ class PropertyGraph:
         targets.add(target)
         self._in[target].setdefault(label, set()).add(source)
         self._edge_count += 1
+        self._version += 1
 
     def has_edge(self, source: NodeId, target: NodeId, label: Optional[Label] = None) -> bool:
         """Whether an edge from *source* to *target* exists (optionally of *label*)."""
@@ -184,6 +221,7 @@ class PropertyGraph:
         if not sources:
             del self._in[target][label]
         self._edge_count -= 1
+        self._version += 1
 
     def edges(self) -> Iterator[Edge]:
         """Iterate over all edges as ``(source, target, label)`` triples."""
@@ -315,6 +353,20 @@ class PropertyGraph:
             self.add_edge(source, target, label)
 
     # ------------------------------------------------------------- protocols
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Compiled index snapshots are per-process caches; shipping them to a
+        # worker process would only duplicate the graph payload.
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "_index_cache"
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+        self._index_cache = None
 
     def __contains__(self, node: NodeId) -> bool:
         return node in self._labels

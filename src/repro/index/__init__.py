@@ -1,0 +1,28 @@
+"""Compiled graph-index subsystem: interned CSR snapshots for fast matching.
+
+The dict-of-sets adjacency of :class:`repro.graph.PropertyGraph` is ideal for
+updates but pays hashing and pointer-chasing on every probe.  This package
+compiles a graph into an immutable :class:`GraphIndex` snapshot — interned
+ids, per-edge-label CSR adjacency with degree arrays, per-node neighbourhood
+label signatures, and a compiled label index — that the candidate filter,
+the (dual) simulation fixpoint and the partitioner consume through
+``use_index=True`` switches, each keeping a dict-backed fallback path that is
+asserted byte-identical by the test suite.
+
+See :mod:`repro.index.snapshot` for the invariants (immutability, staleness
+counter, per-graph caching).
+"""
+
+from repro.index.csr import LabeledCSR, build_csr_pair
+from repro.index.interning import Interner
+from repro.index.signatures import NeighborhoodSignatures, build_signatures
+from repro.index.snapshot import GraphIndex
+
+__all__ = [
+    "GraphIndex",
+    "Interner",
+    "LabeledCSR",
+    "build_csr_pair",
+    "NeighborhoodSignatures",
+    "build_signatures",
+]

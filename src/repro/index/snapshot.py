@@ -1,0 +1,321 @@
+"""The :class:`GraphIndex` facade: one immutable, compiled snapshot per graph.
+
+``GraphIndex.build(graph)`` compiles a :class:`~repro.graph.PropertyGraph`
+into the read-optimised representation the matching layer hammers on:
+
+* interned node ids and node/edge labels (:mod:`repro.index.interning`),
+* per-edge-label CSR adjacency in both directions plus degree arrays
+  (:mod:`repro.index.csr`),
+* per-node neighbourhood label signatures (:mod:`repro.index.signatures`),
+* a per-node-label membership array (the compiled label index).
+
+Invariants
+----------
+* **Immutability** — a snapshot is never mutated after :meth:`GraphIndex.build`
+  returns; consumers may share it freely across threads.
+* **Staleness detection** — the snapshot remembers the graph's mutation
+  counter (:attr:`PropertyGraph.version`).  :meth:`is_stale` compares it to the
+  live graph, and :meth:`ensure_fresh` raises :class:`StaleIndexError`
+  instead of silently answering from outdated arrays.  Incremental callers
+  (e.g. :mod:`repro.matching.incremental`) use this to decide cheaply between
+  reusing, rebuilding, or refusing.
+* **Caching** — :meth:`for_graph` memoises one snapshot per graph instance
+  (on the graph itself) and transparently rebuilds when the graph has mutated,
+  so repeated queries on a quiescent graph pay the build cost once.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.graph.digraph import PropertyGraph
+from repro.index.csr import LabeledCSR, build_csr_pair
+from repro.index.interning import Interner
+from repro.index.signatures import NeighborhoodSignatures, build_signatures
+from repro.utils.errors import StaleIndexError
+from repro.utils.timing import Timer
+
+__all__ = ["GraphIndex"]
+
+NodeId = Hashable
+
+# (out_mask, in_mask) signature requirements of one pattern node; ``None``
+# marks a pattern node that cannot match at all (required label absent).
+MaskPair = Optional[Tuple[int, int]]
+
+
+class GraphIndex:
+    """An immutable compiled snapshot of a :class:`PropertyGraph`."""
+
+    __slots__ = (
+        "graph",
+        "version",
+        "nodes",
+        "node_labels",
+        "edge_labels",
+        "node_label_ids",
+        "out",
+        "inc",
+        "signatures",
+        "build_seconds",
+        "_label_members",
+    )
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        version: int,
+        nodes: Interner,
+        node_labels: Interner,
+        edge_labels: Interner,
+        node_label_ids: array,
+        out: LabeledCSR,
+        inc: LabeledCSR,
+        signatures: NeighborhoodSignatures,
+        label_members: List[array],
+        build_seconds: float = 0.0,
+    ) -> None:
+        self.graph = graph
+        self.version = version
+        self.nodes = nodes
+        self.node_labels = node_labels
+        self.edge_labels = edge_labels
+        self.node_label_ids = node_label_ids
+        self.out = out
+        self.inc = inc
+        self.signatures = signatures
+        self._label_members = label_members
+        self.build_seconds = build_seconds
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def build(cls, graph: PropertyGraph) -> "GraphIndex":
+        """Compile *graph* into a fresh snapshot (one pass over nodes + edges)."""
+        with Timer() as timer:
+            version = graph.version
+            nodes = Interner()
+            node_labels = Interner()
+            label_ids: List[int] = []
+            for node in graph.nodes():
+                nodes.intern(node)
+                label_ids.append(node_labels.intern(graph.node_label(node)))
+            node_label_ids = array("i", label_ids)
+
+            edge_labels = Interner()
+            node_id = nodes.id_of
+            interned_edges: List[Tuple[int, int, int]] = [
+                (node_id(source), node_id(target), edge_labels.intern(label))
+                for source, target, label in graph.edges()
+            ]
+
+            out, inc = build_csr_pair(len(nodes), len(edge_labels), interned_edges)
+            signatures = build_signatures(
+                len(nodes), max(len(node_labels), 1), node_label_ids, interned_edges
+            )
+
+            label_members: List[array] = [array("i") for _ in range(len(node_labels))]
+            for node_index, label_id in enumerate(node_label_ids):
+                label_members[label_id].append(node_index)
+
+        snapshot = cls(
+            graph=graph,
+            version=version,
+            nodes=nodes,
+            node_labels=node_labels,
+            edge_labels=edge_labels,
+            node_label_ids=node_label_ids,
+            out=out,
+            inc=inc,
+            signatures=signatures,
+            label_members=label_members,
+            build_seconds=timer.elapsed,
+        )
+        return snapshot
+
+    @classmethod
+    def for_graph(cls, graph: PropertyGraph, rebuild: bool = False) -> "GraphIndex":
+        """The cached snapshot of *graph*, rebuilt if stale (or *rebuild* is set)."""
+        cached = graph.cached_index()
+        if cached is not None and not rebuild and not cached.is_stale():
+            return cached
+        snapshot = cls.build(graph)
+        graph.cache_index(snapshot)
+        return snapshot
+
+    # -------------------------------------------------------------- freshness
+
+    def is_stale(self) -> bool:
+        """Whether the source graph has mutated since this snapshot was built."""
+        return self.graph.version != self.version
+
+    def ensure_fresh(self) -> None:
+        """Raise :class:`StaleIndexError` when the snapshot no longer matches."""
+        if self.is_stale():
+            raise StaleIndexError(
+                f"graph {self.graph.name!r} mutated (version {self.graph.version} "
+                f"!= snapshot {self.version}); rebuild with GraphIndex.for_graph"
+            )
+
+    # ------------------------------------------------------------ id mapping
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node_id(self, node: NodeId) -> int:
+        """Dense id of *node* (-1 when the node is not in the snapshot)."""
+        return self.nodes.get(node)
+
+    def node_of(self, node_id: int) -> NodeId:
+        return self.nodes.value_of(node_id)
+
+    def node_label_id(self, label: str) -> int:
+        return self.node_labels.get(label)
+
+    def edge_label_id(self, label: str) -> int:
+        return self.edge_labels.get(label)
+
+    def to_nodes(self, node_ids: Iterable[int]) -> Set[NodeId]:
+        """Convert dense ids back to original node ids (a fresh set)."""
+        value_of = self.nodes.value_of
+        return {value_of(node_id) for node_id in node_ids}
+
+    # ------------------------------------------------------------ label index
+
+    def members_ids(self, node_label_id: int) -> array:
+        """Dense ids of the nodes carrying the given node label (shared array)."""
+        if 0 <= node_label_id < len(self._label_members):
+            return self._label_members[node_label_id]
+        return array("i")
+
+    def nodes_with_label(self, label: str) -> Set[NodeId]:
+        """Original ids of nodes carrying *label* (mirrors the graph API)."""
+        return self.to_nodes(self.members_ids(self.node_labels.get(label)))
+
+    def label_count(self, node_label_id: int) -> int:
+        if 0 <= node_label_id < len(self._label_members):
+            return len(self._label_members[node_label_id])
+        return 0
+
+    # -------------------------------------------------------------- adjacency
+
+    def out_degree_ids(self, node_id: int, edge_label_id: int = -1) -> int:
+        """Out-degree of a dense node id (per label, or total when -1)."""
+        if edge_label_id < 0:
+            return self.out.total_degree[node_id]
+        return self.out.degree(edge_label_id, node_id)
+
+    def in_degree_ids(self, node_id: int, edge_label_id: int = -1) -> int:
+        if edge_label_id < 0:
+            return self.inc.total_degree[node_id]
+        return self.inc.degree(edge_label_id, node_id)
+
+    def count_out_with_label(
+        self, node_id: int, edge_label_id: int, target_label_id: int
+    ) -> int:
+        """``|{w : node -[e]-> w and L(w) = t}|`` — the ``U(v, e)`` upper bound."""
+        if edge_label_id < 0 or target_label_id < 0:
+            return 0
+        indices, start, end = self.out.row(edge_label_id, node_id)
+        labels = self.node_label_ids
+        count = 0
+        for position in range(start, end):
+            if labels[indices[position]] == target_label_id:
+                count += 1
+        return count
+
+    def successors(self, node: NodeId, label: str) -> Set[NodeId]:
+        """Original-id successors via *label* (parity API with the graph)."""
+        node_index = self.nodes.get(node)
+        edge_label = self.edge_labels.get(label)
+        if node_index < 0 or edge_label < 0:
+            return set()
+        indices, start, end = self.out.row(edge_label, node_index)
+        value_of = self.nodes.value_of
+        return {value_of(indices[position]) for position in range(start, end)}
+
+    def predecessors(self, node: NodeId, label: str) -> Set[NodeId]:
+        node_index = self.nodes.get(node)
+        edge_label = self.edge_labels.get(label)
+        if node_index < 0 or edge_label < 0:
+            return set()
+        indices, start, end = self.inc.row(edge_label, node_index)
+        value_of = self.nodes.value_of
+        return {value_of(indices[position]) for position in range(start, end)}
+
+    # ---------------------------------------------------- pattern requirements
+
+    def pattern_masks(
+        self, pattern_graph: PropertyGraph, dual: bool = True
+    ) -> Dict[NodeId, MaskPair]:
+        """Signature requirement masks for every node of a pattern graph.
+
+        For pattern node ``u`` the out mask unions the (edge label, child
+        label) bits of its outgoing pattern edges; the in mask (only when
+        *dual*) unions the (edge label, parent label) bits of its incoming
+        edges.  ``None`` marks a node some of whose required labels do not
+        occur in the graph at all — it has no candidates.
+        """
+        masks: Dict[NodeId, MaskPair] = {}
+        signature_bit = self.signatures.bit
+        for u in pattern_graph.nodes():
+            out_mask = 0
+            in_mask = 0
+            impossible = False
+            for label in pattern_graph.out_edge_labels(u):
+                edge_label = self.edge_labels.get(label)
+                for child in pattern_graph.successors(u, label):
+                    child_label = self.node_labels.get(pattern_graph.node_label(child))
+                    if edge_label < 0 or child_label < 0:
+                        impossible = True
+                        break
+                    out_mask |= signature_bit(edge_label, child_label)
+                if impossible:
+                    break
+            if dual and not impossible:
+                for parent in pattern_graph.predecessors(u):
+                    parent_label = self.node_labels.get(pattern_graph.node_label(parent))
+                    for label in pattern_graph.edge_labels(parent, u):
+                        edge_label = self.edge_labels.get(label)
+                        if edge_label < 0 or parent_label < 0:
+                            impossible = True
+                            break
+                        in_mask |= signature_bit(edge_label, parent_label)
+                    if impossible:
+                        break
+            masks[u] = None if impossible else (out_mask, in_mask)
+        return masks
+
+    def label_candidates_ids(
+        self, pattern_graph: PropertyGraph, dual: bool = True
+    ) -> Dict[NodeId, Set[int]]:
+        """Signature-filtered label candidates, as dense-id sets per pattern node.
+
+        This is the compiled ``FilterCandidate`` seed: label-index membership
+        intersected with the O(1) signature pre-filter.  The result is always
+        a superset of the (dual) simulation relation and of every isomorphic
+        image, so downstream fixpoints started from it converge to exactly the
+        same relations as from raw label candidates.
+        """
+        masks = self.pattern_masks(pattern_graph, dual=dual)
+        candidates: Dict[NodeId, Set[int]] = {}
+        for u in pattern_graph.nodes():
+            mask_pair = masks[u]
+            if mask_pair is None:
+                candidates[u] = set()
+                continue
+            members = self.members_ids(self.node_labels.get(pattern_graph.node_label(u)))
+            out_mask, in_mask = mask_pair
+            candidates[u] = set(self.signatures.filter_ids(members, out_mask, in_mask))
+        return candidates
+
+    # ------------------------------------------------------------------ misc
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphIndex(graph={self.graph.name!r}, nodes={self.num_nodes}, "
+            f"edge_labels={len(self.edge_labels)}, version={self.version}, "
+            f"stale={self.is_stale()})"
+        )

@@ -61,12 +61,20 @@ class DMatchOptions:
                            connected to the focus candidate, so this is off by
                            default; it pays off on patterns whose candidate
                            sets are huge and poorly connected.
+    ``use_index``        — resolve candidate filtering and the dual-simulation
+                           fixpoint through the compiled
+                           :class:`repro.index.GraphIndex` snapshot (CSR
+                           adjacency, degree arrays, neighbourhood
+                           signatures).  Answers are identical with the
+                           dict-backed fallback (``False``); only the speed
+                           differs.
     """
 
     use_simulation: bool = True
     use_potential: bool = True
     early_exit: bool = True
     use_locality: bool = False
+    use_index: bool = True
 
 
 @dataclass
@@ -221,7 +229,11 @@ def dmatch(
     with Timer() as timer:
         if index is None:
             index = build_candidate_index(
-                pattern, graph, use_simulation=options.use_simulation, counter=counter
+                pattern,
+                graph,
+                use_simulation=options.use_simulation,
+                counter=counter,
+                use_index=options.use_index,
             )
         outcome.index = index
         outcome.node_matches = {u: set() for u in pattern.nodes()}
@@ -241,7 +253,9 @@ def dmatch(
             # One global potential ordering is computed per query; the
             # anchored search intersects it with the dynamically derived
             # candidate pools, so per-candidate re-ranking is unnecessary.
-            ordering = potential_ordering(pattern, graph, index)
+            ordering = potential_ordering(
+                pattern, graph, index, use_index=options.use_index
+            )
         # One shared search context per query: pattern adjacency, matching
         # order and candidate pools are computed once and reused for every
         # focus candidate (only the anchor binding changes).

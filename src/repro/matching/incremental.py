@@ -28,7 +28,7 @@ from typing import Dict, Hashable, Optional, Set, Tuple
 
 from repro.graph.digraph import PropertyGraph
 from repro.graph.simulation import refine_candidates
-from repro.matching.candidates import CandidateIndex
+from repro.matching.candidates import CandidateIndex, apply_quantifier_bound_filter
 from repro.matching.dmatch import DMatchOptions, DMatchOutcome, dmatch
 from repro.matching.result import IncrementalStats
 from repro.patterns.qgp import PatternEdge, QuantifiedGraphPattern
@@ -43,15 +43,27 @@ def _incremental_candidate_index(
     positified: QuantifiedGraphPattern,
     graph: PropertyGraph,
     cached: DMatchOutcome,
+    use_index: bool = True,
 ) -> Tuple[CandidateIndex, Set[NodeId], int]:
     """Candidate index for ``Π(Q⁺ᵉ)`` seeded from the cached ``Π(Q)`` run.
 
     Returns ``(index, new_pattern_nodes, reused)`` where *reused* counts how
     many candidate entries were taken from the cache rather than recomputed.
+
+    With *use_index* the seeded refinement and the upper-bound probes run
+    over the compiled :class:`repro.index.GraphIndex` snapshot.
+    ``GraphIndex.for_graph`` consults the graph's mutation counter, so a
+    snapshot left over from the ``Π(Q)`` evaluation is reused when the graph
+    is unchanged and rebuilt (never silently trusted) when it is stale.
     """
     assert cached.index is not None
     cached_candidates = cached.index.candidates
     index = CandidateIndex(pattern=positified, graph=graph)
+    graph_index = None
+    if use_index:
+        from repro.index.snapshot import GraphIndex
+
+        graph_index = GraphIndex.for_graph(graph)
     new_nodes: Set[NodeId] = set()
     reused = 0
     for pattern_node in positified.nodes():
@@ -62,8 +74,11 @@ def _incremental_candidate_index(
             reused += len(cached_candidates[pattern_node])
         else:
             new_nodes.add(pattern_node)
-            index.candidates[pattern_node] = set(
-                graph.nodes_with_label(positified.node_label(pattern_node))
+            label = positified.node_label(pattern_node)
+            index.candidates[pattern_node] = (
+                graph_index.nodes_with_label(label)
+                if graph_index is not None
+                else set(graph.nodes_with_label(label))
             )
 
     # Refine the seeded pools against the structure of the positified pattern
@@ -71,33 +86,18 @@ def _incremental_candidate_index(
     # whole graph).  This is the incremental analogue of the FilterCandidate
     # step and is what keeps the number of re-verified candidates small.
     index.candidates = refine_candidates(
-        positified.stratified().graph, graph, index.candidates, dual=True
+        positified.stratified().graph, graph, index.candidates, dual=True,
+        use_index=use_index,
     )
 
     # Re-apply the quantifier upper-bound filter only around the new edges
     # (the cached pools already satisfied it for the old edges).
+    old_keys = {e.key for e in cached.index.pattern.edges()}
     for edge in positified.edges():
         if edge.source not in new_nodes and edge.target not in new_nodes:
-            old_keys = {e.key for e in cached.index.pattern.edges()}
             if edge.key in old_keys:
                 continue
-        quantifier = edge.quantifier
-        if quantifier.is_negation:
-            continue
-        target_label = positified.node_label(edge.target)
-        survivors: Set[NodeId] = set()
-        for candidate in index.candidates.get(edge.source, ()):
-            children = graph.successors(candidate, edge.label)
-            bound = sum(
-                1 for child in children if graph.node_label(child) == target_label
-            )
-            index.upper_bounds[(edge.key, candidate)] = bound
-            total = graph.out_degree(candidate, edge.label)
-            if quantifier.may_still_hold(bound, total):
-                survivors.add(candidate)
-            else:
-                index.pruned += 1
-        index.candidates[edge.source] = survivors
+        apply_quantifier_bound_filter(index, edge, graph, graph_index)
     return index, new_nodes, reused
 
 
@@ -137,7 +137,9 @@ def inc_qmatch(
         # Π(Q) had no match, so neither does the more constrained Π(Q⁺ᵉ).
         return set(), stats
 
-    index, new_nodes, reused = _incremental_candidate_index(positified_pi, graph, cached)
+    index, new_nodes, reused = _incremental_candidate_index(
+        positified_pi, graph, cached, use_index=options.use_index
+    )
     stats.reused_candidates = reused
 
     # The affected area: cached matches of the focus (they must be

@@ -63,17 +63,99 @@ def candidate_potential(
     return (1.0 + parent_bonus) * headroom
 
 
-def potential_ordering(
+def _potential_ordering_indexed(
     pattern: QuantifiedGraphPattern,
     graph: PropertyGraph,
     index: CandidateIndex,
     restrict_to: Optional[Dict[NodeId, Set[NodeId]]] = None,
 ) -> Dict[NodeId, List[NodeId]]:
+    """The compiled twin of :func:`potential_ordering`.
+
+    Computes *exactly* the same scores (same float operations in the same
+    order), but hoists the per-candidate work the dict path repeats: pattern
+    in/out edge lists are built once per pattern node instead of once per
+    candidate, parent candidate pools are interned once, and the
+    parent-overlap / degree probes walk CSR rows and degree arrays instead of
+    copying adjacency sets per probe.
+    """
+    from repro.index.snapshot import GraphIndex
+
+    graph_index = GraphIndex.for_graph(graph)
+    node_id = graph_index.node_id
+    in_csr = graph_index.inc
+    ordering: Dict[NodeId, List[NodeId]] = {}
+    for pattern_node in pattern.nodes():
+        pool: Iterable[NodeId] = index.candidate_set(pattern_node)
+        if restrict_to is not None and pattern_node in restrict_to:
+            pool = [v for v in pool if v in restrict_to[pattern_node]]
+        # Hoisted per-pattern-node state: (edge label id, interned parent
+        # pool, pool size) per incoming edge; quantifier rows per outgoing.
+        in_specs = []
+        for edge in pattern.in_edges(pattern_node):
+            parent_candidates = index.candidate_set(edge.source)
+            if not parent_candidates:
+                continue
+            parent_ids = {node_id(parent) for parent in parent_candidates}
+            in_specs.append(
+                (graph_index.edge_label_id(edge.label), parent_ids, len(parent_candidates))
+            )
+        out_specs = [
+            (edge.key, edge.quantifier, graph_index.edge_label_id(edge.label))
+            for edge in pattern.out_edges(pattern_node)
+        ]
+        upper_bounds = index.upper_bounds
+        scored = []
+        for candidate in pool:
+            candidate_id = node_id(candidate)
+            parent_bonus = 0.0
+            for edge_label_id, parent_ids, parent_count in in_specs:
+                if edge_label_id < 0 or candidate_id < 0:
+                    continue
+                indices, start, end = in_csr.row(edge_label_id, candidate_id)
+                overlap = 0
+                for position in range(start, end):
+                    if indices[position] in parent_ids:
+                        overlap += 1
+                bonus = overlap / parent_count
+                if bonus > parent_bonus:
+                    parent_bonus = bonus
+            headroom = 0.0
+            if out_specs:
+                for edge_key, quantifier, edge_label_id in out_specs:
+                    if quantifier.is_negation:
+                        continue
+                    bound = upper_bounds.get((edge_key, candidate), 0)
+                    total = (
+                        graph_index.out_degree_ids(candidate_id, edge_label_id)
+                        if candidate_id >= 0 and edge_label_id >= 0
+                        else 0
+                    )
+                    threshold = max(quantifier.numeric_threshold(total), 1)
+                    headroom += bound / threshold
+            else:
+                headroom = 1.0
+            scored.append(((1.0 + parent_bonus) * headroom, candidate))
+        scored.sort(key=lambda pair: (-pair[0], str(pair[1])))
+        ordering[pattern_node] = [candidate for _, candidate in scored]
+    return ordering
+
+
+def potential_ordering(
+    pattern: QuantifiedGraphPattern,
+    graph: PropertyGraph,
+    index: CandidateIndex,
+    restrict_to: Optional[Dict[NodeId, Set[NodeId]]] = None,
+    use_index: bool = False,
+) -> Dict[NodeId, List[NodeId]]:
     """Per-pattern-node candidate lists sorted by decreasing potential.
 
     ``restrict_to`` optionally narrows the candidate pools (e.g. to the d-hop
     neighbourhood of the focus candidate currently being verified).
+    ``use_index`` computes the same scores through the compiled
+    :class:`repro.index.GraphIndex` (identical ordering, fewer dict probes).
     """
+    if use_index:
+        return _potential_ordering_indexed(pattern, graph, index, restrict_to)
     ordering: Dict[NodeId, List[NodeId]] = {}
     for pattern_node in pattern.nodes():
         pool: Iterable[NodeId] = index.candidate_set(pattern_node)

@@ -84,6 +84,12 @@ class PQMatch:
         The per-fragment sequential engine; defaults to the full QMatch.
     threads:
         Intra-fragment parallelism ``b`` of mQMatch (1 disables it).
+    strategy:
+        Base partition strategy handed to :class:`DPar` (``"random"``,
+        ``"bfs"`` or the degree-array-driven ``"degree"``).
+    use_index:
+        Let the partitioner read degrees from the compiled
+        :class:`repro.index.GraphIndex` arrays (``"degree"`` strategy only).
     """
 
     def __init__(
@@ -96,6 +102,8 @@ class PQMatch:
         capacity_factor: float = 1.6,
         seed: SeedLike = 0,
         name: Optional[str] = None,
+        strategy: str = "random",
+        use_index: bool = True,
     ) -> None:
         if num_workers <= 0:
             raise PartitionError("num_workers must be positive")
@@ -104,7 +112,10 @@ class PQMatch:
         self.executor_kind = executor
         self.engine = engine if engine is not None else QMatch()
         self.threads = max(1, threads)
-        self.partitioner = DPar(d=d, capacity_factor=capacity_factor, seed=seed)
+        self.partitioner = DPar(
+            d=d, capacity_factor=capacity_factor, seed=seed,
+            strategy=strategy, use_index=use_index,
+        )
         self.name = name or f"PQMatch(n={num_workers})"
         self._partition: Optional[HopPreservingPartition] = None
         self._partition_graph_id: Optional[int] = None

@@ -151,10 +151,11 @@ def base_partition(
     num_fragments: int,
     seed: SeedLike = None,
     strategy: str = "random",
+    use_index: bool = True,
 ) -> List[Set[NodeId]]:
     """A balanced *base* partition of the node set into ``num_fragments`` blocks.
 
-    Two strategies are provided, standing in for the off-the-shelf balanced
+    Three strategies are provided, standing in for the off-the-shelf balanced
     partitioners the paper builds on:
 
     * ``"random"`` (default) — shuffle the nodes and deal them round-robin.
@@ -166,10 +167,17 @@ def base_partition(
       neighbourhoods together.  This minimises the replication added by the
       d-hop extension at the price of possibly clustering expensive nodes
       (e.g. a dense community) into one fragment.
+    * ``"degree"`` — balance *work*, not node counts: matching cost per node
+      tracks its degree, so hub nodes are the expensive ones.  Nodes are
+      placed in decreasing total-degree order (an LPT greedy) onto the block
+      with the least accumulated degree weight; degrees come from the
+      compiled :class:`repro.index.GraphIndex` degree arrays (``use_index``
+      falls back to per-node dict scans).  Equal block *weight* with nearly
+      equal counts — the right base partition for skewed social graphs.
     """
     if num_fragments <= 0:
         raise PartitionError("num_fragments must be positive")
-    if strategy not in ("random", "bfs"):
+    if strategy not in ("random", "bfs", "degree"):
         raise PartitionError(f"unknown base partition strategy {strategy!r}")
     rng = ensure_rng(seed)
     nodes = list(graph.nodes())
@@ -179,6 +187,36 @@ def base_partition(
     if strategy == "random":
         for index, node in enumerate(nodes):
             blocks[index % num_fragments].add(node)
+        return blocks
+
+    if strategy == "degree":
+        if use_index:
+            from repro.index.snapshot import GraphIndex
+
+            graph_index = GraphIndex.for_graph(graph)
+            out_total = graph_index.out.total_degree
+            in_total = graph_index.inc.total_degree
+            node_id = graph_index.node_id
+
+            def weight(node: NodeId) -> int:
+                dense = node_id(node)
+                return 1 + out_total[dense] + in_total[dense]
+
+        else:
+
+            def weight(node: NodeId) -> int:
+                return 1 + graph.out_degree(node) + graph.in_degree(node)
+
+        # LPT greedy: heaviest nodes first (the rng shuffle above breaks ties
+        # between equal-degree nodes), each onto the lightest block so far.
+        weighted = sorted(
+            ((weight(node), node) for node in nodes), key=lambda pair: pair[0], reverse=True
+        )
+        loads = [0] * num_fragments
+        for node_weight, node in weighted:
+            lightest = min(range(num_fragments), key=lambda i: (loads[i], i))
+            blocks[lightest].add(node)
+            loads[lightest] += node_weight
         return blocks
 
     target = max(1, (len(nodes) + num_fragments - 1) // num_fragments)
@@ -215,6 +253,12 @@ class DPar:
         nodes.  The default 1.6 mirrors the paper's "small constant c < Cd".
     seed:
         Seed for the randomised base partition.
+    strategy:
+        Base partition strategy (``"random"``, ``"bfs"`` or ``"degree"``;
+        see :func:`base_partition`).
+    use_index:
+        Let the ``"degree"`` strategy read degrees from the compiled
+        :class:`repro.index.GraphIndex` arrays instead of dict scans.
     """
 
     def __init__(
@@ -223,6 +267,7 @@ class DPar:
         capacity_factor: float = 1.6,
         seed: SeedLike = None,
         strategy: str = "random",
+        use_index: bool = True,
     ) -> None:
         if d < 0:
             raise PartitionError("d must be non-negative")
@@ -232,6 +277,7 @@ class DPar:
         self.capacity_factor = capacity_factor
         self.seed = seed
         self.strategy = strategy
+        self.use_index = use_index
 
     # ----------------------------------------------------------------- main
 
@@ -246,7 +292,10 @@ class DPar:
 
     def _partition_inner(self, graph: PropertyGraph, num_fragments: int) -> HopPreservingPartition:
         rng = ensure_rng(self.seed)
-        blocks = base_partition(graph, num_fragments, seed=rng, strategy=self.strategy)
+        blocks = base_partition(
+            graph, num_fragments, seed=rng, strategy=self.strategy,
+            use_index=self.use_index,
+        )
         fragments = [Fragment(fragment_id=i, node_set=set(block)) for i, block in enumerate(blocks)]
         capacity = max(
             self.capacity_factor * graph.num_nodes / num_fragments,

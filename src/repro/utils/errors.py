@@ -14,6 +14,7 @@ __all__ = [
     "GraphError",
     "NodeNotFoundError",
     "EdgeNotFoundError",
+    "StaleIndexError",
     "PatternError",
     "QuantifierError",
     "PatternValidationError",
@@ -59,6 +60,11 @@ class EdgeNotFoundError(GraphError, KeyError):
             f"edge ({self.source!r} -[{self.label}]-> {self.target!r}) "
             "is not in the graph"
         )
+
+
+class StaleIndexError(GraphError):
+    """Raised when a :class:`repro.index.GraphIndex` snapshot is used after the
+    source graph has mutated past the snapshot's version counter."""
 
 
 class PatternError(ReproError):

@@ -6,6 +6,10 @@ the example patterns Q1–Q5.  The paper states the expected answers for these
 inputs explicitly (Examples 3, 4, 6 and 7), which gives the test suite a set
 of ground-truth cases that pin down the QGP semantics independently of our own
 reference implementation.
+
+The builders themselves live in :mod:`fixtures` (``tests/fixtures.py``) so
+that test modules and the benchmark conftest can import them explicitly —
+``from conftest import ...`` is ambiguous when several conftests exist.
 """
 
 from __future__ import annotations
@@ -14,66 +18,31 @@ import pytest
 
 from repro.datasets import benchmark_graph, paper_pattern, paper_rule
 from repro.graph import PropertyGraph
-from repro.patterns import CountingQuantifier, PatternBuilder
+
+from fixtures import (  # noqa: F401  (quantifier is re-exported for tests)
+    build_paper_g1,
+    build_paper_g2,
+    build_q2,
+    build_q3,
+    build_q4,
+    build_triangle,
+    quantifier,
+)
 
 
 # --------------------------------------------------------------------------
-# Paper Figure 2, graph G1: a small social graph around the "Redmi 2A" phone.
+# Paper Figure 2 graphs and patterns (see fixtures.py for the structures).
 # --------------------------------------------------------------------------
 
 
 @pytest.fixture
 def paper_g1() -> PropertyGraph:
-    """G1 of Fig. 2: x1–x3 follow reviewers v0–v4 of the Redmi 2A phone.
-
-    * x1 follows v0; v0 recommends the phone.
-    * x2 follows v1 and v2; both recommend the phone.
-    * x3 follows v2, v3 and v4; v2 and v3 recommend it, v4 gives a bad rating.
-    """
-    graph = PropertyGraph("paper-G1")
-    for person in ("x1", "x2", "x3", "v0", "v1", "v2", "v3", "v4"):
-        graph.add_node(person, "person")
-    graph.add_node("redmi", "Redmi_2A")
-    graph.add_edge("x1", "v0", "follow")
-    graph.add_edge("x2", "v1", "follow")
-    graph.add_edge("x2", "v2", "follow")
-    graph.add_edge("x3", "v2", "follow")
-    graph.add_edge("x3", "v3", "follow")
-    graph.add_edge("x3", "v4", "follow")
-    for reviewer in ("v0", "v1", "v2", "v3"):
-        graph.add_edge(reviewer, "redmi", "recom")
-    graph.add_edge("v4", "redmi", "bad_rating")
-    return graph
+    return build_paper_g1()
 
 
 @pytest.fixture
-def pattern_q2() -> "PatternBuilder":
-    """Q2 of the paper: everyone xo follows recommends the Redmi 2A."""
-    return (
-        PatternBuilder("Q2")
-        .focus("xo", "person")
-        .node("z", "person")
-        .node("redmi", "Redmi_2A")
-        .edge("xo", "z", "follow", universal=True)
-        .edge("z", "redmi", "recom")
-        .build()
-    )
-
-
-def build_q3(p: int = 2):
-    """Q3 of the paper: ≥ p followees recommend the phone, none gives a bad rating."""
-    return (
-        PatternBuilder("Q3")
-        .focus("xo", "person")
-        .node("z1", "person")
-        .node("z2", "person")
-        .node("redmi", "Redmi_2A")
-        .edge("xo", "z1", "follow", at_least=p)
-        .edge("z1", "redmi", "recom")
-        .edge("xo", "z2", "follow", negated=True)
-        .edge("z2", "redmi", "bad_rating")
-        .build()
-    )
+def pattern_q2():
+    return build_q2()
 
 
 @pytest.fixture
@@ -81,60 +50,9 @@ def pattern_q3():
     return build_q3(p=2)
 
 
-# --------------------------------------------------------------------------
-# Paper Figure 2, graph G2: a small knowledge graph of professors/advisees.
-# --------------------------------------------------------------------------
-
-
 @pytest.fixture
 def paper_g2() -> PropertyGraph:
-    """G2 of Fig. 2: UK professors x4–x6 and the students v5–v9 they advised.
-
-    x4, x5 and x6 are UK professors who each advised two students that are UK
-    professors themselves; only x4 additionally holds a PhD, so with p = 2 the
-    pattern Q4 answers {x5, x6} (Example 4 of the paper).
-    """
-    graph = PropertyGraph("paper-G2")
-    for person in ("x4", "x5", "x6", "v5", "v6", "v7", "v8", "v9"):
-        graph.add_node(person, "person")
-    graph.add_node("prof", "prof")
-    graph.add_node("phd", "PhD")
-    graph.add_node("uk", "UK")
-    for professor in ("x4", "x5", "x6", "v5", "v6", "v7", "v8", "v9"):
-        graph.add_edge(professor, "prof", "is_a")
-        graph.add_edge(professor, "uk", "in")
-    graph.add_edge("x4", "phd", "is_a")
-    graph.add_edge("v5", "phd", "is_a")
-    advisor_pairs = [
-        ("x4", "v5"),
-        ("x4", "v6"),
-        ("x5", "v6"),
-        ("x5", "v7"),
-        ("x6", "v8"),
-        ("x6", "v9"),
-    ]
-    for advisor, student in advisor_pairs:
-        graph.add_edge(advisor, student, "advisor")
-    return graph
-
-
-def build_q4(p: int = 2):
-    """Q4 of the paper over the conftest vocabulary ('advisor' edges)."""
-    return (
-        PatternBuilder("Q4")
-        .focus("xo", "person")
-        .node("prof", "prof")
-        .node("uk", "UK")
-        .node("phd", "PhD")
-        .node("z", "person")
-        .edge("xo", "prof", "is_a")
-        .edge("xo", "uk", "in")
-        .edge("xo", "phd", "is_a", negated=True)
-        .edge("xo", "z", "advisor", at_least=p)
-        .edge("z", "prof", "is_a")
-        .edge("z", "uk", "in")
-        .build()
-    )
+    return build_paper_g2()
 
 
 @pytest.fixture
@@ -185,16 +103,4 @@ def dataset_rule_r1():
 
 @pytest.fixture
 def triangle_graph() -> PropertyGraph:
-    """A 3-cycle with one label; handy for exercising the generic engine."""
-    graph = PropertyGraph("triangle")
-    for node in ("a", "b", "c"):
-        graph.add_node(node, "N")
-    graph.add_edge("a", "b", "e")
-    graph.add_edge("b", "c", "e")
-    graph.add_edge("c", "a", "e")
-    return graph
-
-
-def quantifier(op: str, value, is_ratio: bool = False) -> CountingQuantifier:
-    """Terse quantifier constructor used by a few parametrized tests."""
-    return CountingQuantifier(op, value, is_ratio)
+    return build_triangle()

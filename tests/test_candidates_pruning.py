@@ -14,7 +14,7 @@ from repro.matching import (
 from repro.patterns import PatternBuilder
 from repro.utils import WorkCounter
 
-from conftest import build_q3
+from fixtures import build_q3
 
 
 class TestCandidateIndex:

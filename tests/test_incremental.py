@@ -7,7 +7,7 @@ import pytest
 from repro.matching import QMatch, dmatch, inc_qmatch
 from repro.utils import WorkCounter
 
-from conftest import build_q3
+from fixtures import build_q3
 
 
 def run_incremental(pattern, graph):

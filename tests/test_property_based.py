@@ -129,6 +129,18 @@ def test_parallel_matching_agrees_with_sequential(graph, pattern):
 
 @given(graph=labeled_graphs(), pattern=quantified_patterns())
 @settings(**SETTINGS)
+def test_compiled_index_path_is_a_pure_accelerator(graph, pattern):
+    """use_index=True must change nothing observable: same answers, same
+    positive part, same prune counts as the dict-backed fallback."""
+    indexed = QMatch(options=DMatchOptions(use_index=True)).evaluate(pattern, graph)
+    fallback = QMatch(options=DMatchOptions(use_index=False)).evaluate(pattern, graph)
+    assert indexed.answer == fallback.answer
+    assert indexed.positive_answer == fallback.positive_answer
+    assert indexed.counter.candidates_pruned == fallback.counter.candidates_pruned
+
+
+@given(graph=labeled_graphs(), pattern=quantified_patterns())
+@settings(**SETTINGS)
 def test_negation_only_shrinks_the_answer(graph, pattern):
     """Q(xo, G) ⊆ Π(Q)(xo, G): removing the negated branches can only add matches."""
     result = QMatch().evaluate(pattern, graph)

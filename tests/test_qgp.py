@@ -7,7 +7,7 @@ import pytest
 from repro.patterns import CountingQuantifier, PatternBuilder, QuantifiedGraphPattern
 from repro.utils import PatternError, PatternValidationError
 
-from conftest import build_q3, build_q4
+from fixtures import build_q3, build_q4
 
 
 class TestStructure:

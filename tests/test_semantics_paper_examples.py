@@ -14,7 +14,7 @@ from repro.matching import DMatchOptions, EnumMatcher, QMatch
 from repro.parallel import PQMatch
 from repro.patterns import PatternBuilder
 
-from conftest import build_q3, build_q4
+from fixtures import build_q3, build_q4
 
 
 ENGINES = [
