@@ -148,8 +148,17 @@ class PropertyGraph:
         return iter(self._labels)
 
     def nodes_with_label(self, label: Label) -> Set[NodeId]:
-        """The set of nodes carrying *label* (empty set if the label is unused)."""
-        return self._label_index.get(label, set())
+        """The set of nodes carrying *label* (empty set if the label is unused).
+
+        Always a fresh set.  Returning the live ``_label_index`` entry here
+        let a caller's ``discard``/``clear`` silently corrupt the index (the
+        node stayed in the graph but vanished from label lookups); every
+        other set-returning accessor (``successors``, ``predecessors``,
+        ``neighbors``, ``edge_labels``, ``out_edge_labels``, ``node_labels``)
+        already copies.
+        """
+        members = self._label_index.get(label)
+        return set(members) if members else set()
 
     def node_labels(self) -> Set[Label]:
         """All node labels present in the graph."""

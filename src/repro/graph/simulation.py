@@ -46,7 +46,7 @@ NodeId = Hashable
 
 def _label_candidates(pattern_graph: PropertyGraph, graph: PropertyGraph) -> Dict[NodeId, Set[NodeId]]:
     return {
-        u: set(graph.nodes_with_label(pattern_graph.node_label(u)))
+        u: graph.nodes_with_label(pattern_graph.node_label(u))
         for u in pattern_graph.nodes()
     }
 

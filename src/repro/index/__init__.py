@@ -3,11 +3,13 @@
 The dict-of-sets adjacency of :class:`repro.graph.PropertyGraph` is ideal for
 updates but pays hashing and pointer-chasing on every probe.  This package
 compiles a graph into an immutable :class:`GraphIndex` snapshot — interned
-ids, per-edge-label CSR adjacency with degree arrays, per-node neighbourhood
-label signatures, and a compiled label index — that the candidate filter,
-the (dual) simulation fixpoint and the partitioner consume through
-``use_index=True`` switches, each keeping a dict-backed fallback path that is
-asserted byte-identical by the test suite.
+ids, per-edge-label CSR adjacency with degree arrays (rows sorted), per-node
+neighbourhood label signatures, a compiled label index, and a lazily merged
+undirected adjacency view (:mod:`repro.index.neighborhoods`) — that the
+candidate filter, the (dual) simulation fixpoint, the backtracking
+enumeration and the partitioner consume through ``use_index=True`` switches,
+each keeping a dict-backed fallback path that is asserted byte-identical by
+the test suite.
 
 See :mod:`repro.index.snapshot` for the invariants (immutability, staleness
 counter, per-graph caching).
@@ -15,6 +17,7 @@ counter, per-graph caching).
 
 from repro.index.csr import LabeledCSR, build_csr_pair
 from repro.index.interning import Interner
+from repro.index.neighborhoods import NeighborhoodCSR, merge_undirected
 from repro.index.signatures import NeighborhoodSignatures, build_signatures
 from repro.index.snapshot import GraphIndex
 
@@ -23,6 +26,8 @@ __all__ = [
     "Interner",
     "LabeledCSR",
     "build_csr_pair",
+    "NeighborhoodCSR",
+    "merge_undirected",
     "NeighborhoodSignatures",
     "build_signatures",
 ]

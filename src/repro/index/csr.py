@@ -13,6 +13,13 @@ Both directions plus the per-label and total degree arrays are built in a
 single pass over the edge list by :func:`build_csr_pair`.  Everything is
 ``array('i')`` — no third-party dependencies — and nothing is mutated after
 the build.
+
+Every row is sorted ascending by neighbour id.  Consumers that only need the
+neighbourhood *set* are unaffected (they convert to sets or count); the sort
+makes the compiled layout independent of the adjacency dicts' hash-seeded
+iteration order — snapshots of equal graphs are bit-identical across runs,
+which derived structures (merged neighbourhood view, per-label row stores,
+future serialisation) inherit.
 """
 
 from __future__ import annotations
@@ -133,6 +140,18 @@ def build_csr_pair(
         in_indices[label][position] = source
         in_cursor[label][target] = position + 1
 
+    _sort_rows(out_indptr, out_indices, num_nodes)
+    _sort_rows(in_indptr, in_indices, num_nodes)
+
     outgoing = LabeledCSR(num_nodes, out_indptr, out_indices, out_total)
     incoming = LabeledCSR(num_nodes, in_indptr, in_indices, in_total)
     return outgoing, incoming
+
+
+def _sort_rows(indptr: List[array], indices: List[array], num_nodes: int) -> None:
+    """Sort every per-node row ascending (in place, during the build only)."""
+    for ptr, block in zip(indptr, indices):
+        for node in range(num_nodes):
+            start, end = ptr[node], ptr[node + 1]
+            if end - start > 1:
+                block[start:end] = array("i", sorted(block[start:end]))

@@ -69,6 +69,24 @@ class Interner:
         """The original value for a dense id."""
         return self._values[index]
 
+    @property
+    def encode(self):
+        """C-level ``value -> id`` lookup (``dict.get``) for hot loops.
+
+        Unlike :meth:`get` it returns ``None`` — not -1 — for unknown values;
+        callers on hot paths bind this once and test ``is None``.
+        """
+        return self._ids.get
+
+    @property
+    def decode(self):
+        """C-level ``id -> value`` lookup (``list.__getitem__``) for hot loops.
+
+        Combined with ``map`` the whole decode of an id batch stays in C:
+        ``set(map(interner.decode, ids))``.
+        """
+        return self._values.__getitem__
+
     def values(self) -> List[Hashable]:
         """All interned values, ordered by id (a fresh list)."""
         return list(self._values)

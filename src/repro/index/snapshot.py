@@ -32,6 +32,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 from repro.graph.digraph import PropertyGraph
 from repro.index.csr import LabeledCSR, build_csr_pair
 from repro.index.interning import Interner
+from repro.index.neighborhoods import NeighborhoodCSR, merge_undirected
 from repro.index.signatures import NeighborhoodSignatures, build_signatures
 from repro.utils.errors import StaleIndexError
 from repro.utils.timing import Timer
@@ -60,6 +61,8 @@ class GraphIndex:
         "signatures",
         "build_seconds",
         "_label_members",
+        "_neighborhoods",
+        "_compiled_rows",
     )
 
     def __init__(
@@ -87,6 +90,12 @@ class GraphIndex:
         self.signatures = signatures
         self._label_members = label_members
         self.build_seconds = build_seconds
+        # Merged undirected adjacency, materialised on first use: only the
+        # partitioner needs it, so queries that never touch DPar skip the cost.
+        self._neighborhoods: Optional[NeighborhoodCSR] = None
+        # Per (incoming, edge label) compiled row stores, materialised on
+        # first use by the enumeration (see :meth:`compiled_rows`).
+        self._compiled_rows: Dict[Tuple[bool, int], Dict[NodeId, frozenset]] = {}
 
     # ------------------------------------------------------------------ build
 
@@ -179,8 +188,7 @@ class GraphIndex:
 
     def to_nodes(self, node_ids: Iterable[int]) -> Set[NodeId]:
         """Convert dense ids back to original node ids (a fresh set)."""
-        value_of = self.nodes.value_of
-        return {value_of(node_id) for node_id in node_ids}
+        return set(map(self.nodes.decode, node_ids))
 
     # ------------------------------------------------------------ label index
 
@@ -244,6 +252,85 @@ class GraphIndex:
         indices, start, end = self.inc.row(edge_label, node_index)
         value_of = self.nodes.value_of
         return {value_of(indices[position]) for position in range(start, end)}
+
+    def compiled_rows(self, incoming: bool, edge_label_id: int) -> Dict[NodeId, frozenset]:
+        """The enumeration-ready row store of one direction × label.
+
+        Maps every original node id with a non-empty row to its neighbour
+        set as a ``frozenset`` of original ids.  A dynamic candidate pool is
+        then a single C-level ``&`` against a shared immutable set — no
+        adjacency copy per probe (the very cost this index exists to remove),
+        and CPython iterates the smaller operand automatically, so hub rows
+        cost ``O(min(|row|, |candidates|))`` instead of the ``O(|row|)`` the
+        dict fallback pays to copy them.
+
+        Built lazily per label on first use and memoised (the build is
+        idempotent, so the snapshot stays safely shareable).  This is a
+        deliberate space-for-time trade: each materialised store costs about
+        one pointer per stored edge of that label/direction on top of the CSR
+        arrays — a mutation-immune snapshot cannot alias the graph's live
+        adjacency sets — and only the labels a query's pattern edges actually
+        name are ever built (:meth:`precompile_rows` materialises all of them
+        and is only called from the benchmark harness).
+        """
+        key = (incoming, edge_label_id)
+        cached = self._compiled_rows.get(key)
+        if cached is None:
+            csr = self.inc if incoming else self.out
+            columns = csr.indices[edge_label_id]
+            decode = self.nodes.decode
+            boxed = tuple(map(decode, columns))
+            ptr = csr.indptr[edge_label_id]
+            cached = {}
+            start = ptr[0] if len(ptr) else 0
+            for node_id in range(self.num_nodes):
+                end = ptr[node_id + 1]
+                if end > start:
+                    cached[decode(node_id)] = frozenset(boxed[start:end])
+                start = end
+            self._compiled_rows[key] = cached
+        return cached
+
+    def precompile_rows(self) -> None:
+        """Materialise every per-label row store up front.
+
+        The stores build lazily on first enumeration; benchmarks call this
+        during their index-build phase so the one-off compilation cost is
+        reported there instead of inside the first indexed query.
+        """
+        for edge_label_id in range(len(self.edge_labels)):
+            self.compiled_rows(False, edge_label_id)
+            self.compiled_rows(True, edge_label_id)
+
+    # ---------------------------------------------------- d-hop neighbourhoods
+
+    def neighborhoods(self) -> NeighborhoodCSR:
+        """The merged undirected adjacency view (built once, then cached).
+
+        The lazy build is idempotent — two racing threads at worst both build
+        the same immutable structure and one is dropped — so the snapshot's
+        share-freely contract is preserved.
+        """
+        merged = self._neighborhoods
+        if merged is None:
+            merged = merge_undirected(self.out, self.inc)
+            self._neighborhoods = merged
+        return merged
+
+    def nodes_within_hops(self, node: NodeId, hops: int) -> Set[NodeId]:
+        """Original ids within *hops* undirected hops of *node* (inclusive).
+
+        Parity API with :func:`repro.graph.traversal.nodes_within_hops`,
+        including the :class:`NodeNotFoundError` on unknown nodes.  Tight
+        loops use :meth:`NeighborhoodCSR.nodes_within_hops_ids` directly with
+        a reusable scratch buffer.
+        """
+        node_index = self.nodes.get(node)
+        if node_index < 0:
+            from repro.utils.errors import NodeNotFoundError
+
+            raise NodeNotFoundError(node)
+        return self.to_nodes(self.neighborhoods().nodes_within_hops_ids(node_index, hops))
 
     # ---------------------------------------------------- pattern requirements
 

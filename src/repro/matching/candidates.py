@@ -181,7 +181,7 @@ def build_candidate_index(
         }
     else:
         index.candidates = {
-            u: set(graph.nodes_with_label(pattern.node_label(u)))
+            u: graph.nodes_with_label(pattern.node_label(u))
             for u in pattern.nodes()
         }
 

@@ -61,13 +61,20 @@ class DMatchOptions:
                            connected to the focus candidate, so this is off by
                            default; it pays off on patterns whose candidate
                            sets are huge and poorly connected.
-    ``use_index``        — resolve candidate filtering and the dual-simulation
-                           fixpoint through the compiled
-                           :class:`repro.index.GraphIndex` snapshot (CSR
-                           adjacency, degree arrays, neighbourhood
-                           signatures).  Answers are identical with the
-                           dict-backed fallback (``False``); only the speed
-                           differs.
+    ``use_index``        — resolve candidate filtering, the dual-simulation
+                           fixpoint and the backtracking enumeration through
+                           the compiled :class:`repro.index.GraphIndex`
+                           snapshot (CSR adjacency, degree arrays,
+                           neighbourhood signatures).  Answers are identical
+                           with the dict-backed fallback (``False``); only
+                           the speed differs.
+    ``use_index_enumeration`` — override ``use_index`` for the enumeration
+                           phase only (the :class:`MatchContext` dynamic
+                           pools).  ``None`` (default) follows ``use_index``;
+                           setting it to ``False`` while ``use_index`` stays
+                           on is the ``QMatch-enum-noidx`` benchmark
+                           ablation: indexed filtering, dict-backed
+                           backtracking.
     """
 
     use_simulation: bool = True
@@ -75,6 +82,14 @@ class DMatchOptions:
     early_exit: bool = True
     use_locality: bool = False
     use_index: bool = True
+    use_index_enumeration: Optional[bool] = None
+
+    @property
+    def index_enumeration(self) -> bool:
+        """The effective enumeration switch (``use_index`` unless overridden)."""
+        if self.use_index_enumeration is None:
+            return self.use_index
+        return self.use_index_enumeration
 
 
 @dataclass
@@ -143,6 +158,7 @@ def _verify_focus_candidate(
             candidates=local_candidates,
             candidate_order=ordering if isinstance(ordering, dict) else None,
             anchored_nodes={focus},
+            use_index=options.index_enumeration,
         )
     else:
         # The shared context already carries the filtered candidate pools.
@@ -265,6 +281,7 @@ def dmatch(
             candidates={u: index.candidate_set(u) for u in pattern.nodes()},
             candidate_order=ordering,
             anchored_nodes={pattern.focus},
+            use_index=options.index_enumeration,
         )
         pattern_edges = pattern.edges()
         for focus_candidate in sorted(focus_candidates, key=str):

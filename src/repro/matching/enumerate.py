@@ -59,10 +59,12 @@ def evaluate_positive_by_enumeration(
         candidates[focus] = candidates[focus] & set(focus_restriction)
 
     # Step 1: enumerate every isomorphism of the stratified pattern, grouped
-    # by the binding of the query focus.
+    # by the binding of the query focus.  The oracle stays on the dict-backed
+    # enumeration (use_index=False) on purpose: it is the independent
+    # reference the compiled paths are tested against.
     by_focus: Dict[NodeId, list] = {}
     for assignment in find_isomorphisms(pattern.stratified(), graph, candidates=candidates,
-                                        counter=counter):
+                                        counter=counter, use_index=False):
         by_focus.setdefault(assignment[focus], []).append(assignment)
 
     edges = pattern.edges()

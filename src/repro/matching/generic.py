@@ -47,7 +47,7 @@ def label_candidates(
 ) -> Dict[NodeId, Set[NodeId]]:
     """The baseline candidate sets ``C(u)``: graph nodes with ``u``'s label."""
     return {
-        u: set(graph.nodes_with_label(pattern.node_label(u)))
+        u: graph.nodes_with_label(pattern.node_label(u))
         for u in pattern.nodes()
     }
 
@@ -137,12 +137,24 @@ class MatchContext:
     candidate pools — and exposes :meth:`isomorphisms`, which performs one
     anchored enumeration without re-paying that setup cost.
 
+    Candidate sets are captured at construction time (the indexed path caches
+    dense-id mirrors of them on first use); callers must not mutate them
+    afterwards.
+
     Parameters
     ----------
     anchored_nodes:
         The pattern nodes that :meth:`isomorphisms` will receive bindings for
         (typically just the query focus).  They are placed first in the
         matching order.
+    use_index:
+        Derive dynamic candidate pools by intersecting the compiled per-label
+        row stores of the :class:`repro.index.GraphIndex` snapshot
+        (:meth:`~repro.index.GraphIndex.compiled_rows`, immutable frozenset
+        views derived from the CSR rows) instead of copying
+        ``graph.predecessors/successors`` sets per probe.  The two paths
+        enumerate byte-identically (same assignments, same order, same work
+        counts); only the speed differs.
     """
 
     def __init__(
@@ -152,6 +164,7 @@ class MatchContext:
         candidates: Optional[Dict[NodeId, Set[NodeId]]] = None,
         candidate_order: Optional[Dict[NodeId, List[NodeId]]] = None,
         anchored_nodes: Optional[Set[NodeId]] = None,
+        use_index: bool = True,
     ) -> None:
         if pattern.num_nodes == 0:
             raise MatchingError("cannot match an empty pattern")
@@ -173,6 +186,81 @@ class MatchContext:
                 raise MatchingError(f"anchored node {anchored!r} is not a pattern node")
         self.adjacency = _build_adjacency(pattern)
         self.order = _search_order(pattern, self.candidates, self.anchored_nodes)
+        self.use_index = use_index
+        self._snapshot = None
+        self._compiled_adjacency: Dict[NodeId, List[tuple]] = {}
+        self._active_plan: Optional[tuple] = None
+        self._pattern_labels: Dict[NodeId, str] = {
+            pattern_node: pattern.node_label(pattern_node)
+            for pattern_node in pattern.nodes()
+        }
+        if use_index:
+            self._refresh_snapshot()
+
+    def _refresh_snapshot(self) -> None:
+        """(Re)compile the graph snapshot and the dense-id pattern adjacency.
+
+        ``_compiled_adjacency`` mirrors ``adjacency`` with, per constraint,
+        the compiled row store of the right direction × edge label resolved
+        (see :meth:`GraphIndex.compiled_rows`) — so the per-probe loop does
+        no label lookups or id encodes at all.  ``None`` entries mark edge
+        labels absent from the graph (the pool is empty the moment such a
+        constraint is active).
+        """
+        from repro.index.snapshot import GraphIndex
+
+        self._snapshot = GraphIndex.for_graph(self.graph)
+        snapshot = self._snapshot
+        encode_label = snapshot.edge_labels.encode
+        self._compiled_adjacency = {}
+        for pattern_node, constraints in self.adjacency.items():
+            compiled = []
+            for neighbor, label, outgoing in constraints:
+                edge_label = encode_label(label)
+                if edge_label is None:
+                    compiled.append((neighbor, None))
+                    continue
+                # An outgoing pattern edge (pattern_node -> neighbor)
+                # constrains the pool to predecessors of the bound neighbour,
+                # i.e. the incoming CSR rows — and vice versa.
+                compiled.append(
+                    (neighbor, snapshot.compiled_rows(outgoing, edge_label))
+                )
+            self._compiled_adjacency[pattern_node] = compiled
+        self._active_plan = self._build_active_plan(self.order)
+
+    def _build_active_plan(self, order: List[NodeId]) -> tuple:
+        """Per pattern node, the constraints that are *active* when it extends.
+
+        The backtracking invariant is that the node at position ``i`` is
+        extended with exactly ``order[:i]`` already assigned, so which of its
+        pattern edges constrain the pool is a static property of the matching
+        order — resolved here once instead of per probe.  Returns ``(plan,
+        single)``: *plan* maps each pattern node to a tuple of ``(neighbor,
+        row_sets)`` constraints (empty = serve the static candidate set) or
+        ``None`` when an active edge label does not occur in the graph at
+        all (the pool is unconditionally empty); *single* holds the lone
+        constraint directly for the nodes with exactly one active constraint
+        — the hot case.
+        """
+        plan: Dict[NodeId, Optional[tuple]] = {}
+        single: Dict[NodeId, tuple] = {}
+        placed: Set[NodeId] = set()
+        for pattern_node in order:
+            actives = []
+            impossible = False
+            for constraint in self._compiled_adjacency[pattern_node]:
+                if constraint[0] not in placed:
+                    continue
+                if constraint[1] is None:
+                    impossible = True
+                    break
+                actives.append(constraint)
+            plan[pattern_node] = None if impossible else tuple(actives)
+            if not impossible and len(actives) == 1:
+                single[pattern_node] = actives[0]
+            placed.add(pattern_node)
+        return plan, single
 
     def isomorphisms(
         self,
@@ -184,6 +272,14 @@ class MatchContext:
         pattern, graph = self.pattern, self.graph
         adjacency, candidates = self.adjacency, self.candidates
         candidate_order = self.candidate_order
+        snapshot = self._snapshot
+        if snapshot is not None and snapshot.version != graph._version:
+            # The graph mutated since the context was built; recompile rather
+            # than answer from outdated arrays (mirrors GraphIndex.for_graph).
+            # ``_version`` is read directly: the ``version`` property would
+            # cost a Python frame on every enumeration call.
+            self._refresh_snapshot()
+            snapshot = self._snapshot
         anchor = dict(anchor or {})
         for pattern_node, graph_node in anchor.items():
             if pattern_node not in candidates:
@@ -211,39 +307,134 @@ class MatchContext:
             used.add(graph_node)
 
         yielded = 0
-
-        def dynamic_pool(pattern_node: NodeId) -> Set[NodeId]:
-            """Candidates implied by the already-matched pattern neighbours.
-
-            Intersecting the adjacency lists of the matched neighbours keeps
-            the pool tiny even on large graphs; the static candidate set is
-            only scanned for the first (anchor-free) node.
-            """
-            pool: Optional[Set[NodeId]] = None
-            for neighbor, label, outgoing in adjacency[pattern_node]:
-                other = assignment.get(neighbor)
-                if other is None:
-                    continue
-                if outgoing:
-                    reachable = graph.predecessors(other, label)
-                else:
-                    reachable = graph.successors(other, label)
-                pool = reachable if pool is None else (pool & reachable)
-                if not pool:
-                    return set()
-            if pool is None:
-                return set(candidates[pattern_node])
-            return pool & candidates[pattern_node]
-
         ranks = self._ranks
 
-        def ordered_candidates(pattern_node: NodeId) -> List[NodeId]:
-            pool = dynamic_pool(pattern_node)
+        # Constraint-free nodes serve their (invariant) static candidate set;
+        # cache its ordered form so repeated visits at the same depth don't
+        # re-sort it per partial assignment.
+        static_ordered: Dict[NodeId, List[NodeId]] = {}
+
+        def order_pool(pattern_node: NodeId, pool) -> List[NodeId]:
+            """Order a pool of original ids: rank first, ``str`` tie-break.
+
+            The deterministic tie-break makes the emission order independent
+            of set iteration order, so the indexed and dict-backed paths
+            enumerate identically — which keeps work counts byte-identical
+            even under early exit and ``limit``.  Pools are tiny (they are
+            intersections of matched-neighbour adjacency), so the per-element
+            ``str`` keys cost less than any precomputed order map would.
+            """
             rank = ranks.get(pattern_node)
             if rank:
                 unranked = len(rank)
-                return sorted(pool, key=lambda node: rank.get(node, unranked))
-            return list(pool)
+                return sorted(
+                    pool, key=lambda node: (rank.get(node, unranked), str(node))
+                )
+            return sorted(pool, key=str)
+
+        def ordered_static(pattern_node: NodeId) -> List[NodeId]:
+            cached = static_ordered.get(pattern_node)
+            if cached is None:
+                cached = order_pool(pattern_node, candidates[pattern_node])
+                static_ordered[pattern_node] = cached
+            return cached
+
+        if snapshot is None:
+
+            def is_extendable(pattern_node: NodeId, graph_node: NodeId) -> bool:
+                return _consistent(
+                    pattern, graph, adjacency, assignment, pattern_node, graph_node
+                )
+
+            def ordered_candidates(pattern_node: NodeId) -> List[NodeId]:
+                """Dict fallback: intersect copied adjacency sets, then order.
+
+                Intersecting the adjacency lists of the matched neighbours
+                keeps the pool tiny even on large graphs; the static
+                candidate set is only scanned for constraint-free nodes.
+                """
+                pool: Optional[Set[NodeId]] = None
+                for neighbor, label, outgoing in adjacency[pattern_node]:
+                    other = assignment.get(neighbor)
+                    if other is None:
+                        continue
+                    if outgoing:
+                        reachable = graph.predecessors(other, label)
+                    else:
+                        reachable = graph.successors(other, label)
+                    pool = reachable if pool is None else (pool & reachable)
+                    if not pool:
+                        return []
+                if pool is None:
+                    return ordered_static(pattern_node)
+                return order_pool(pattern_node, pool & candidates[pattern_node])
+
+        else:
+            # C-level bound methods: the pool loop below runs per extension
+            # probe, so even a Python-frame dict lookup per constraint counts.
+            plan, plan_single = (
+                self._active_plan
+                if order is self.order
+                else self._build_active_plan(order)
+            )
+            single_get = plan_single.get
+            graph_label_of = graph.node_label
+            pattern_labels = self._pattern_labels
+
+            def is_extendable(pattern_node: NodeId, graph_node: NodeId) -> bool:
+                """Label check only: the plan-derived pools already enforce
+                every pattern edge to an assigned neighbour (the exact edges
+                ``_consistent`` would re-probe with ``has_edge``), and a
+                constraint-free pool has no assigned neighbours to check.
+                Ghost candidates raise ``NodeNotFoundError`` here exactly as
+                they do on the dict path's ``_consistent``."""
+                return graph_label_of(graph_node) == pattern_labels[pattern_node]
+
+            def ordered_candidates(pattern_node: NodeId) -> List[NodeId]:
+                """Indexed path: intersect compiled CSR rows, no copies.
+
+                The active-constraint plan already names the row stores to
+                probe, so the common single-constraint case is one dict
+                lookup plus one C-level ``&`` of the static candidate set
+                with a shared immutable row — CPython iterates the smaller
+                operand, so hub rows cost ``O(min)`` where the dict fallback
+                pays ``O(|row|)`` to copy them.  With several active
+                constraints, rows are intersected smallest-first.  The result
+                feeds the shared ordering rule, so the enumeration visits the
+                same candidates in the same order as the dict fallback.
+                """
+                entry = single_get(pattern_node)
+                if entry is not None:
+                    row = entry[1].get(assignment[entry[0]])
+                    if row is None:  # empty row: the pool is already empty
+                        return []
+                    pool = candidates[pattern_node] & row
+                    if not pool:
+                        return []
+                    return order_pool(pattern_node, pool)
+                actives = plan[pattern_node]
+                if actives is None:  # an active edge label is absent from the graph
+                    return []
+                if not actives:
+                    # Constraint-free node: serve the static candidate set
+                    # (it may legitimately contain nodes unknown to the
+                    # snapshot, which the dict path would also surface here).
+                    return ordered_static(pattern_node)
+                rows = []
+                for neighbor, row_sets in actives:
+                    row = row_sets.get(assignment[neighbor])
+                    if row is None:
+                        return []
+                    rows.append(row)
+                rows.sort(key=len)
+                pool = candidates[pattern_node] & rows[0]
+                for row in rows[1:]:
+                    if not pool:
+                        return []
+                    pool &= row
+                if not pool:
+                    return []
+                return order_pool(pattern_node, pool)
 
         def extend(position: int) -> Iterator[Assignment]:
             nonlocal yielded
@@ -257,7 +448,7 @@ class MatchContext:
                     continue
                 if counter is not None:
                     counter.extensions += 1
-                if not _consistent(pattern, graph, adjacency, assignment, pattern_node, graph_node):
+                if not is_extendable(pattern_node, graph_node):
                     continue
                 assignment[pattern_node] = graph_node
                 used.add(graph_node)
@@ -278,6 +469,7 @@ def find_isomorphisms(
     counter: Optional[WorkCounter] = None,
     limit: Optional[int] = None,
     candidate_order: Optional[Dict[NodeId, List[NodeId]]] = None,
+    use_index: bool = True,
 ) -> Iterator[Assignment]:
     """Enumerate isomorphisms of the (stratified) *pattern* in *graph*.
 
@@ -301,6 +493,10 @@ def find_isomorphisms(
     candidate_order:
         Optional per-pattern-node candidate orderings (e.g. the potential
         ordering of DMatch); nodes missing from a list are appended after it.
+    use_index:
+        Compute dynamic candidate pools from the compiled row stores of the
+        graph snapshot (see :class:`MatchContext`); the dict fallback
+        enumerates identically.
     """
     context = MatchContext(
         pattern,
@@ -308,6 +504,7 @@ def find_isomorphisms(
         candidates=candidates,
         candidate_order=candidate_order,
         anchored_nodes=set(anchor or ()),
+        use_index=use_index,
     )
     yield from context.isomorphisms(anchor=anchor, counter=counter, limit=limit)
 

@@ -15,7 +15,12 @@ a change in the graph):
 * candidate pools of pattern nodes shared with ``Π(Q)`` start from the cached
   candidate sets instead of the whole graph;
 * pattern nodes introduced by the positified edge get fresh label candidates,
-  restricted to the neighbourhood of the cached matches.
+  restricted to the neighbourhood of the cached matches;
+* with ``options.use_index`` (the default) both the seeded refinement and the
+  re-verification enumeration run over the compiled
+  :class:`repro.index.GraphIndex` snapshot — the :class:`MatchContext` built
+  inside :func:`repro.matching.dmatch.dmatch` intersects the compiled
+  per-label row stores instead of copying adjacency sets per probe.
 
 The *affected area* ``AFF`` of the paper is tracked explicitly, and the number
 of verifications performed is guaranteed (and asserted in tests) to be at most
@@ -78,7 +83,7 @@ def _incremental_candidate_index(
             index.candidates[pattern_node] = (
                 graph_index.nodes_with_label(label)
                 if graph_index is not None
-                else set(graph.nodes_with_label(label))
+                else graph.nodes_with_label(label)
             )
 
     # Refine the seeded pools against the structure of the positified pattern

@@ -88,8 +88,10 @@ class PQMatch:
         Base partition strategy handed to :class:`DPar` (``"random"``,
         ``"bfs"`` or the degree-array-driven ``"degree"``).
     use_index:
-        Let the partitioner read degrees from the compiled
-        :class:`repro.index.GraphIndex` arrays (``"degree"`` strategy only).
+        Let the partitioner run its per-node d-hop expansions over the merged
+        undirected CSR of the compiled :class:`repro.index.GraphIndex` (and,
+        for the ``"degree"`` strategy, read degrees from its arrays).  The
+        partition is identical either way; only the build time differs.
     """
 
     def __init__(

@@ -31,6 +31,7 @@ a property the integration tests assert.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Set
 
@@ -75,6 +76,7 @@ class HopPreservingPartition:
     source: PropertyGraph
     elapsed: float = 0.0
     _graph_cache: Dict[int, PropertyGraph] = field(default_factory=dict, repr=False)
+    _owner_map: Optional[Dict[NodeId, int]] = field(default=None, repr=False)
 
     # ------------------------------------------------------------ accessors
 
@@ -83,10 +85,22 @@ class HopPreservingPartition:
         return len(self.fragments)
 
     def owner_of(self, node: NodeId) -> Optional[int]:
-        for fragment in self.fragments:
-            if node in fragment.owned_nodes:
-                return fragment.fragment_id
-        return None
+        """The fragment owning *node* (``None`` for unknown nodes).
+
+        The coordinator resolves ownership per focus candidate, so this is a
+        hot accessor: the node → fragment map is built once on first use
+        (ownership is fixed after DPar returns) instead of scanning every
+        fragment's owned set per call.
+        """
+        owner_map = self._owner_map
+        if owner_map is None:
+            owner_map = {
+                node_id: fragment.fragment_id
+                for fragment in self.fragments
+                for node_id in fragment.owned_nodes
+            }
+            self._owner_map = owner_map
+        return owner_map.get(node)
 
     def fragment_graph(self, fragment: Fragment) -> PropertyGraph:
         """Materialise the subgraph induced by the fragment's node set.
@@ -106,7 +120,12 @@ class HopPreservingPartition:
     # -------------------------------------------------------------- metrics
 
     def is_covering(self) -> bool:
-        """Every owned node's Nd must be inside its fragment."""
+        """Every owned node's Nd must be inside its fragment.
+
+        Deliberately runs the dict-backed BFS even when the partition was
+        built over the compiled CSR: a validity check should not share the
+        machinery of the thing it validates.
+        """
         for fragment in self.fragments:
             for node in fragment.owned_nodes:
                 neighborhood = nodes_within_hops(self.source, node, self.d)
@@ -225,9 +244,13 @@ def base_partition(
     for start in nodes:
         if start in visited:
             continue
-        queue = [start]
+        # A deque popped from the left grows each region in true BFS order;
+        # a list ``pop()`` here would grow depth-first, scattering a node's
+        # near neighbourhood across block boundaries and inflating the
+        # replication added by the d-hop extension.
+        queue = deque((start,))
         while queue:
-            node = queue.pop()
+            node = queue.popleft()
             if node in visited:
                 continue
             visited.add(node)
@@ -238,6 +261,56 @@ def base_partition(
                 if neighbor not in visited:
                     queue.append(neighbor)
     return blocks
+
+
+def _neighborhood_space(graph: PropertyGraph, d: int, use_index: bool):
+    """The node-set algebra the partition build runs in, compiled or dict-backed.
+
+    Returns ``(within_hops, to_internal, to_public)``:
+
+    * ``within_hops(node)`` — ``Nd(node)`` as a set in the internal space;
+    * ``to_internal(nodes)`` — a fresh internal-space set from original ids;
+    * ``to_public(internal)`` — back to original ids (for the final fragments).
+
+    With *use_index* the internal space is **dense ids**: d-hop expansion is
+    the frontier-array BFS of :class:`repro.index.NeighborhoodCSR` over the
+    merged undirected CSR (one shared visited scratch across all calls,
+    ``set(array)`` materialisation in C), and every subset/union/size the
+    phases compute stays on small ints until the fragments are finalised.
+    The dict fallback keeps original ids throughout; both spaces decode to
+    identical partitions, which the equivalence suite asserts.
+    """
+    if use_index and graph.num_nodes:
+        from repro.index.snapshot import GraphIndex
+        from repro.utils.errors import NodeNotFoundError
+
+        snapshot = GraphIndex.for_graph(graph)
+        merged = snapshot.neighborhoods()
+        scratch = bytearray(snapshot.num_nodes)
+        dense_of = snapshot.nodes.encode
+        value_of = snapshot.nodes.decode
+
+        def within_hops(node: NodeId) -> Set[int]:
+            node_id = dense_of(node)
+            if node_id is None:
+                # Same error the dict path's nodes_within_hops raises; the
+                # snapshot is fresh, so this only fires for genuinely unknown
+                # nodes (e.g. a stale partition naming removed nodes).
+                raise NodeNotFoundError(node)
+            return set(merged.nodes_within_hops_ids(node_id, d, visited=scratch))
+
+        def to_internal(nodes) -> Set[int]:
+            encoded = set(map(dense_of, nodes))
+            if None in encoded:
+                missing = next(node for node in nodes if dense_of(node) is None)
+                raise NodeNotFoundError(missing)
+            return encoded
+
+        def to_public(internal) -> Set[NodeId]:
+            return set(map(value_of, internal))
+
+        return within_hops, to_internal, to_public
+    return (lambda node: nodes_within_hops(graph, node, d)), set, (lambda internal: internal)
 
 
 class DPar:
@@ -257,8 +330,11 @@ class DPar:
         Base partition strategy (``"random"``, ``"bfs"`` or ``"degree"``;
         see :func:`base_partition`).
     use_index:
-        Let the ``"degree"`` strategy read degrees from the compiled
-        :class:`repro.index.GraphIndex` arrays instead of dict scans.
+        Resolve the per-node d-hop expansions (phases 1 and the incremental
+        :meth:`extend`) through the merged undirected CSR of the compiled
+        :class:`repro.index.GraphIndex`, and let the ``"degree"`` strategy
+        read degrees from its degree arrays.  The dict fallback builds an
+        identical partition; only the build time differs.
     """
 
     def __init__(
@@ -296,21 +372,32 @@ class DPar:
             graph, num_fragments, seed=rng, strategy=self.strategy,
             use_index=self.use_index,
         )
-        fragments = [Fragment(fragment_id=i, node_set=set(block)) for i, block in enumerate(blocks)]
+        # Phase 1 runs one d-hop BFS per graph node — the partitioner's hot
+        # loop — and phases 2–4 are pure set algebra over the neighbourhoods.
+        # With the index enabled, all of it happens on dense ids (the
+        # "internal" space) and fragments are decoded once at the end.
+        within_hops, to_internal, to_public = _neighborhood_space(
+            graph, self.d, self.use_index
+        )
+        fragments = [
+            Fragment(fragment_id=i, node_set=to_internal(block))
+            for i, block in enumerate(blocks)
+        ]
         capacity = max(
             self.capacity_factor * graph.num_nodes / num_fragments,
             max((len(block) for block in blocks), default=1.0) + 1.0,
         )
 
-        # Phase 1: nodes whose Nd already sits inside their home block are
-        # covered for free; the rest are border nodes.
+        # Nodes whose Nd already sits inside their home block are covered for
+        # free; the rest are border nodes.  ``neighborhoods`` values live in
+        # the internal space (its keys stay original ids).
         neighborhoods: Dict[NodeId, Set[NodeId]] = {}
         border: List[NodeId] = []
         home: Dict[NodeId, int] = {}
         for fragment, block in zip(fragments, blocks):
             for node in block:
                 home[node] = fragment.fragment_id
-                neighborhood = nodes_within_hops(graph, node, self.d)
+                neighborhood = within_hops(node)
                 neighborhoods[node] = neighborhood
                 if neighborhood <= fragment.node_set:
                     fragment.owned_nodes.add(node)
@@ -352,6 +439,12 @@ class DPar:
         # the owned node's neighbourhood along so covering is preserved).
         self._rebalance_ownership(fragments, neighborhoods, rng)
 
+        # Decode the replicated node sets back to original ids (a no-op on
+        # the dict path); ownership and border sets carried original ids all
+        # along, so the two paths produce identical partitions.
+        for fragment in fragments:
+            fragment.node_set = to_public(fragment.node_set)
+
         return HopPreservingPartition(d=self.d, fragments=fragments, source=graph)
 
     @staticmethod
@@ -390,17 +483,22 @@ class DPar:
         if new_d == partition.d:
             return partition
         with Timer() as timer:
+            within_hops, to_internal, to_public = _neighborhood_space(
+                partition.source, new_d, self.use_index
+            )
             fragments = []
             for old in partition.fragments:
-                fragment = Fragment(
-                    fragment_id=old.fragment_id,
-                    owned_nodes=set(old.owned_nodes),
-                    node_set=set(old.node_set),
-                    border_nodes=set(old.border_nodes),
+                node_set = to_internal(old.node_set)
+                for node in old.owned_nodes:
+                    node_set |= within_hops(node)
+                fragments.append(
+                    Fragment(
+                        fragment_id=old.fragment_id,
+                        owned_nodes=set(old.owned_nodes),
+                        node_set=to_public(node_set),
+                        border_nodes=set(old.border_nodes),
+                    )
                 )
-                for node in fragment.owned_nodes:
-                    fragment.node_set |= nodes_within_hops(partition.source, node, new_d)
-                fragments.append(fragment)
             extended = HopPreservingPartition(d=new_d, fragments=fragments, source=partition.source)
         extended.elapsed = timer.elapsed
         return extended

@@ -33,6 +33,37 @@ class TestNodes:
         assert small_graph.nodes_with_label("missing") == set()
         assert small_graph.node_labels() == {"person", "product"}
 
+    def test_nodes_with_label_returns_a_copy(self, small_graph):
+        """Mutating the returned set must not corrupt the label index.
+
+        Regression test: the accessor used to return the live ``_label_index``
+        entry, so ``discard`` removed the node from label lookups while it
+        stayed in the graph.
+        """
+        people = small_graph.nodes_with_label("person")
+        people.discard("a")
+        people.add("intruder")
+        assert small_graph.nodes_with_label("person") == {"a", "b"}
+        assert small_graph.has_node("a")
+        small_graph.validate()
+
+    def test_set_returning_accessors_are_all_copies(self, small_graph):
+        """Clearing any accessor result leaves the graph intact (aliasing audit)."""
+        for accessor in (
+            lambda: small_graph.nodes_with_label("person"),
+            lambda: small_graph.node_labels(),
+            lambda: small_graph.successors("a"),
+            lambda: small_graph.successors("a", "follow"),
+            lambda: small_graph.predecessors("b"),
+            lambda: small_graph.neighbors("a"),
+            lambda: small_graph.out_edge_labels("a"),
+            lambda: small_graph.edge_labels("a", "b"),
+        ):
+            before = accessor()
+            accessor().clear()
+            assert accessor() == before
+        small_graph.validate()
+
     def test_relabeling_updates_index(self, small_graph):
         small_graph.add_node("a", "bot")
         assert small_graph.node_label("a") == "bot"

@@ -12,13 +12,15 @@ from __future__ import annotations
 import pytest
 
 from repro.datasets import benchmark_graph, paper_pattern, workload_patterns
-from repro.graph import PropertyGraph
+from repro.graph import PropertyGraph, nodes_within_hops
 from repro.graph.simulation import (
     dual_simulation_relation,
     refine_candidates,
     simulation_relation,
 )
+from repro.index import GraphIndex
 from repro.matching import DMatchOptions, QMatch, build_candidate_index, dmatch
+from repro.matching.generic import find_isomorphisms
 from repro.patterns import PatternBuilder
 from repro.parallel.partition import DPar, base_partition
 from repro.utils import WorkCounter
@@ -61,6 +63,39 @@ class TestMatcherEquivalence:
         assert indexed.answer == fallback.answer
         assert indexed.positive_answer == fallback.positive_answer
         assert indexed.counter.candidates_pruned == fallback.counter.candidates_pruned
+
+    def test_enumeration_work_counts_identical_across_all_modes(self, name, graph, pattern):
+        """Indexed enumeration is byte-identical: answers AND work counters.
+
+        The deterministic candidate ordering shared by both enumeration paths
+        makes even the early-exit extension counts match exactly, so this
+        asserts the full counter tuple — not just the answer — across the
+        fully indexed engine, the enumeration-only ablation and the dict
+        fallback.
+        """
+        outcomes = {}
+        for mode, options in (
+            ("indexed", DMatchOptions()),
+            ("enum-ablation", DMatchOptions(use_index_enumeration=False)),
+            ("fallback", DMatchOptions(use_index=False)),
+        ):
+            result = QMatch(options=options).evaluate(pattern, graph)
+            outcomes[mode] = (
+                result.answer,
+                result.positive_answer,
+                result.counter.extensions,
+                result.counter.verifications,
+                result.counter.quantifier_checks,
+                result.counter.candidates_pruned,
+            )
+        assert outcomes["indexed"] == outcomes["enum-ablation"] == outcomes["fallback"]
+
+    def test_isomorphism_streams_identical_in_order(self, name, graph, pattern):
+        """The two enumeration paths yield the same assignments in the same order."""
+        skeleton = pattern.pi().stratified()
+        indexed = list(find_isomorphisms(skeleton, graph, limit=200, use_index=True))
+        fallback = list(find_isomorphisms(skeleton, graph, limit=200, use_index=False))
+        assert indexed == fallback
 
     def test_qmatch_without_simulation_identical(self, name, graph, pattern):
         options_on = DMatchOptions(use_simulation=False, use_index=True)
@@ -150,6 +185,43 @@ class TestPartitionDegreeStrategy:
         assert parallel.evaluate_answer(pattern, graph) == sequential
 
 
+class TestPartitionBfsEquivalence:
+    """The CSR d-hop BFS must build byte-identical partitions."""
+
+    @pytest.mark.parametrize("d", [0, 1, 2])
+    def test_dpar_identical_with_and_without_index(self, small_pokec, d):
+        indexed = DPar(d=d, seed=9, use_index=True).partition(small_pokec, 3)
+        fallback = DPar(d=d, seed=9, use_index=False).partition(small_pokec, 3)
+        for built, reference in zip(indexed.fragments, fallback.fragments):
+            assert built.fragment_id == reference.fragment_id
+            assert built.owned_nodes == reference.owned_nodes
+            assert built.node_set == reference.node_set
+            assert built.border_nodes == reference.border_nodes
+
+    def test_extend_identical_with_and_without_index(self, small_pokec):
+        indexed = DPar(d=1, seed=4, use_index=True)
+        fallback = DPar(d=1, seed=4, use_index=False)
+        extended_indexed = indexed.extend(indexed.partition(small_pokec, 3), 2)
+        extended_fallback = fallback.extend(fallback.partition(small_pokec, 3), 2)
+        assert [f.node_set for f in extended_indexed.fragments] == [
+            f.node_set for f in extended_fallback.fragments
+        ]
+        assert extended_indexed.is_covering() and extended_indexed.is_complete()
+
+    def test_csr_bfs_matches_dict_bfs_on_benchmark_graph(self, small_pokec):
+        snapshot = GraphIndex.for_graph(small_pokec)
+        merged = snapshot.neighborhoods()
+        scratch = bytearray(snapshot.num_nodes)
+        for node in small_pokec.nodes():
+            for hops in (0, 1, 2):
+                reached = merged.nodes_within_hops_ids(
+                    snapshot.node_id(node), hops, visited=scratch
+                )
+                assert snapshot.to_nodes(reached) == nodes_within_hops(
+                    small_pokec, node, hops
+                )
+
+
 class TestStaleGraphSafety:
     def test_mutating_the_graph_between_queries_stays_correct(self):
         """for_graph must transparently rebuild after mutations."""
@@ -167,6 +239,22 @@ class TestStaleGraphSafety:
             pattern, graph
         )
         assert second_indexed == second_fallback == {"x2", "x3"}
+
+    def test_match_context_recompiles_after_mutation(self):
+        """An index-aware context must not enumerate from stale rows."""
+        from repro.matching.generic import MatchContext
+
+        graph = build_paper_g1()
+        pattern = build_q3(p=2).pi().stratified()
+        context = MatchContext(pattern, graph, use_index=True)
+        before = list(context.isomorphisms())
+        assert before  # sanity: the pattern matches the example graph
+        graph.remove_edge("x3", "v4", "follow")
+        after = list(context.isomorphisms())
+        fresh = list(
+            MatchContext(pattern, graph, use_index=False).isomorphisms()
+        )
+        assert after == fresh
 
     def test_empty_label_pattern(self):
         graph = build_paper_g1()

@@ -78,6 +78,54 @@ class TestBasePartition:
             base_partition(small_pokec, 0)
 
 
+class TestBfsStrategyOrder:
+    """The ``"bfs"`` strategy must grow regions breadth-first.
+
+    Regression test: region growth used ``list.pop()`` (LIFO), which walked
+    depth-first and scattered a start node's near neighbourhood across block
+    boundaries, inflating the replication the d-hop extension adds.
+    """
+
+    @staticmethod
+    def _path_graph(length: int):
+        graph = PropertyGraph("path")
+        for node in range(length):
+            graph.add_node(node, "n")
+        for node in range(length - 1):
+            graph.add_edge(node, node + 1, "e")
+        return graph
+
+    @staticmethod
+    def _replayed_start(graph, seed):
+        """The BFS start node: first element of the seeded node shuffle."""
+        from repro.utils.rng import ensure_rng
+
+        nodes = list(graph.nodes())
+        ensure_rng(seed).shuffle(nodes)
+        return nodes[0]
+
+    def test_interior_start_keeps_both_neighbors(self):
+        graph = self._path_graph(10)
+        # Pick a seed whose shuffled start is interior with room on both
+        # sides; depth-first growth would then leave one neighbour out of
+        # the start's block, breadth-first keeps both.
+        seed = next(
+            s for s in range(100) if 1 <= self._replayed_start(graph, s) <= 5
+        )
+        start = self._replayed_start(graph, seed)
+        blocks = base_partition(graph, 2, seed=seed, strategy="bfs")
+        home = next(block for block in blocks if start in block)
+        assert {start - 1, start + 1} <= home
+
+    def test_bfs_blocks_cover_all_nodes_once(self, small_pokec):
+        blocks = base_partition(small_pokec, 3, seed=7, strategy="bfs")
+        seen = set()
+        for block in blocks:
+            assert seen.isdisjoint(block)
+            seen |= block
+        assert seen == set(small_pokec.nodes())
+
+
 class TestDPar:
     @pytest.fixture(scope="class")
     def partitioned(self):
@@ -155,6 +203,17 @@ class TestDPar:
         assert owner is not None
         assert some_node in partition.fragments[owner].owned_nodes
         assert partition.owner_of("not-a-node") is None
+
+    def test_owner_of_agrees_with_fragments_for_every_node(self, partitioned):
+        """The prebuilt node → fragment map must equal a full fragment scan."""
+        graph, partition = partitioned
+        for node in graph.nodes():
+            expected = next(
+                fragment.fragment_id
+                for fragment in partition.fragments
+                if node in fragment.owned_nodes
+            )
+            assert partition.owner_of(node) == expected
 
     def test_single_fragment_partition(self, small_yago):
         partition = DPar(d=2, seed=1).partition(small_yago, 1)

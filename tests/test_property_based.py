@@ -141,6 +141,61 @@ def test_compiled_index_path_is_a_pure_accelerator(graph, pattern):
 
 @given(graph=labeled_graphs(), pattern=quantified_patterns())
 @settings(**SETTINGS)
+def test_indexed_enumeration_is_byte_identical(graph, pattern):
+    """The CSR-row enumeration must replay the dict fallback exactly:
+    same assignments in the same order, and same work counters even with
+    the early-exit optimisation live."""
+    from repro.matching import find_isomorphisms
+
+    skeleton = pattern.pi().stratified()
+    assert list(find_isomorphisms(skeleton, graph, limit=100, use_index=True)) == list(
+        find_isomorphisms(skeleton, graph, limit=100, use_index=False)
+    )
+    indexed = QMatch(options=DMatchOptions(use_index_enumeration=True)).evaluate(pattern, graph)
+    fallback = QMatch(options=DMatchOptions(use_index_enumeration=False)).evaluate(pattern, graph)
+    assert indexed.answer == fallback.answer
+    assert indexed.counter.extensions == fallback.counter.extensions
+    assert indexed.counter.verifications == fallback.counter.verifications
+
+
+@given(graph=labeled_graphs())
+@settings(**SETTINGS)
+def test_csr_bfs_matches_dict_bfs(graph):
+    """The merged-CSR frontier BFS reaches exactly the dict BFS node sets."""
+    from repro.graph import nodes_within_hops
+    from repro.index import GraphIndex
+
+    snapshot = GraphIndex.for_graph(graph)
+    merged = snapshot.neighborhoods()
+    scratch = bytearray(snapshot.num_nodes)
+    for node in graph.nodes():
+        for hops in (0, 1, 3):
+            reached = merged.nodes_within_hops_ids(
+                snapshot.node_id(node), hops, visited=scratch
+            )
+            assert snapshot.to_nodes(reached) == nodes_within_hops(graph, node, hops)
+    assert not any(scratch)
+
+
+@given(graph=labeled_graphs())
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+def test_dpar_partition_identical_with_and_without_index(graph):
+    """The compiled d-hop expansion must not change the partition at all."""
+    from repro.parallel import DPar
+
+    indexed = DPar(d=1, seed=2, use_index=True).partition(graph, 2)
+    fallback = DPar(d=1, seed=2, use_index=False).partition(graph, 2)
+    assert [f.owned_nodes for f in indexed.fragments] == [
+        f.owned_nodes for f in fallback.fragments
+    ]
+    assert [f.node_set for f in indexed.fragments] == [
+        f.node_set for f in fallback.fragments
+    ]
+
+
+@given(graph=labeled_graphs(), pattern=quantified_patterns())
+@settings(**SETTINGS)
 def test_negation_only_shrinks_the_answer(graph, pattern):
     """Q(xo, G) ⊆ Π(Q)(xo, G): removing the negated branches can only add matches."""
     result = QMatch().evaluate(pattern, graph)
