@@ -19,10 +19,11 @@ cannot silently rot.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
-from typing import Sequence
+from typing import Mapping, Optional, Sequence
 
 import pytest
 
@@ -83,15 +84,38 @@ def pattern_q4():
 
 @pytest.fixture(scope="session")
 def record_figure():
-    """Return a callable that renders, prints and archives one figure table."""
+    """Return a callable that renders, prints and archives one figure table.
+
+    Each figure is archived twice: the human-readable ASCII table
+    (``<figure>.txt``, unchanged) and a machine-readable
+    ``BENCH_<figure>.json`` carrying the same rows as keyed objects plus any
+    *phases* timings (index build/serialize/load, cold vs warm pool costs)
+    the benchmark measured — the artifact CI uploads so the perf trajectory
+    of every figure is diffable across PRs instead of living in table
+    screenshots.  Rows are the per-run medians the benches compute (every
+    bench here runs ``rounds=1`` sweeps whose rows already aggregate the
+    query mix).
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _record(figure: str, headers: Sequence[str], rows: Sequence[Sequence[object]],
-                title: str = "") -> str:
+                title: str = "", phases: Optional[Mapping[str, float]] = None) -> str:
         table = render_table(headers, rows, title=title or figure)
         print()
         print(table)
         (RESULTS_DIR / f"{figure}.txt").write_text(table + "\n", encoding="utf-8")
+        payload = {
+            "figure": figure,
+            "title": title or figure,
+            "scale": _SCALE_OVERRIDE or "default",
+            "headers": list(headers),
+            "rows": [dict(zip(headers, row)) for row in rows],
+            "phases": dict(phases) if phases else {},
+        }
+        (RESULTS_DIR / f"BENCH_{figure}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+            encoding="utf-8",
+        )
         return table
 
     return _record

@@ -2,6 +2,8 @@
 
 from repro.bench.harness import (
     INDEX_BUILD_ENGINE,
+    INDEX_LOAD_ENGINE,
+    INDEX_SERIALIZE_ENGINE,
     EngineSpec,
     RunRecord,
     records_to_table,
@@ -16,4 +18,6 @@ __all__ = [
     "summarize_records",
     "records_to_table",
     "INDEX_BUILD_ENGINE",
+    "INDEX_SERIALIZE_ENGINE",
+    "INDEX_LOAD_ENGINE",
 ]

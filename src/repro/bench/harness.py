@@ -18,7 +18,16 @@ from repro.patterns.qgp import QuantifiedGraphPattern
 from repro.utils.tables import render_table
 from repro.utils.timing import Timer
 
-__all__ = ["EngineSpec", "RunRecord", "run_engines", "summarize_records", "records_to_table"]
+__all__ = [
+    "EngineSpec",
+    "RunRecord",
+    "run_engines",
+    "summarize_records",
+    "records_to_table",
+    "INDEX_BUILD_ENGINE",
+    "INDEX_SERIALIZE_ENGINE",
+    "INDEX_LOAD_ENGINE",
+]
 
 
 @dataclass(frozen=True)
@@ -42,6 +51,8 @@ class RunRecord:
 
 
 INDEX_BUILD_ENGINE = "index-build"
+INDEX_SERIALIZE_ENGINE = "index-serialize"
+INDEX_LOAD_ENGINE = "index-load"
 
 
 def run_engines(
@@ -67,9 +78,18 @@ def run_engines(
     a single process, so without this the first engine absorbs the process's
     cold allocator/branch-predictor state and one-shot comparisons between
     near-equal engines systematically favour whichever happens to run later.
+
+    The prebuild additionally times the snapshot **wire format**
+    (:mod:`repro.index.serialize`) as two more synthetic phases:
+    ``index-serialize`` (``to_bytes``, with the byte size in the extras) and
+    ``index-load`` (``from_bytes`` bound back to the live graph, with its
+    speedup over ``GraphIndex.build`` in the extras) — the cold-start /
+    fragment-shipping cost the parallel benchmarks reason about, tracked
+    per figure in the archived ``BENCH_*.json`` results.
     """
     records: List[RunRecord] = []
     if prebuild_index:
+        from repro.index.serialize import from_bytes, to_bytes
         from repro.index.snapshot import GraphIndex
 
         with Timer() as build_timer:
@@ -90,6 +110,41 @@ def run_engines(
                 },
             )
         )
+        with Timer() as serialize_timer:
+            snapshot_bytes = to_bytes(snapshot)
+        records.append(
+            RunRecord(
+                engine=INDEX_SERIALIZE_ENGINE,
+                pattern="*",
+                elapsed=serialize_timer.elapsed,
+                answer_size=0,
+                work=0,
+                extras={"snapshot_bytes": float(len(snapshot_bytes))},
+            )
+        )
+        with Timer() as load_timer:
+            from_bytes(snapshot_bytes, graph=graph)
+        records.append(
+            RunRecord(
+                engine=INDEX_LOAD_ENGINE,
+                pattern="*",
+                elapsed=load_timer.elapsed,
+                answer_size=0,
+                work=0,
+                extras={
+                    "build_seconds": snapshot.build_seconds,
+                    "load_speedup_vs_build": (
+                        snapshot.build_seconds / load_timer.elapsed
+                        if load_timer.elapsed > 0.0
+                        else 0.0
+                    ),
+                },
+            )
+        )
+        # The load bound a freshly decoded (row-store-cold) index to the
+        # graph; re-attach the fully warmed snapshot so the engine loop below
+        # measures pure query time, as documented.
+        graph.cache_index(snapshot)
     for spec in engines:
         engine = spec.build()
         if warmup and patterns:

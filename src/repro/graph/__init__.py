@@ -12,8 +12,10 @@ from repro.graph.io import (
     graph_to_json,
     read_edge_list,
     read_json,
+    read_json_with_snapshot,
     write_edge_list,
     write_json,
+    write_json_with_snapshot,
 )
 from repro.graph.simulation import (
     dual_simulation_relation,
@@ -65,4 +67,6 @@ __all__ = [
     "graph_from_json",
     "write_json",
     "read_json",
+    "write_json_with_snapshot",
+    "read_json_with_snapshot",
 ]

@@ -354,6 +354,42 @@ class PropertyGraph:
             clone.add_edge(source, target, label)
         return clone
 
+    @classmethod
+    def from_compiled_parts(
+        cls,
+        name: str,
+        labels: Dict[NodeId, Label],
+        out: Dict[NodeId, Dict[Label, Set[NodeId]]],
+        in_: Dict[NodeId, Dict[Label, Set[NodeId]]],
+        edge_count: int,
+        version: int = 0,
+    ) -> "PropertyGraph":
+        """Construct a graph directly from prebuilt internal structures.
+
+        This is the decode fast path of the binary snapshot loader
+        (:mod:`repro.index.serialize`): the adjacency dicts are adopted as-is
+        — **ownership transfers to the graph**, callers must not alias them —
+        and the mutation counter is *set* to ``version`` instead of being
+        bumped once per node and edge, so an index snapshot carrying the same
+        stamp stays fresh for the rebuilt graph.  The caller guarantees
+        consistency (``out``/``in_`` mirror each other, every adjacency key
+        is labeled); :meth:`validate` checks it when in doubt.  Node
+        attributes never travel through the snapshot (the index does not
+        mirror them); callers re-apply them afterwards, as
+        :meth:`repro.parallel.worker.FragmentPayload.materialise` does.
+        """
+        graph = cls(name)
+        graph._labels = labels
+        graph._out = out
+        graph._in = in_
+        graph._edge_count = edge_count
+        graph._version = version
+        label_index: Dict[Label, Set[NodeId]] = {}
+        for node, label in labels.items():
+            label_index.setdefault(label, set()).add(node)
+        graph._label_index = label_index
+        return graph
+
     def merge_from(self, other: "PropertyGraph") -> None:
         """Union *other* into this graph in place (labels of *other* win)."""
         for node in other.nodes():

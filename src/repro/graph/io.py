@@ -11,6 +11,12 @@ Two formats are supported:
 
 Node ids are written as strings; the loader converts ids that look like
 integers back to ``int`` so that generated graphs round-trip exactly.
+
+A JSON document can additionally be paired with the compiled index's binary
+snapshot (:mod:`repro.index.serialize`): :func:`write_json_with_snapshot`
+stores both side by side and :func:`read_json_with_snapshot` binds the
+snapshot back to the reloaded graph, so a cold start skips
+``GraphIndex.build`` entirely.
 """
 
 from __future__ import annotations
@@ -29,7 +35,13 @@ __all__ = [
     "graph_from_json",
     "write_json",
     "read_json",
+    "write_json_with_snapshot",
+    "read_json_with_snapshot",
+    "SNAPSHOT_SUFFIX",
 ]
+
+#: Extension of the compiled-snapshot sidecar written next to the graph JSON.
+SNAPSHOT_SUFFIX = ".gix"
 
 PathLike = Union[str, Path]
 
@@ -109,3 +121,43 @@ def write_json(graph: PropertyGraph, path: PathLike) -> None:
 def read_json(path: PathLike) -> PropertyGraph:
     """Load a graph from a JSON document written by :func:`write_json`."""
     return graph_from_json(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def _snapshot_path(path: PathLike) -> Path:
+    return Path(path).with_suffix(SNAPSHOT_SUFFIX)
+
+
+def write_json_with_snapshot(graph: PropertyGraph, path: PathLike) -> Path:
+    """Write *graph* as JSON plus its compiled snapshot as a ``.gix`` sidecar.
+
+    The snapshot is the cached index when it is fresh, otherwise a fresh
+    build — either way the pair on disk is consistent.  Returns the sidecar
+    path.
+    """
+    from repro.index.serialize import save_snapshot
+    from repro.index.snapshot import GraphIndex
+
+    write_json(graph, path)
+    sidecar = _snapshot_path(path)
+    save_snapshot(GraphIndex.for_graph(graph), sidecar)
+    return sidecar
+
+
+def read_json_with_snapshot(path: PathLike) -> PropertyGraph:
+    """Load a JSON graph and bind its ``.gix`` snapshot sidecar, if present.
+
+    With the sidecar, the returned graph already carries a fresh compiled
+    index (``GraphIndex.for_graph`` is a cache hit — no build on the cold
+    path); without one, this is exactly :func:`read_json`.  The sidecar is
+    bound strictly (per-node label verification, O(|V|) on a cold start):
+    a stale sidecar — e.g. the JSON was rewritten without refreshing the
+    snapshot — raises :class:`~repro.utils.errors.SnapshotError` rather than
+    silently attaching an index that describes a different graph.
+    """
+    from repro.index.serialize import load_snapshot
+
+    graph = read_json(path)
+    sidecar = _snapshot_path(path)
+    if sidecar.exists():
+        load_snapshot(sidecar, graph=graph, strict=True)
+    return graph

@@ -11,6 +11,12 @@ enumeration and the partitioner consume through ``use_index=True`` switches,
 each keeping a dict-backed fallback path that is asserted byte-identical by
 the test suite.
 
+Snapshots also have a versioned binary wire format
+(:mod:`repro.index.serialize`): ``to_bytes``/``from_bytes`` round-trip the
+compiled arrays as raw buffers (with ``save_snapshot``/``load_snapshot`` file
+variants next to the graph JSON of :mod:`repro.graph.io`), so cold starts and
+cross-process fragment shipping skip ``GraphIndex.build`` entirely.
+
 See :mod:`repro.index.snapshot` for the invariants (immutability, staleness
 counter, per-graph caching).
 """
@@ -18,11 +24,19 @@ counter, per-graph caching).
 from repro.index.csr import LabeledCSR, build_csr_pair
 from repro.index.interning import Interner
 from repro.index.neighborhoods import NeighborhoodCSR, merge_undirected
+from repro.index.serialize import (
+    from_bytes,
+    load_snapshot,
+    save_snapshot,
+    snapshot_checksum,
+    to_bytes,
+)
 from repro.index.signatures import NeighborhoodSignatures, build_signatures
-from repro.index.snapshot import GraphIndex
+from repro.index.snapshot import GraphIndex, build_call_count
 
 __all__ = [
     "GraphIndex",
+    "build_call_count",
     "Interner",
     "LabeledCSR",
     "build_csr_pair",
@@ -30,4 +44,9 @@ __all__ = [
     "merge_undirected",
     "NeighborhoodSignatures",
     "build_signatures",
+    "to_bytes",
+    "from_bytes",
+    "save_snapshot",
+    "load_snapshot",
+    "snapshot_checksum",
 ]

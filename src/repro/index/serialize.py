@@ -1,0 +1,499 @@
+"""Binary wire format for compiled :class:`~repro.index.GraphIndex` snapshots.
+
+A compiled snapshot is, by construction, a handful of interning tables plus
+flat ``array('i')`` buffers (CSR index pointers and columns, degree arrays,
+node-label ids) and two lists of signature bitsets.  Shipping that to another
+process — or to disk — as the nested-dict :class:`repro.graph.PropertyGraph`
+it was compiled from throws the compilation away: the receiver pays full
+pickling of dict-of-sets adjacency *and* a fresh ``GraphIndex.build``.  This
+module instead encodes the snapshot itself:
+
+* :func:`to_bytes` / :func:`from_bytes` — a versioned, checksummed container
+  whose hot payload is raw ``array.tobytes()`` buffers (decoded with
+  ``array.frombytes``, i.e. one C-level copy each); interning tables use a
+  compact tagged codec (dense int array / JSON scalars / pickle fallback).
+* :func:`from_bytes` can *bind* to an already-loaded graph (cold-start path:
+  graph JSON + snapshot file side by side) or — with ``graph=None`` —
+  **rebuild** the :class:`PropertyGraph` from the CSR buffers, which is how a
+  fragment crosses a process boundary exactly once as flat buffers.
+* :func:`save_snapshot` / :func:`load_snapshot` — the file variants living
+  alongside :mod:`repro.graph.io`'s JSON, so cold starts skip
+  ``GraphIndex.build`` entirely.
+
+Wire layout (all integers little-endian)::
+
+    header   = magic "RGIX" | u16 format_version | u16 flags
+             | u32 crc32(payload) | u64 len(payload)
+    payload  = length-prefixed sections in fixed order:
+               graph name, meta struct, 3 interning tables, node_label_ids,
+               out CSR (per-label indptr+indices, total_degree), in CSR,
+               signatures (out_sig, in_sig), [merged neighborhood CSR]
+
+``flags`` bit 0 marks the optional merged-neighbourhood section.  Every array
+section is int32 regardless of the host's ``array('i')`` width, so snapshots
+are portable across platforms; the CRC makes truncation and bit-rot loud
+(:class:`~repro.utils.errors.SnapshotError`) instead of silently wrong.
+
+Node *attributes* are deliberately not part of the snapshot — the index never
+mirrors them (attribute updates do not bump the graph version).  Callers that
+need attrs across the wire ship them next to the snapshot bytes, as
+:class:`repro.parallel.worker.FragmentPayload` does.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+import sys
+import zlib
+from array import array
+from pathlib import Path
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.graph.digraph import Label, NodeId, PropertyGraph
+from repro.index.csr import LabeledCSR
+from repro.index.interning import Interner
+from repro.index.neighborhoods import NeighborhoodCSR
+from repro.index.signatures import NeighborhoodSignatures
+from repro.index.snapshot import GraphIndex
+from repro.utils.errors import SnapshotError
+
+__all__ = [
+    "FORMAT_VERSION",
+    "to_bytes",
+    "from_bytes",
+    "save_snapshot",
+    "load_snapshot",
+    "snapshot_checksum",
+]
+
+PathLike = Union[str, Path]
+
+MAGIC = b"RGIX"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<4sHHIQ")
+_LENGTH = struct.Struct("<Q")
+_META = struct.Struct("<qqqq")  # graph version, |V|, |node labels|, |edge labels|
+_U32 = struct.Struct("<I")
+
+_FLAG_NEIGHBORHOODS = 1
+
+# Tags of the interning-table codec (one byte before the body).
+_TAG_INT = b"I"  # every value is an int: one raw array('q') buffer
+_TAG_JSON = b"J"  # JSON-safe scalars (str/int/float/bool): utf-8 JSON list
+_TAG_PICKLE = b"P"  # anything else hashable: stdlib pickle fallback
+
+_INT32 = array("i")
+_NATIVE_INT32 = _INT32.itemsize == 4 and sys.byteorder == "little"
+
+
+# ----------------------------------------------------------------- primitives
+
+
+def _array_to_wire(values: array) -> bytes:
+    """Encode an ``array('i')`` as little-endian int32 bytes (zero-copy when
+    the host layout already matches, which it does everywhere we run)."""
+    if _NATIVE_INT32:
+        return values.tobytes()
+    return struct.pack(f"<{len(values)}i", *values)
+
+
+def _array_from_wire(data: bytes) -> array:
+    """Decode little-endian int32 bytes back into a native ``array('i')``."""
+    if len(data) % 4:
+        raise SnapshotError(f"array section length {len(data)} is not a multiple of 4")
+    if _NATIVE_INT32:
+        decoded = array("i")
+        decoded.frombytes(data)
+        return decoded
+    return array("i", struct.unpack(f"<{len(data) // 4}i", data))
+
+
+def _encode_interner(interner: Interner) -> bytes:
+    """Tagged encoding of one interning table (ordered by dense id)."""
+    values = interner.values()
+    if all(type(value) is int for value in values):
+        try:
+            if sys.byteorder == "little":
+                return _TAG_INT + array("q", values).tobytes()
+            return _TAG_INT + struct.pack(f"<{len(values)}q", *values)
+        except OverflowError:
+            pass  # an id beyond int64 — fall through to the JSON encoding
+    if all(type(value) in (str, int, float, bool) for value in values):
+        return _TAG_JSON + json.dumps(values, ensure_ascii=False).encode("utf-8")
+    return _TAG_PICKLE + pickle.dumps(values, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _decode_interner(data: bytes) -> Interner:
+    if not data:
+        raise SnapshotError("empty interning-table section")
+    tag, body = data[:1], data[1:]
+    if tag == _TAG_INT:
+        if len(body) % 8:
+            raise SnapshotError("interning-table int section has a partial value")
+        if sys.byteorder == "little":
+            values = array("q")
+            values.frombytes(body)
+            return Interner(values)
+        return Interner(struct.unpack(f"<{len(body) // 8}q", body))
+    if tag == _TAG_JSON:
+        return Interner(json.loads(body.decode("utf-8")))
+    if tag == _TAG_PICKLE:
+        return Interner(pickle.loads(body))
+    raise SnapshotError(f"unknown interning-table tag {tag!r}")
+
+
+def _encode_bigints(values: Sequence[int]) -> bytes:
+    """Length-prefixed little-endian encoding of arbitrary-precision bitsets."""
+    chunks: List[bytes] = [_LENGTH.pack(len(values))]
+    for value in values:
+        encoded = value.to_bytes((value.bit_length() + 7) // 8, "little")
+        chunks.append(_U32.pack(len(encoded)))
+        chunks.append(encoded)
+    return b"".join(chunks)
+
+
+def _decode_bigints(data: bytes) -> List[int]:
+    (count,) = _LENGTH.unpack_from(data, 0)
+    offset = _LENGTH.size
+    values: List[int] = []
+    for _ in range(count):
+        if offset + _U32.size > len(data):
+            raise SnapshotError("signature section is truncated")
+        (length,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        if offset + length > len(data):
+            raise SnapshotError("signature section is truncated")
+        values.append(int.from_bytes(data[offset:offset + length], "little"))
+        offset += length
+    return values
+
+
+def _append_section(chunks: List[bytes], data: bytes) -> None:
+    chunks.append(_LENGTH.pack(len(data)))
+    chunks.append(data)
+
+
+class _Reader:
+    """Sequential reader over the length-prefixed payload sections."""
+
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def section(self) -> bytes:
+        data, offset = self.data, self.offset
+        if offset + _LENGTH.size > len(data):
+            raise SnapshotError("snapshot payload is truncated (missing section header)")
+        (length,) = _LENGTH.unpack_from(data, offset)
+        offset += _LENGTH.size
+        if offset + length > len(data):
+            raise SnapshotError("snapshot payload is truncated (section body cut short)")
+        self.offset = offset + length
+        return data[offset:offset + length]
+
+
+# ------------------------------------------------------------------ to_bytes
+
+
+def _encode_labeled_csr(chunks: List[bytes], csr: LabeledCSR) -> None:
+    for label_id in range(csr.num_labels):
+        _append_section(chunks, _array_to_wire(csr.indptr[label_id]))
+        _append_section(chunks, _array_to_wire(csr.indices[label_id]))
+    _append_section(chunks, _array_to_wire(csr.total_degree))
+
+
+def to_bytes(index: GraphIndex, include_neighborhoods: Optional[bool] = None) -> bytes:
+    """Serialise *index* to the versioned binary wire format.
+
+    ``include_neighborhoods`` controls the optional merged undirected CSR
+    section: ``None`` (default) includes it exactly when the snapshot has
+    already materialised it, so serialising never triggers the merge build
+    but never drops work that was paid for either.
+
+    Raises :class:`~repro.utils.errors.StaleIndexError` when the snapshot no
+    longer matches its source graph — freezing known-outdated arrays to disk
+    would defeat the staleness counter.
+    """
+    index.ensure_fresh()
+    if include_neighborhoods is None:
+        include_neighborhoods = index._neighborhoods is not None
+
+    chunks: List[bytes] = []
+    _append_section(chunks, index.graph.name.encode("utf-8"))
+    _append_section(
+        chunks,
+        _META.pack(
+            index.version,
+            index.num_nodes,
+            len(index.node_labels),
+            len(index.edge_labels),
+        ),
+    )
+    _append_section(chunks, _encode_interner(index.nodes))
+    _append_section(chunks, _encode_interner(index.node_labels))
+    _append_section(chunks, _encode_interner(index.edge_labels))
+    _append_section(chunks, _array_to_wire(index.node_label_ids))
+    _encode_labeled_csr(chunks, index.out)
+    _encode_labeled_csr(chunks, index.inc)
+    _append_section(chunks, _encode_bigints(index.signatures.out_sig))
+    _append_section(chunks, _encode_bigints(index.signatures.in_sig))
+
+    flags = 0
+    if include_neighborhoods:
+        flags |= _FLAG_NEIGHBORHOODS
+        merged = index.neighborhoods()
+        _append_section(chunks, _array_to_wire(merged.indptr))
+        _append_section(chunks, _array_to_wire(merged.indices))
+
+    payload = b"".join(chunks)
+    header = _HEADER.pack(MAGIC, FORMAT_VERSION, flags, zlib.crc32(payload), len(payload))
+    return header + payload
+
+
+def snapshot_checksum(data: bytes) -> int:
+    """The CRC-32 stored in a snapshot's header (without re-hashing the payload).
+
+    Cheap content fingerprint used by worker-side snapshot caches to key
+    fragments across processes.
+    """
+    if len(data) < _HEADER.size or data[:4] != MAGIC:
+        raise SnapshotError("not a GraphIndex snapshot (bad magic)")
+    return _HEADER.unpack_from(data, 0)[3]
+
+
+# ---------------------------------------------------------------- from_bytes
+
+
+def _decode_labeled_csr(reader: _Reader, num_nodes: int, num_labels: int) -> LabeledCSR:
+    indptr: List[array] = []
+    indices: List[array] = []
+    for _ in range(num_labels):
+        ptr = _array_from_wire(reader.section())
+        if len(ptr) != num_nodes + 1:
+            raise SnapshotError(
+                f"CSR indptr block has {len(ptr)} entries, expected {num_nodes + 1}"
+            )
+        block = _array_from_wire(reader.section())
+        if len(ptr) and len(block) != ptr[-1]:
+            raise SnapshotError("CSR indices block does not match its index pointers")
+        indptr.append(ptr)
+        indices.append(block)
+    total_degree = _array_from_wire(reader.section())
+    if len(total_degree) != num_nodes:
+        raise SnapshotError("CSR degree array does not match the node count")
+    return LabeledCSR(num_nodes, indptr, indices, total_degree)
+
+
+def _rebuild_graph(
+    name: str,
+    nodes: Interner,
+    node_labels: Interner,
+    edge_labels: Interner,
+    node_label_ids: array,
+    out: LabeledCSR,
+    inc: LabeledCSR,
+    version: int,
+) -> PropertyGraph:
+    """Reconstruct the source :class:`PropertyGraph` from decoded CSR buffers.
+
+    The adjacency dicts are assembled directly and handed to
+    :meth:`PropertyGraph.from_compiled_parts`, so the rebuild never walks the
+    mutation path (no per-edge version bumps, no label-index churn) and the
+    resulting graph carries the serialised version stamp — which is exactly
+    what keeps the decoded snapshot *fresh* for it.
+    """
+    decode_node = nodes.decode
+    decode_edge_label = edge_labels.decode
+    labels: Dict[NodeId, Label] = {
+        decode_node(node_id): node_labels.value_of(label_id)
+        for node_id, label_id in enumerate(node_label_ids)
+    }
+    edge_count = 0
+
+    def adjacency(csr: LabeledCSR) -> Dict[NodeId, Dict[Label, Set[NodeId]]]:
+        mapping: Dict[NodeId, Dict[Label, Set[NodeId]]] = {
+            decode_node(node_id): {} for node_id in range(csr.num_nodes)
+        }
+        for label_id in range(csr.num_labels):
+            label = decode_edge_label(label_id)
+            ptr = csr.indptr[label_id]
+            block = csr.indices[label_id]
+            start = ptr[0] if len(ptr) else 0
+            for node_id in range(csr.num_nodes):
+                end = ptr[node_id + 1]
+                if end > start:
+                    mapping[decode_node(node_id)][label] = set(
+                        map(decode_node, block[start:end])
+                    )
+                start = end
+        return mapping
+
+    out_adjacency = adjacency(out)
+    edge_count = sum(len(block) for block in out.indices)
+    return PropertyGraph.from_compiled_parts(
+        name=name,
+        labels=labels,
+        out=out_adjacency,
+        in_=adjacency(inc),
+        edge_count=edge_count,
+        version=version,
+    )
+
+
+def _verify_binding(
+    graph: PropertyGraph,
+    nodes: Interner,
+    node_labels: Interner,
+    node_label_ids: array,
+    edge_count: int,
+    strict: bool,
+) -> None:
+    """Cheap (or, with *strict*, exhaustive) check that *graph* is the graph
+    the snapshot describes before rebinding the version stamp to it."""
+    if graph.num_nodes != len(nodes) or graph.num_edges != edge_count:
+        raise SnapshotError(
+            f"snapshot describes {len(nodes)} nodes / {edge_count} edges but the "
+            f"graph to bind has {graph.num_nodes} / {graph.num_edges}"
+        )
+    if strict:
+        for node_id, label_id in enumerate(node_label_ids):
+            node = nodes.value_of(node_id)
+            if not graph.has_node(node) or graph.node_label(node) != node_labels.value_of(label_id):
+                raise SnapshotError(f"snapshot node {node!r} does not match the bound graph")
+
+
+def from_bytes(
+    data: bytes,
+    graph: Optional[PropertyGraph] = None,
+    strict: bool = False,
+) -> GraphIndex:
+    """Decode a snapshot produced by :func:`to_bytes`.
+
+    With ``graph=None`` the source :class:`PropertyGraph` is rebuilt from the
+    CSR buffers (structure only — attributes never enter the snapshot) and the
+    returned index is attached to it via :meth:`PropertyGraph.cache_index`, so
+    ``GraphIndex.for_graph`` on the rebuilt graph is a cache hit, not a
+    recompile.
+
+    With a *graph*, the decoded index is **bound** to it: after a sanity check
+    (node and edge counts; per-node labels too when *strict*) the index adopts
+    the live graph's version counter, because a reloaded graph's mutation
+    counter never matches the counter of the original it was saved from.  The
+    bound index is cached on the graph as well.
+    """
+    if len(data) < _HEADER.size:
+        raise SnapshotError(f"snapshot too short ({len(data)} bytes)")
+    magic, format_version, flags, crc, payload_length = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise SnapshotError("not a GraphIndex snapshot (bad magic)")
+    if format_version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot format version {format_version} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    payload = data[_HEADER.size:]
+    if len(payload) != payload_length:
+        raise SnapshotError(
+            f"snapshot payload is {len(payload)} bytes, header promises {payload_length}"
+        )
+    if zlib.crc32(payload) != crc:
+        raise SnapshotError("snapshot checksum mismatch (corrupt or truncated payload)")
+
+    # A CRC-valid container can still carry malformed sections (a crafted
+    # file, or a writer bug); parse failures must surface as SnapshotError —
+    # the documented contract — not as raw struct/pickle/unicode errors.
+    try:
+        reader = _Reader(payload)
+        name = reader.section().decode("utf-8")
+        version, num_nodes, num_node_labels, num_edge_labels = _META.unpack(reader.section())
+        nodes = _decode_interner(reader.section())
+        node_labels = _decode_interner(reader.section())
+        edge_labels = _decode_interner(reader.section())
+        if (
+            len(nodes) != num_nodes
+            or len(node_labels) != num_node_labels
+            or len(edge_labels) != num_edge_labels
+        ):
+            raise SnapshotError("interning tables do not match the snapshot meta counts")
+        node_label_ids = _array_from_wire(reader.section())
+        if len(node_label_ids) != num_nodes:
+            raise SnapshotError("node-label array does not match the node count")
+        out = _decode_labeled_csr(reader, num_nodes, num_edge_labels)
+        inc = _decode_labeled_csr(reader, num_nodes, num_edge_labels)
+        signatures = NeighborhoodSignatures(
+            max(num_node_labels, 1),
+            _decode_bigints(reader.section()),
+            _decode_bigints(reader.section()),
+        )
+        if len(signatures.out_sig) != num_nodes or len(signatures.in_sig) != num_nodes:
+            raise SnapshotError("signature arrays do not match the node count")
+        neighborhoods: Optional[NeighborhoodCSR] = None
+        if flags & _FLAG_NEIGHBORHOODS:
+            merged_indptr = _array_from_wire(reader.section())
+            merged_indices = _array_from_wire(reader.section())
+            if len(merged_indptr) != num_nodes + 1:
+                raise SnapshotError("merged neighbourhood indptr does not match the node count")
+            neighborhoods = NeighborhoodCSR(num_nodes, merged_indptr, merged_indices)
+    except SnapshotError:
+        raise
+    except (struct.error, ValueError, pickle.UnpicklingError, EOFError, MemoryError) as exc:
+        raise SnapshotError(f"malformed snapshot payload: {exc}") from exc
+
+    edge_count = sum(len(block) for block in out.indices)
+    if graph is None:
+        graph = _rebuild_graph(
+            name, nodes, node_labels, edge_labels, node_label_ids, out, inc, version
+        )
+    else:
+        _verify_binding(graph, nodes, node_labels, node_label_ids, edge_count, strict)
+        version = graph.version
+
+    label_members: List[array] = [array("i") for _ in range(num_node_labels)]
+    for node_id, label_id in enumerate(node_label_ids):
+        label_members[label_id].append(node_id)
+
+    index = GraphIndex(
+        graph=graph,
+        version=version,
+        nodes=nodes,
+        node_labels=node_labels,
+        edge_labels=edge_labels,
+        node_label_ids=node_label_ids,
+        out=out,
+        inc=inc,
+        signatures=signatures,
+        label_members=label_members,
+    )
+    if neighborhoods is not None:
+        index._neighborhoods = neighborhoods
+    graph.cache_index(index)
+    return index
+
+
+# --------------------------------------------------------------------- files
+
+
+def save_snapshot(index: GraphIndex, path: PathLike) -> int:
+    """Write *index* to *path* in the binary wire format; returns the byte size.
+
+    The natural companion of :func:`repro.graph.io.write_json`: store the
+    graph and its compiled snapshot side by side and the next process skips
+    ``GraphIndex.build`` entirely.
+    """
+    data = to_bytes(index)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def load_snapshot(
+    path: PathLike,
+    graph: Optional[PropertyGraph] = None,
+    strict: bool = False,
+) -> GraphIndex:
+    """Load a snapshot written by :func:`save_snapshot` (see :func:`from_bytes`)."""
+    return from_bytes(Path(path).read_bytes(), graph=graph, strict=strict)

@@ -37,9 +37,21 @@ from repro.index.signatures import NeighborhoodSignatures, build_signatures
 from repro.utils.errors import StaleIndexError
 from repro.utils.timing import Timer
 
-__all__ = ["GraphIndex"]
+__all__ = ["GraphIndex", "build_call_count"]
 
 NodeId = Hashable
+
+# Number of GraphIndex.build calls made by *this process*.  The parallel
+# layer's contract is that fragments ship as serialised snapshots
+# (:mod:`repro.index.serialize`) and are decoded — never recompiled — inside
+# pool workers; the regression tests read this counter on both sides of the
+# process boundary to pin that down.
+_BUILD_CALLS = 0
+
+
+def build_call_count() -> int:
+    """How many times ``GraphIndex.build`` has run in this process."""
+    return _BUILD_CALLS
 
 # (out_mask, in_mask) signature requirements of one pattern node; ``None``
 # marks a pattern node that cannot match at all (required label absent).
@@ -102,6 +114,8 @@ class GraphIndex:
     @classmethod
     def build(cls, graph: PropertyGraph) -> "GraphIndex":
         """Compile *graph* into a fresh snapshot (one pass over nodes + edges)."""
+        global _BUILD_CALLS
+        _BUILD_CALLS += 1
         with Timer() as timer:
             version = graph.version
             nodes = Interner()

@@ -16,7 +16,14 @@ from repro.parallel.executor import (
 )
 from repro.parallel.mkp import KnapsackItem, greedy_mkp, mkp_assign
 from repro.parallel.partition import DPar, Fragment, HopPreservingPartition, base_partition
-from repro.parallel.worker import FragmentTask, match_fragment, mqmatch_fragment
+from repro.parallel.worker import (
+    FragmentPayload,
+    FragmentTask,
+    engine_from_spec,
+    engine_to_spec,
+    match_fragment,
+    mqmatch_fragment,
+)
 
 __all__ = [
     "KnapsackItem",
@@ -26,7 +33,10 @@ __all__ = [
     "Fragment",
     "HopPreservingPartition",
     "base_partition",
+    "FragmentPayload",
     "FragmentTask",
+    "engine_to_spec",
+    "engine_from_spec",
     "match_fragment",
     "mqmatch_fragment",
     "SerialExecutor",

@@ -121,14 +121,57 @@ class PQMatch:
         self.name = name or f"PQMatch(n={num_workers})"
         self._partition: Optional[HopPreservingPartition] = None
         self._partition_graph_id: Optional[int] = None
+        self._partition_version: Optional[int] = None
+        self._executor = None
+
+    # -------------------------------------------------------------- executor
+
+    @property
+    def executor(self):
+        """The backend running fragment tasks, created once and kept.
+
+        Persistence matters for the ``"process"`` backend: its worker pool
+        and per-worker decoded-snapshot caches live exactly as long as the
+        executor, so re-evaluating patterns on the same partition ships each
+        fragment once instead of once per query.  Call :meth:`close` (or use
+        the coordinator as a context manager) to release pool processes.
+        """
+        if self._executor is None:
+            self._executor = make_executor(self.executor_kind, self.num_workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the executor backend (worker pools, payload caches)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "PQMatch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -------------------------------------------------------------- partition
 
     def partition(self, graph: PropertyGraph, force: bool = False) -> HopPreservingPartition:
-        """Partition *graph* (cached: reused for subsequent queries on the same graph)."""
-        if force or self._partition is None or self._partition_graph_id != id(graph):
+        """Partition *graph* (cached: reused for subsequent queries on the same graph).
+
+        The cache keys on the graph's mutation counter as well as its
+        identity: a structural mutation invalidates the partition (its
+        fragment graphs describe the old structure), triggers a re-partition,
+        and — through the fresh fragment payload checksums — makes the
+        process executor re-ship the fragments.
+        """
+        if (
+            force
+            or self._partition is None
+            or self._partition_graph_id != id(graph)
+            or self._partition_version != graph.version
+        ):
             self._partition = self.partitioner.partition(graph, self.num_workers)
             self._partition_graph_id = id(graph)
+            self._partition_version = graph.version
         return self._partition
 
     def ensure_radius(self, graph: PropertyGraph, radius: int) -> HopPreservingPartition:
@@ -165,7 +208,7 @@ class PQMatch:
                 )
             )
 
-        executor = make_executor(self.executor_kind, self.num_workers)
+        executor = self.executor
         counter = WorkCounter()
         with Timer() as timer:
             if self.threads > 1:

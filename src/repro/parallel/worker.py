@@ -19,7 +19,7 @@ speedups deterministically.
 from __future__ import annotations
 
 from concurrent.futures import Executor
-from typing import Hashable, List, Optional, Sequence, Set
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.digraph import PropertyGraph
 from repro.matching.qmatch import QMatch
@@ -29,16 +29,50 @@ from repro.patterns.qgp import QuantifiedGraphPattern
 from repro.utils.counters import WorkCounter
 from repro.utils.timing import Timer
 
-__all__ = ["match_fragment", "mqmatch_fragment", "FragmentTask"]
+__all__ = [
+    "match_fragment",
+    "mqmatch_fragment",
+    "FragmentTask",
+    "FragmentPayload",
+    "engine_to_spec",
+    "engine_from_spec",
+]
 
 NodeId = Hashable
+
+# A picklable engine description: ("qmatch", use_incremental, options, name)
+# for the standard engine, ("opaque", engine) as the generic fallback.
+EngineSpec = Tuple
+
+
+def engine_to_spec(engine: object) -> EngineSpec:
+    """A slim picklable spec for *engine*, reconstructable worker-side.
+
+    The standard :class:`~repro.matching.qmatch.QMatch` is fully described by
+    its construction options, so only those cross the process boundary (the
+    ``("qmatch", ...)`` spec); any other engine object falls back to being
+    pickled whole (``("opaque", engine)``).
+    """
+    if type(engine) is QMatch:
+        return ("qmatch", engine.use_incremental, engine.options, engine.name)
+    return ("opaque", engine)
+
+
+def engine_from_spec(spec: EngineSpec) -> object:
+    """Rebuild the engine described by :func:`engine_to_spec`."""
+    if spec[0] == "qmatch":
+        _, use_incremental, options, name = spec
+        return QMatch(use_incremental=use_incremental, options=options, name=name)
+    return spec[1]
 
 
 class FragmentTask:
     """A picklable unit of work: evaluate *pattern* on one fragment graph.
 
     Process-pool executors need the task to be self-contained, so the fragment
-    graph is materialised before the task is shipped.
+    graph is materialised before the task is shipped.  Pickling replaces the
+    engine instance with its :func:`engine_to_spec` description — workers
+    reconstruct the engine from options instead of unpickling engine state.
     """
 
     def __init__(
@@ -58,6 +92,106 @@ class FragmentTask:
     def run(self) -> FragmentResult:
         return match_fragment(
             self.pattern, self.fragment_graph, self.owned_nodes, self.engine, self.fragment_id
+        )
+
+    def __getstate__(self) -> Dict[str, object]:
+        return {
+            "fragment_id": self.fragment_id,
+            "fragment_graph": self.fragment_graph,
+            "owned_nodes": self.owned_nodes,
+            "pattern": self.pattern,
+            "engine_spec": engine_to_spec(self.engine),
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.engine = engine_from_spec(state.pop("engine_spec"))
+        self.__dict__.update(state)
+
+
+class FragmentPayload:
+    """The flat-buffer wire form of one fragment: snapshot bytes + ownership.
+
+    This is what actually crosses a process boundary.  Instead of pickling the
+    fragment's nested-dict :class:`PropertyGraph` (and recompiling a
+    :class:`~repro.index.GraphIndex` inside every worker), the fragment is
+    compiled once on the coordinator and shipped as the binary snapshot of
+    :mod:`repro.index.serialize`; :meth:`materialise` rebuilds both the graph
+    *and* its fresh cached index from those buffers in one decode.
+
+    ``cache_key`` — ``(fragment_id, snapshot version, payload checksum)`` —
+    identifies the fragment *content*, so worker-side caches keyed on it ship
+    and decode each fragment exactly once per worker and a re-partitioned (or
+    mutated) fragment can never be answered from a stale cache entry.
+    """
+
+    __slots__ = ("fragment_id", "owned_nodes", "snapshot_bytes", "attrs", "cache_key")
+
+    def __init__(
+        self,
+        fragment_id: int,
+        owned_nodes: Set[NodeId],
+        snapshot_bytes: bytes,
+        attrs: Dict[NodeId, Dict[str, object]],
+        cache_key: Tuple[int, int, int],
+    ) -> None:
+        self.fragment_id = fragment_id
+        self.owned_nodes = owned_nodes
+        self.snapshot_bytes = snapshot_bytes
+        self.attrs = attrs
+        self.cache_key = cache_key
+
+    @classmethod
+    def from_fragment(
+        cls,
+        fragment_id: int,
+        fragment_graph: PropertyGraph,
+        owned_nodes: Set[NodeId],
+    ) -> "FragmentPayload":
+        """Compile (or reuse) the fragment's snapshot and freeze it to bytes.
+
+        Node attributes ride along separately — the snapshot only mirrors
+        graph structure — so the worker-side graph is attribute-identical to
+        the coordinator's fragment.
+        """
+        from repro.index.serialize import snapshot_checksum, to_bytes
+        from repro.index.snapshot import GraphIndex
+
+        index = GraphIndex.for_graph(fragment_graph)
+        snapshot_bytes = to_bytes(index)
+        attrs = {}
+        for node in fragment_graph.nodes():
+            node_attrs = fragment_graph.node_attrs(node)
+            if node_attrs:
+                attrs[node] = dict(node_attrs)
+        cache_key = (fragment_id, index.version, snapshot_checksum(snapshot_bytes))
+        return cls(
+            fragment_id=fragment_id,
+            owned_nodes=set(owned_nodes),
+            snapshot_bytes=snapshot_bytes,
+            attrs=attrs,
+            cache_key=cache_key,
+        )
+
+    def materialise(self) -> PropertyGraph:
+        """Decode the snapshot into a graph with its compiled index attached.
+
+        ``GraphIndex.for_graph`` on the returned graph is a cache hit — the
+        decoded index carries the same version stamp the rebuilt graph starts
+        from — so matching on it never triggers ``GraphIndex.build``.
+        """
+        from repro.index.serialize import from_bytes
+
+        index = from_bytes(self.snapshot_bytes)
+        graph = index.graph
+        for node, node_attrs in self.attrs.items():
+            for key, value in node_attrs.items():
+                graph.set_node_attr(node, key, value)
+        return graph
+
+    def run(self, pattern: QuantifiedGraphPattern, engine: Optional[QMatch] = None) -> FragmentResult:
+        """Materialise and evaluate — the single-shot (uncached) path."""
+        return match_fragment(
+            pattern, self.materialise(), self.owned_nodes, engine, self.fragment_id
         )
 
 

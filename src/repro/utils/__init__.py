@@ -12,6 +12,8 @@ from repro.utils.errors import (
     QuantifierError,
     ReproError,
     RuleError,
+    SnapshotError,
+    StaleIndexError,
 )
 from repro.utils.counters import WorkCounter
 from repro.utils.rng import ensure_rng, sample_without_replacement, weighted_choice
@@ -23,6 +25,8 @@ __all__ = [
     "GraphError",
     "NodeNotFoundError",
     "EdgeNotFoundError",
+    "StaleIndexError",
+    "SnapshotError",
     "PatternError",
     "QuantifierError",
     "PatternValidationError",

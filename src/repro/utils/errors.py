@@ -15,6 +15,7 @@ __all__ = [
     "NodeNotFoundError",
     "EdgeNotFoundError",
     "StaleIndexError",
+    "SnapshotError",
     "PatternError",
     "QuantifierError",
     "PatternValidationError",
@@ -65,6 +66,12 @@ class EdgeNotFoundError(GraphError, KeyError):
 class StaleIndexError(GraphError):
     """Raised when a :class:`repro.index.GraphIndex` snapshot is used after the
     source graph has mutated past the snapshot's version counter."""
+
+
+class SnapshotError(GraphError):
+    """Raised by the binary snapshot wire format (:mod:`repro.index.serialize`)
+    on malformed input: bad magic, unsupported format version, checksum or
+    length mismatch, or a snapshot bound to a graph it does not describe."""
 
 
 class PatternError(ReproError):

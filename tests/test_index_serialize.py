@@ -1,0 +1,306 @@
+"""Tests for the binary snapshot wire format (:mod:`repro.index.serialize`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.datasets import benchmark_graph, paper_pattern
+from repro.graph import PropertyGraph
+from repro.graph.io import (
+    graph_from_json,
+    graph_to_json,
+    read_json,
+    read_json_with_snapshot,
+    write_json,
+    write_json_with_snapshot,
+)
+from repro.index import (
+    GraphIndex,
+    from_bytes,
+    load_snapshot,
+    save_snapshot,
+    snapshot_checksum,
+    to_bytes,
+)
+from repro.index.serialize import _HEADER, FORMAT_VERSION, MAGIC
+from repro.matching import QMatch
+from repro.utils import SnapshotError, StaleIndexError
+
+from fixtures import build_paper_g1
+from test_property_based import labeled_graphs
+
+
+def _assert_same_index(left: GraphIndex, right: GraphIndex) -> None:
+    """Field-by-field equality of two snapshots (everything the wire carries)."""
+    assert right.version == left.version
+    assert right.nodes.values() == left.nodes.values()
+    assert right.node_labels.values() == left.node_labels.values()
+    assert right.edge_labels.values() == left.edge_labels.values()
+    assert right.node_label_ids == left.node_label_ids
+    for mine, theirs in ((left.out, right.out), (left.inc, right.inc)):
+        assert theirs.num_nodes == mine.num_nodes
+        assert theirs.indptr == mine.indptr
+        assert theirs.indices == mine.indices
+        assert theirs.total_degree == mine.total_degree
+    assert right.signatures.num_node_labels == left.signatures.num_node_labels
+    assert right.signatures.out_sig == left.signatures.out_sig
+    assert right.signatures.in_sig == left.signatures.in_sig
+    for label_id in range(len(left.node_labels)):
+        assert right.members_ids(label_id) == left.members_ids(label_id)
+
+
+class TestRoundTrip:
+    def test_paper_graph_round_trip(self, paper_g1):
+        index = GraphIndex.for_graph(paper_g1)
+        restored = from_bytes(to_bytes(index))
+        _assert_same_index(index, restored)
+
+    def test_round_trip_preserves_version_stamp(self, paper_g1):
+        paper_g1.add_node("extra", "person")  # bump the counter before building
+        index = GraphIndex.for_graph(paper_g1)
+        assert index.version == paper_g1.version
+        restored = from_bytes(to_bytes(index))
+        assert restored.version == index.version
+        assert not restored.is_stale()
+
+    def test_rebuilt_graph_matches_source_structure(self, paper_g1):
+        index = GraphIndex.for_graph(paper_g1)
+        rebuilt = from_bytes(to_bytes(index)).graph
+        assert rebuilt.name == paper_g1.name
+        assert set(rebuilt.nodes()) == set(paper_g1.nodes())
+        assert set(rebuilt.edges()) == set(paper_g1.edges())
+        assert {n: rebuilt.node_label(n) for n in rebuilt.nodes()} == {
+            n: paper_g1.node_label(n) for n in paper_g1.nodes()
+        }
+        rebuilt.validate()
+
+    def test_rebuilt_graph_has_fresh_cached_index(self, paper_g1):
+        index = GraphIndex.for_graph(paper_g1)
+        restored = from_bytes(to_bytes(index))
+        assert restored.graph.cached_index() is restored
+        # for_graph must be a cache hit, not a recompile.
+        assert GraphIndex.for_graph(restored.graph) is restored
+
+    def test_rebuilt_graph_is_mutable_and_staleness_works(self, paper_g1):
+        restored = from_bytes(to_bytes(GraphIndex.for_graph(paper_g1)))
+        graph = restored.graph
+        graph.add_node("new-node", "person")
+        assert restored.is_stale()
+        with pytest.raises(StaleIndexError):
+            restored.ensure_fresh()
+
+    def test_neighborhoods_round_trip_when_materialised(self, paper_g1):
+        index = GraphIndex.for_graph(paper_g1)
+        merged = index.neighborhoods()
+        restored = from_bytes(to_bytes(index))
+        assert restored._neighborhoods is not None
+        assert restored._neighborhoods.indptr == merged.indptr
+        assert restored._neighborhoods.indices == merged.indices
+
+    def test_neighborhoods_skipped_when_not_built(self, paper_g1):
+        index = GraphIndex.build(paper_g1)
+        restored = from_bytes(to_bytes(index))
+        assert restored._neighborhoods is None
+        restored_with = from_bytes(to_bytes(index, include_neighborhoods=True))
+        assert restored_with._neighborhoods is not None
+
+    def test_matching_answers_survive_the_wire(self):
+        graph = benchmark_graph("pokec", scale=0.4, seed=5)
+        pattern = paper_pattern("Q1")
+        expected = QMatch().evaluate_answer(pattern, graph)
+        restored = from_bytes(to_bytes(GraphIndex.for_graph(graph)))
+        assert QMatch().evaluate_answer(pattern, restored.graph) == expected
+
+    def test_stale_index_refuses_to_serialize(self, paper_g1):
+        index = GraphIndex.for_graph(paper_g1)
+        paper_g1.add_node("late", "person")
+        with pytest.raises(StaleIndexError):
+            to_bytes(index)
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(graph=labeled_graphs())
+    def test_round_trip_property(self, graph):
+        """from_bytes(to_bytes(idx)) preserves every table and array, and the
+        rebuilt graph is structurally identical to the source."""
+        index = GraphIndex.for_graph(graph)
+        index.neighborhoods()
+        restored = from_bytes(to_bytes(index))
+        _assert_same_index(index, restored)
+        rebuilt = restored.graph
+        assert set(rebuilt.edges()) == set(graph.edges())
+        assert {n: rebuilt.node_label(n) for n in rebuilt.nodes()} == {
+            n: graph.node_label(n) for n in graph.nodes()
+        }
+        rebuilt.validate()
+
+
+class TestBinding:
+    def test_bind_to_json_reloaded_graph(self, tmp_path, paper_g1):
+        index = GraphIndex.for_graph(paper_g1)
+        blob = to_bytes(index)
+        clone = graph_from_json(graph_to_json(paper_g1))
+        bound = from_bytes(blob, graph=clone, strict=True)
+        assert bound.graph is clone
+        assert not bound.is_stale()
+        assert clone.cached_index() is bound
+        _assert_same_index(index, bound)  # version rebinds; arrays identical
+
+    def test_bind_rejects_wrong_graph(self, paper_g1, paper_g2):
+        blob = to_bytes(GraphIndex.for_graph(paper_g1))
+        with pytest.raises(SnapshotError):
+            from_bytes(blob, graph=paper_g2)
+
+    def test_strict_bind_rejects_same_counts_different_labels(self, paper_g1):
+        blob = to_bytes(GraphIndex.for_graph(paper_g1))
+        impostor = paper_g1.copy()
+        node = next(iter(impostor.nodes()))
+        impostor.add_node(node, "totally-different-label")
+        with pytest.raises(SnapshotError):
+            from_bytes(blob, graph=impostor, strict=True)
+
+
+class TestErrorCases:
+    def _blob(self, graph=None):
+        graph = graph or build_paper_g1()
+        return to_bytes(GraphIndex.for_graph(graph))
+
+    def test_bad_magic(self):
+        blob = self._blob()
+        with pytest.raises(SnapshotError, match="magic"):
+            from_bytes(b"NOPE" + blob[4:])
+
+    def test_unsupported_format_version(self):
+        blob = bytearray(self._blob())
+        future = _HEADER.pack(
+            MAGIC, FORMAT_VERSION + 1, *_HEADER.unpack_from(bytes(blob), 0)[2:]
+        )
+        with pytest.raises(SnapshotError, match="version"):
+            from_bytes(future + bytes(blob[_HEADER.size:]))
+
+    def test_corrupt_payload_fails_checksum(self):
+        blob = bytearray(self._blob())
+        blob[-1] ^= 0xFF
+        with pytest.raises(SnapshotError, match="checksum"):
+            from_bytes(bytes(blob))
+
+    def test_truncated_payload(self):
+        blob = self._blob()
+        with pytest.raises(SnapshotError):
+            from_bytes(blob[: len(blob) - 8])
+
+    def test_too_short_for_header(self):
+        with pytest.raises(SnapshotError):
+            from_bytes(b"RGIX")
+
+    def test_checksum_accessor_rejects_garbage(self):
+        with pytest.raises(SnapshotError):
+            snapshot_checksum(b"not a snapshot at all")
+
+    def test_crc_valid_but_malformed_sections_raise_snapshot_error(self):
+        """A crafted container with a correct checksum but a truncated meta
+        section must raise SnapshotError, not leak struct.error."""
+        import struct
+        import zlib
+
+        length = struct.Struct("<Q")
+        payload = (
+            length.pack(1) + b"g"          # graph-name section
+            + length.pack(5) + b"short"    # meta section: not 32 bytes
+        )
+        blob = _HEADER.pack(MAGIC, FORMAT_VERSION, 0, zlib.crc32(payload), len(payload)) + payload
+        with pytest.raises(SnapshotError, match="malformed"):
+            from_bytes(blob)
+
+
+class TestFiles:
+    def test_save_and_load_snapshot(self, tmp_path, paper_g1):
+        index = GraphIndex.for_graph(paper_g1)
+        path = tmp_path / "g1.gix"
+        size = save_snapshot(index, path)
+        assert path.stat().st_size == size
+        restored = load_snapshot(path)
+        _assert_same_index(index, restored)
+
+    def test_cold_start_graph_json_plus_snapshot(self, tmp_path):
+        """The cold-start layout: graph JSON + snapshot side by side; loading
+        both skips GraphIndex.build entirely."""
+        from repro.index.snapshot import build_call_count
+
+        graph = benchmark_graph("yago2", scale=0.4, seed=3)
+        index = GraphIndex.for_graph(graph)
+        write_json(graph, tmp_path / "graph.json")
+        save_snapshot(index, tmp_path / "graph.gix")
+
+        reloaded = read_json(tmp_path / "graph.json")
+        builds_before = build_call_count()
+        bound = load_snapshot(tmp_path / "graph.gix", graph=reloaded, strict=True)
+        assert build_call_count() == builds_before
+        assert GraphIndex.for_graph(reloaded) is bound
+        pattern = paper_pattern("Q4", p=2)
+        assert QMatch().evaluate_answer(pattern, reloaded) == (
+            QMatch().evaluate_answer(pattern, graph)
+        )
+
+    def test_json_snapshot_sidecar_pair(self, tmp_path):
+        from repro.index.snapshot import build_call_count
+
+        graph = benchmark_graph("pokec", scale=0.3, seed=9)
+        path = tmp_path / "graph.json"
+        sidecar = write_json_with_snapshot(graph, path)
+        assert sidecar.exists() and sidecar.suffix == ".gix"
+
+        builds_before = build_call_count()
+        reloaded = read_json_with_snapshot(path)
+        assert build_call_count() == builds_before
+        assert reloaded.cached_index() is not None
+        assert GraphIndex.for_graph(reloaded).version == reloaded.version
+
+    def test_stale_sidecar_is_rejected_not_silently_bound(self, tmp_path):
+        """Rewriting the JSON without refreshing the .gix must fail loudly:
+        binding is strict, so a different graph with coincidentally equal
+        node/edge counts cannot adopt the old index."""
+        old = PropertyGraph("pair")
+        old.add_node("a", "person")
+        old.add_node("b", "person")
+        old.add_edge("a", "b", "follow")
+        path = tmp_path / "pair.json"
+        write_json_with_snapshot(old, path)
+
+        new = PropertyGraph("pair")
+        new.add_node("a", "city")
+        new.add_node("b", "city")
+        new.add_edge("a", "b", "lives")
+        write_json(new, path)  # same counts, different labels; sidecar now stale
+        with pytest.raises(SnapshotError):
+            read_json_with_snapshot(path)
+
+    def test_read_json_with_snapshot_without_sidecar(self, tmp_path, paper_g1):
+        path = tmp_path / "bare.json"
+        write_json(paper_g1, path)
+        reloaded = read_json_with_snapshot(path)
+        assert reloaded == paper_g1
+        assert reloaded.cached_index() is None
+
+
+class TestHarnessPhases:
+    def test_run_engines_reports_serialize_and_load_phases(self, paper_g1, pattern_q2):
+        from repro.bench import (
+            INDEX_BUILD_ENGINE,
+            INDEX_LOAD_ENGINE,
+            INDEX_SERIALIZE_ENGINE,
+            EngineSpec,
+            run_engines,
+        )
+
+        records = run_engines(
+            [EngineSpec("QMatch", QMatch)], [pattern_q2], paper_g1, prebuild_index=True
+        )
+        by_engine = {record.engine: record for record in records}
+        assert INDEX_BUILD_ENGINE in by_engine
+        serialize = by_engine[INDEX_SERIALIZE_ENGINE]
+        assert serialize.extras["snapshot_bytes"] > 0
+        load = by_engine[INDEX_LOAD_ENGINE]
+        assert load.extras["load_speedup_vs_build"] > 0
+        # The warmed snapshot (not the freshly decoded one) stays attached.
+        assert paper_g1.cached_index() is not None
