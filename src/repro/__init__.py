@@ -20,6 +20,9 @@ The package layers cleanly:
   parallel coordinator PQMatch;
 * :mod:`repro.rules`    — quantified graph association rules (QGARs), GPARs,
   and the mining procedure;
+* :mod:`repro.service`  — the query-serving layer: canonicalized pattern
+  fingerprints, a version-aware LRU result cache, and the batching
+  ``QueryService`` façade over PQMatch;
 * :mod:`repro.datasets` — Pokec-like / YAGO2-like / synthetic workloads;
 * :mod:`repro.core`     — the stable public API re-exported in one namespace.
 """
@@ -50,6 +53,11 @@ from repro.core import (
     qmatch_engine,
     qmatch_n_engine,
     small_world_social_graph,
+    QueryService,
+    ResultCache,
+    ServiceResult,
+    canonicalize,
+    pattern_fingerprint,
 )
 
 __version__ = "1.0.0"
@@ -81,4 +89,9 @@ __all__ = [
     "gar_match",
     "dgar_match",
     "mine_qgars",
+    "QueryService",
+    "ServiceResult",
+    "ResultCache",
+    "canonicalize",
+    "pattern_fingerprint",
 ]

@@ -33,6 +33,13 @@ from repro.patterns import (
     parse_pattern,
 )
 from repro.rules import QGAR, dgar_match, gar_match, mine_qgars
+from repro.service import (
+    QueryService,
+    ResultCache,
+    ServiceResult,
+    canonicalize,
+    pattern_fingerprint,
+)
 
 __all__ = [
     "PropertyGraph",
@@ -60,4 +67,9 @@ __all__ = [
     "gar_match",
     "dgar_match",
     "mine_qgars",
+    "QueryService",
+    "ServiceResult",
+    "ResultCache",
+    "canonicalize",
+    "pattern_fingerprint",
 ]

@@ -7,6 +7,7 @@ from repro.datasets.workloads import (
     paper_pattern,
     paper_rule,
     workload_patterns,
+    zipf_workload,
 )
 from repro.datasets.yago_like import YagoConfig, yago_like_graph
 
@@ -19,5 +20,6 @@ __all__ = [
     "paper_pattern",
     "paper_rule",
     "workload_patterns",
+    "zipf_workload",
     "DATASET_NAMES",
 ]

@@ -27,9 +27,18 @@ Wire layout (all integers little-endian)::
     payload  = length-prefixed sections in fixed order:
                graph name, meta struct, 3 interning tables, node_label_ids,
                out CSR (per-label indptr+indices, total_degree), in CSR,
-               signatures (out_sig, in_sig), [merged neighborhood CSR]
+               signatures (out_sig, in_sig), [merged neighborhood CSR],
+               [compiled-rows manifest]
 
-``flags`` bit 0 marks the optional merged-neighbourhood section.  Every array
+``flags`` bit 0 marks the optional merged-neighbourhood section; bit 1 (format
+version ≥ 2) marks the **compiled-rows manifest**: the ``(direction,
+edge-label)`` keys of the per-label enumeration row stores
+(:meth:`~repro.index.snapshot.GraphIndex.compiled_rows`) that the decoder must
+materialise **eagerly**.  The stores themselves are pure re-arrangements of
+the CSR buffers, so the manifest ships the *work order*, not duplicate data —
+workers decode a fragment with its row stores already hot instead of lazily
+re-deriving them inside the first enumeration probe.  Version-1 snapshots
+(no manifest) remain readable.  Every array
 section is int32 regardless of the host's ``array('i')`` width, so snapshots
 are portable across platforms; the CRC makes truncation and bit-rot loud
 (:class:`~repro.utils.errors.SnapshotError`) instead of silently wrong.
@@ -71,7 +80,9 @@ __all__ = [
 PathLike = Union[str, Path]
 
 MAGIC = b"RGIX"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+# Older formats this build still decodes (1 = pre-compiled-rows-manifest).
+SUPPORTED_VERSIONS = (1, FORMAT_VERSION)
 
 _HEADER = struct.Struct("<4sHHIQ")
 _LENGTH = struct.Struct("<Q")
@@ -79,6 +90,7 @@ _META = struct.Struct("<qqqq")  # graph version, |V|, |node labels|, |edge label
 _U32 = struct.Struct("<I")
 
 _FLAG_NEIGHBORHOODS = 1
+_FLAG_COMPILED_ROWS = 2
 
 # Tags of the interning-table codec (one byte before the body).
 _TAG_INT = b"I"  # every value is an int: one raw array('q') buffer
@@ -207,13 +219,25 @@ def _encode_labeled_csr(chunks: List[bytes], csr: LabeledCSR) -> None:
     _append_section(chunks, _array_to_wire(csr.total_degree))
 
 
-def to_bytes(index: GraphIndex, include_neighborhoods: Optional[bool] = None) -> bytes:
+def to_bytes(
+    index: GraphIndex,
+    include_neighborhoods: Optional[bool] = None,
+    include_compiled_rows: Optional[bool] = None,
+) -> bytes:
     """Serialise *index* to the versioned binary wire format.
 
     ``include_neighborhoods`` controls the optional merged undirected CSR
     section: ``None`` (default) includes it exactly when the snapshot has
     already materialised it, so serialising never triggers the merge build
     but never drops work that was paid for either.
+
+    ``include_compiled_rows`` controls the compiled-rows manifest (format
+    version 2): ``None`` (default) records exactly the row stores the
+    snapshot has already materialised, ``True`` records every ``(direction,
+    edge label)`` pair — the fragment-shipping path uses this so pool workers
+    decode enumeration-hot snapshots — and ``False`` records none.  The
+    manifest never copies row data; the decoder rebuilds the named stores
+    eagerly from the CSR buffers it just read.
 
     Raises :class:`~repro.utils.errors.StaleIndexError` when the snapshot no
     longer matches its source graph — freezing known-outdated arrays to disk
@@ -222,6 +246,16 @@ def to_bytes(index: GraphIndex, include_neighborhoods: Optional[bool] = None) ->
     index.ensure_fresh()
     if include_neighborhoods is None:
         include_neighborhoods = index._neighborhoods is not None
+    if include_compiled_rows is None:
+        row_keys: Tuple[Tuple[bool, int], ...] = index.compiled_row_keys()
+    elif include_compiled_rows:
+        row_keys = tuple(
+            (incoming, label_id)
+            for incoming in (False, True)
+            for label_id in range(len(index.edge_labels))
+        )
+    else:
+        row_keys = ()
 
     chunks: List[bytes] = []
     _append_section(chunks, index.graph.name.encode("utf-8"))
@@ -249,9 +283,20 @@ def to_bytes(index: GraphIndex, include_neighborhoods: Optional[bool] = None) ->
         merged = index.neighborhoods()
         _append_section(chunks, _array_to_wire(merged.indptr))
         _append_section(chunks, _array_to_wire(merged.indices))
+    if row_keys:
+        flags |= _FLAG_COMPILED_ROWS
+        manifest = array("i")
+        for incoming, label_id in sorted(row_keys):
+            manifest.append(1 if incoming else 0)
+            manifest.append(label_id)
+        _append_section(chunks, _array_to_wire(manifest))
 
     payload = b"".join(chunks)
-    header = _HEADER.pack(MAGIC, FORMAT_VERSION, flags, zlib.crc32(payload), len(payload))
+    # Stamp the *minimal* version the payload needs: a manifest-free snapshot
+    # is byte-wise a pure version-1 payload, and stamping it 1 keeps it
+    # readable by pre-manifest deployments (rollbacks, mixed fleets).
+    format_version = FORMAT_VERSION if flags & _FLAG_COMPILED_ROWS else 1
+    header = _HEADER.pack(MAGIC, format_version, flags, zlib.crc32(payload), len(payload))
     return header + payload
 
 
@@ -391,10 +436,10 @@ def from_bytes(
     magic, format_version, flags, crc, payload_length = _HEADER.unpack_from(data, 0)
     if magic != MAGIC:
         raise SnapshotError("not a GraphIndex snapshot (bad magic)")
-    if format_version != FORMAT_VERSION:
+    if format_version not in SUPPORTED_VERSIONS:
         raise SnapshotError(
             f"unsupported snapshot format version {format_version} "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"(this build reads versions {SUPPORTED_VERSIONS})"
         )
     payload = data[_HEADER.size:]
     if len(payload) != payload_length:
@@ -439,6 +484,19 @@ def from_bytes(
             if len(merged_indptr) != num_nodes + 1:
                 raise SnapshotError("merged neighbourhood indptr does not match the node count")
             neighborhoods = NeighborhoodCSR(num_nodes, merged_indptr, merged_indices)
+        row_keys: List[Tuple[bool, int]] = []
+        if flags & _FLAG_COMPILED_ROWS:
+            manifest = _array_from_wire(reader.section())
+            if len(manifest) % 2:
+                raise SnapshotError("compiled-rows manifest has a dangling entry")
+            for position in range(0, len(manifest), 2):
+                direction, label_id = manifest[position], manifest[position + 1]
+                if direction not in (0, 1) or not 0 <= label_id < num_edge_labels:
+                    raise SnapshotError(
+                        f"compiled-rows manifest names an invalid row store "
+                        f"(direction={direction}, edge label id={label_id})"
+                    )
+                row_keys.append((bool(direction), label_id))
     except SnapshotError:
         raise
     except (struct.error, ValueError, pickle.UnpicklingError, EOFError, MemoryError) as exc:
@@ -471,6 +529,11 @@ def from_bytes(
     )
     if neighborhoods is not None:
         index._neighborhoods = neighborhoods
+    for incoming, label_id in row_keys:
+        # Eager materialisation ordered by the manifest: the decode pays the
+        # (cheap, CSR-local) row-store build once, so the first enumeration
+        # probing this snapshot finds every named store already hot.
+        index.compiled_rows(incoming, label_id)
     graph.cache_index(index)
     return index
 

@@ -316,6 +316,15 @@ class GraphIndex:
             self.compiled_rows(False, edge_label_id)
             self.compiled_rows(True, edge_label_id)
 
+    def compiled_row_keys(self) -> Tuple[Tuple[bool, int], ...]:
+        """The ``(incoming, edge label id)`` keys materialised so far (sorted).
+
+        The snapshot wire format records these as its compiled-rows manifest
+        so a decoded snapshot can rebuild exactly the stores the source had
+        already paid for (see :mod:`repro.index.serialize`).
+        """
+        return tuple(sorted(self._compiled_rows))
+
     # ---------------------------------------------------- d-hop neighbourhoods
 
     def neighborhoods(self) -> NeighborhoodCSR:

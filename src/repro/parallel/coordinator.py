@@ -140,6 +140,16 @@ class PQMatch:
             self._executor = make_executor(self.executor_kind, self.num_workers)
         return self._executor
 
+    @property
+    def current_executor(self):
+        """The executor if one exists, else ``None`` — never creates one.
+
+        Telemetry readers (e.g. the serving layer's ``worker_rebuilds``)
+        use this so that inspecting a coordinator cannot lazily spin up —
+        or, after :meth:`close`, resurrect — a worker pool.
+        """
+        return self._executor
+
     def close(self) -> None:
         """Shut down the executor backend (worker pools, payload caches)."""
         if self._executor is not None:
@@ -182,6 +192,51 @@ class PQMatch:
             self._partition = partition
         return partition
 
+    # ------------------------------------------------------------------ tasks
+
+    def fragment_tasks(
+        self, pattern: QuantifiedGraphPattern, partition: "HopPreservingPartition"
+    ) -> List[FragmentTask]:
+        """One :class:`FragmentTask` per non-empty fragment for *pattern*.
+
+        This is the single place task construction lives: :meth:`evaluate`
+        uses it for one pattern, and the serving layer's batched dispatch
+        (:mod:`repro.service.server`) concatenates it across many patterns —
+        both paths must stay byte-identical, so neither re-implements it.
+        """
+        return [
+            FragmentTask(
+                fragment_id=fragment.fragment_id,
+                fragment_graph=partition.fragment_graph(fragment),
+                owned_nodes=set(fragment.owned_nodes),
+                pattern=pattern,
+                engine=self.engine,
+            )
+            for fragment in partition.fragments
+            if fragment.owned_nodes
+        ]
+
+    def run_fragment_tasks(self, tasks: List[FragmentTask]) -> List[FragmentResult]:
+        """Run *tasks* through this coordinator's execution mode, in order.
+
+        With intra-fragment threading enabled each task fans out itself via
+        ``mqmatch_fragment``; otherwise the whole list ships to the persistent
+        executor as one round.
+        """
+        if self.threads > 1:
+            return [
+                mqmatch_fragment(
+                    task.pattern,
+                    task.fragment_graph,
+                    task.owned_nodes,
+                    engine=task.engine,
+                    fragment_id=task.fragment_id,
+                    threads=self.threads,
+                )
+                for task in tasks
+            ]
+        return self.executor.run(tasks)
+
     # ------------------------------------------------------------------ query
 
     def evaluate(
@@ -193,38 +248,10 @@ class PQMatch:
         with Timer() as partition_timer:
             partition = self.ensure_radius(graph, radius)
 
-        tasks: List[FragmentTask] = []
-        for fragment in partition.fragments:
-            if not fragment.owned_nodes:
-                continue
-            fragment_graph = partition.fragment_graph(fragment)
-            tasks.append(
-                FragmentTask(
-                    fragment_id=fragment.fragment_id,
-                    fragment_graph=fragment_graph,
-                    owned_nodes=set(fragment.owned_nodes),
-                    pattern=pattern,
-                    engine=self.engine,
-                )
-            )
-
-        executor = self.executor
+        tasks = self.fragment_tasks(pattern, partition)
         counter = WorkCounter()
         with Timer() as timer:
-            if self.threads > 1:
-                fragment_results = [
-                    mqmatch_fragment(
-                        task.pattern,
-                        task.fragment_graph,
-                        task.owned_nodes,
-                        engine=task.engine,
-                        fragment_id=task.fragment_id,
-                        threads=self.threads,
-                    )
-                    for task in tasks
-                ]
-            else:
-                fragment_results = executor.run(tasks)
+            fragment_results = self.run_fragment_tasks(tasks)
         answer: Set[NodeId] = set()
         for fragment_result in fragment_results:
             answer |= fragment_result.answer

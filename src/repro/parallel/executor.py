@@ -188,7 +188,11 @@ class ProcessExecutor:
         if not tasks:
             return []
         payloads = [self._payload_for(task) for task in tasks]
-        epoch = tuple(sorted(payload.cache_key for payload in payloads))
+        # The epoch is the *set* of shipped fragment contents: a batched run
+        # (many patterns × the same fragments, as the serving layer submits)
+        # must share the pool — and the shipped payloads — with single-pattern
+        # runs over the same partition, so duplicate keys are collapsed.
+        epoch = tuple(sorted(set(payload.cache_key for payload in payloads)))
         if self._pool is None or epoch != self._pool_epoch:
             self.shutdown()
             live = set(epoch)
@@ -197,10 +201,13 @@ class ProcessExecutor:
                 for key, entry in self._payloads.items()
                 if entry[1].cache_key in live
             }
+            unique_payloads = list(
+                {payload.cache_key: payload for payload in payloads}.values()
+            )
             self._pool = ProcessPoolExecutor(
                 max_workers=self.max_workers,
                 initializer=_pool_initializer,
-                initargs=(payloads,),
+                initargs=(unique_payloads,),
             )
             self._pool_epoch = epoch
         futures = [

@@ -151,13 +151,16 @@ class FragmentPayload:
 
         Node attributes ride along separately — the snapshot only mirrors
         graph structure — so the worker-side graph is attribute-identical to
-        the coordinator's fragment.
+        the coordinator's fragment.  The snapshot carries a full compiled-rows
+        manifest (``include_compiled_rows=True``): decoding it materialises
+        every per-label enumeration row store eagerly, so workers never pay a
+        lazy row-store derivation inside their first query.
         """
         from repro.index.serialize import snapshot_checksum, to_bytes
         from repro.index.snapshot import GraphIndex
 
         index = GraphIndex.for_graph(fragment_graph)
-        snapshot_bytes = to_bytes(index)
+        snapshot_bytes = to_bytes(index, include_compiled_rows=True)
         attrs = {}
         for node in fragment_graph.nodes():
             node_attrs = fragment_graph.node_attrs(node)

@@ -1,0 +1,192 @@
+"""A bounded, version-aware LRU cache for query answers.
+
+The cache sits between the :class:`~repro.service.server.QueryService` façade
+and the matching engines: an answer computed once for a canonicalized pattern
+(:mod:`repro.service.patterns`) is reused for every equivalent query — for as
+long as the graph has not structurally changed.
+
+Invalidation piggybacks on the library's existing staleness discipline
+instead of scanning or subscribing to anything: every entry is keyed on the
+graph's **mutation counter** (:attr:`repro.graph.PropertyGraph.version`, the
+same counter :class:`repro.index.GraphIndex` freshness checks use).  A
+structural mutation bumps the counter, so every stale entry becomes
+*unreachable* in O(1) — no invalidation pass — and ages out of the bounded
+LRU under new traffic.  Attribute-only updates do **not** bump the counter
+(the matching semantics never read attributes), so they keep the cache warm —
+exactly mirroring the index layer's contract.
+
+Entries **pin the graph object they answer for**: the key uses ``id(graph)``
+for speed, and pinning makes object-identity reuse of a dead graph's id
+impossible while its entries live (the same discipline
+:class:`repro.parallel.executor.ProcessExecutor` applies to payloads).  A
+lookup additionally verifies ``entry.graph is graph``.
+
+All operations take an internal lock, so a cache instance may be shared by
+concurrent ``submit`` callers.  Counters (hits / misses / insertions /
+evictions) are exposed through :attr:`ResultCache.stats` and surfaced by the
+serving benchmark's figure JSON.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+
+from repro.graph.digraph import PropertyGraph
+from repro.utils.errors import ReproError
+
+__all__ = ["CacheStats", "ResultCache"]
+
+NodeId = Hashable
+
+# (graph identity, graph version, pattern fingerprint, engine options key)
+CacheKey = Tuple[int, int, str, Hashable]
+
+
+@dataclass
+class CacheStats:
+    """Monotone counters describing one cache's lifetime behaviour."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups (1.0 on an untouched cache, by convention)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 1.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class _Entry:
+    """One cached answer, pinning the graph it was computed on."""
+
+    __slots__ = ("graph", "answer")
+
+    def __init__(self, graph: PropertyGraph, answer: FrozenSet[NodeId]) -> None:
+        self.graph = graph
+        self.answer = answer
+
+
+class ResultCache:
+    """Bounded LRU mapping ``(graph, version, fingerprint, options)`` → answer.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; the least recently *used* entry is evicted
+        first.  Stale entries (superseded graph versions) are preferentially
+        unreachable anyway and simply age out.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ReproError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    # ----------------------------------------------------------------- access
+
+    def _key(
+        self,
+        graph: PropertyGraph,
+        fingerprint: str,
+        options_key: Hashable,
+        version: Optional[int],
+    ) -> CacheKey:
+        return (
+            id(graph),
+            graph.version if version is None else version,
+            fingerprint,
+            options_key,
+        )
+
+    def lookup(
+        self,
+        graph: PropertyGraph,
+        fingerprint: str,
+        options_key: Hashable = None,
+        version: Optional[int] = None,
+    ) -> Optional[FrozenSet[NodeId]]:
+        """The cached answer for *fingerprint* on *graph*'s current version.
+
+        Returns ``None`` on a miss.  A hit refreshes the entry's LRU position.
+        The answer is a ``frozenset`` — share it freely, it cannot be mutated
+        into disagreeing with the cache.
+
+        ``version`` pins the graph version the caller observed; callers that
+        compute on a miss **must** pass the version they looked up under to
+        the matching :meth:`store`, so an answer computed against version *V*
+        can never be filed under a later version if the graph mutates while
+        the computation runs.
+        """
+        key = self._key(graph, fingerprint, options_key, version)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.graph is graph:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry.answer
+            self.stats.misses += 1
+            return None
+
+    def store(
+        self,
+        graph: PropertyGraph,
+        fingerprint: str,
+        answer: Iterable[NodeId],
+        options_key: Hashable = None,
+        version: Optional[int] = None,
+    ) -> FrozenSet[NodeId]:
+        """Insert (or refresh) the answer for *fingerprint*.
+
+        Pass the *version* the answer was computed against (see
+        :meth:`lookup`); without it the graph's current counter is used,
+        which is only safe when no mutation can have interleaved.
+        """
+        frozen = frozenset(answer)
+        key = self._key(graph, fingerprint, options_key, version)
+        with self._lock:
+            self._entries[key] = _Entry(graph, frozen)
+            self._entries.move_to_end(key)
+            self.stats.insertions += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return frozen
+
+    # -------------------------------------------------------------- lifecycle
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they describe the lifetime)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(size={len(self)}/{self.capacity}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses}, "
+            f"evictions={self.stats.evictions})"
+        )

@@ -1,0 +1,279 @@
+"""Canonical forms and stable content hashes for quantified graph patterns.
+
+A query-serving layer wants one cache entry per *semantic* query, but callers
+spell the same query many ways: pattern variables carry arbitrary names, edges
+arrive in arbitrary order, and ``σ(e) > p`` is the same constraint as
+``σ(e) ≥ p+1``.  This module maps a :class:`~repro.patterns.qgp.QuantifiedGraphPattern`
+to a *canonical form* that is invariant under
+
+* **variable renaming** — node ids never enter the canonical encoding; nodes
+  are addressed by a structurally determined position,
+* **edge reordering** — the encoding sorts edges by canonical endpoints,
+* **quantifier spelling** — numeric ``> p`` is normalised to ``≥ p+1`` (the
+  rewriting the paper itself applies in Section 4.1), thresholds are rendered
+  type-stably, and the existential default is one fixed token,
+
+and derives from it a collision-resistant **fingerprint** (SHA-256 over the
+encoding).  Two patterns with the same fingerprint are isomorphic as focused,
+quantified patterns, hence have identical answers on every graph — which is
+exactly the property the :mod:`repro.service.cache` result cache needs to
+share entries between syntactically different queries.
+
+The node ordering is computed by colour refinement (1-WL) seeded with
+``(node label, is-focus)`` and refined over quantified edge contexts, followed
+by exhaustive tie-breaking among the (tiny) residual symmetry classes: every
+ordering consistent with the refined classes is encoded and the
+lexicographically smallest encoding wins.  Validated QGPs are small (the
+paper's workloads use ≤ 8 pattern nodes), and after refinement the residual
+classes are almost always singletons, so the search is effectively linear; a
+safety cap (:data:`MAX_TIE_ORDERINGS`) guards pathological symmetric inputs
+by falling back to a name-based tie-break — still deterministic and still
+sound for caching (the encoding itself never contains names; worst case two
+renamings of one highly symmetric pattern miss sharing a cache entry).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from math import factorial
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.patterns.qgp import QuantifiedGraphPattern
+from repro.patterns.quantifier import CountingQuantifier
+
+__all__ = [
+    "CanonicalPattern",
+    "canonicalize",
+    "pattern_fingerprint",
+    "normalize_quantifier",
+    "MAX_TIE_ORDERINGS",
+]
+
+NodeId = Hashable
+
+# Upper bound on the number of tie-break orderings the canonical search will
+# encode before falling back to the name-based tie-break (see module docs).
+MAX_TIE_ORDERINGS = 5040  # 7!
+
+# One normalised quantifier: a tuple of strings so that mixed quantifier
+# kinds stay mutually comparable inside sorted() calls.
+QuantToken = Tuple[str, ...]
+
+
+def normalize_quantifier(quantifier: CountingQuantifier) -> QuantToken:
+    """The spelling-invariant token of one counting quantifier.
+
+    * negation            → ``("!",)``
+    * numeric ``> p``     → ``("#", ">=", p+1)`` (the paper's own rewriting)
+    * numeric ``⊙ p``     → ``("#", op, p)``
+    * ratio   ``⊙ p%``    → ``("%", op, p)`` with ``p`` rendered via
+      ``repr(float(p))`` so ``80`` and ``80.0`` collapse
+
+    >>> from repro.patterns.quantifier import CountingQuantifier
+    >>> normalize_quantifier(CountingQuantifier.more_than(2))
+    ('#', '>=', '3')
+    >>> normalize_quantifier(CountingQuantifier.at_least(3))
+    ('#', '>=', '3')
+    >>> normalize_quantifier(CountingQuantifier.negation())
+    ('!',)
+    """
+    if quantifier.is_negation:
+        return ("!",)
+    if quantifier.is_ratio:
+        return ("%", quantifier.op, repr(float(quantifier.value)))
+    op = quantifier.op
+    value = int(quantifier.value)
+    if op == ">":
+        op, value = ">=", value + 1
+    return ("#", op, str(value))
+
+
+# The fully ordered encoding of a pattern under one node ordering:
+# (node labels by position, focus position, sorted edge tuples).
+Encoding = Tuple[Tuple[str, ...], int, Tuple[Tuple[int, int, str, QuantToken], ...]]
+
+
+@dataclass(frozen=True)
+class CanonicalPattern:
+    """The canonical form of one quantified graph pattern.
+
+    Attributes
+    ----------
+    fingerprint:
+        Hex SHA-256 of the canonical encoding — the cache key component.
+        Equal fingerprints ⇒ isomorphic focused patterns ⇒ identical answers.
+    encoding:
+        The canonical encoding itself: node labels in canonical order, the
+        focus position, and the sorted ``(source, target, label, quantifier)``
+        edge tuples over canonical positions.
+    order:
+        Original node id → canonical position, for callers that need to map
+        back (explanations, debugging).
+    """
+
+    fingerprint: str
+    encoding: Encoding
+    order: Dict[NodeId, int]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.encoding[0])
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.encoding[2])
+
+    def as_pattern(self, name: str = "canonical") -> QuantifiedGraphPattern:
+        """Rebuild the canonical pattern with nodes named ``x0`` … ``xN``.
+
+        The rebuilt pattern is equivalent to every pattern sharing this
+        fingerprint; it is what a service logs or persists when the original
+        (arbitrarily named) query object is long gone.
+        """
+        labels, focus_position, edges = self.encoding
+        pattern = QuantifiedGraphPattern(name=name)
+        for position, label in enumerate(labels):
+            pattern.add_node(f"x{position}", label)
+        for source, target, label, token in edges:
+            pattern.add_edge(f"x{source}", f"x{target}", label, _token_to_quantifier(token))
+        pattern.set_focus(f"x{focus_position}")
+        return pattern
+
+
+def _token_to_quantifier(token: QuantToken) -> CountingQuantifier:
+    """Inverse of :func:`normalize_quantifier` (on normalised tokens)."""
+    if token == ("!",):
+        return CountingQuantifier.negation()
+    kind, op, value = token
+    if kind == "%":
+        return CountingQuantifier(op, float(value), is_ratio=True)
+    return CountingQuantifier(op, int(value), is_ratio=False)
+
+
+def _refine_colors(
+    nodes: Sequence[NodeId],
+    focus: NodeId,
+    labels: Dict[NodeId, str],
+    out_adj: Dict[NodeId, List[Tuple[str, QuantToken, NodeId]]],
+    in_adj: Dict[NodeId, List[Tuple[str, QuantToken, NodeId]]],
+) -> Dict[NodeId, int]:
+    """1-WL colour refinement over the quantified pattern structure.
+
+    Colours start from ``(node label, is-focus)`` and are repeatedly refined
+    with the sorted multiset of ``(edge label, quantifier, neighbour colour)``
+    contexts in both directions, then compressed to dense ranks.  Because the
+    colour contents are built only from labels, quantifiers and structure, the
+    rank assignment is invariant under node renaming.
+    """
+    seed = {node: (labels[node], node == focus) for node in nodes}
+    ranked = sorted(set(seed.values()))
+    colors = {node: ranked.index(seed[node]) for node in nodes}
+    for _ in range(len(nodes)):
+        refined = {
+            node: (
+                colors[node],
+                tuple(sorted((lbl, tok, colors[t]) for lbl, tok, t in out_adj[node])),
+                tuple(sorted((lbl, tok, colors[s]) for lbl, tok, s in in_adj[node])),
+            )
+            for node in nodes
+        }
+        ranked = sorted(set(refined.values()))
+        new_colors = {node: ranked.index(refined[node]) for node in nodes}
+        if len(ranked) == len(set(colors.values())):
+            return new_colors
+        colors = new_colors
+    return colors
+
+
+def _encode_under(
+    order: Dict[NodeId, int],
+    labels: Dict[NodeId, str],
+    focus: NodeId,
+    edge_rows: Sequence[Tuple[NodeId, NodeId, str, QuantToken]],
+) -> Encoding:
+    by_position = sorted(order, key=order.__getitem__)
+    node_part = tuple(labels[node] for node in by_position)
+    edge_part = tuple(
+        sorted((order[s], order[t], lbl, tok) for s, t, lbl, tok in edge_rows)
+    )
+    return (node_part, order[focus], edge_part)
+
+
+def canonicalize(pattern: QuantifiedGraphPattern) -> CanonicalPattern:
+    """Compute the canonical form (and fingerprint) of *pattern*.
+
+    The pattern must have a query focus; it does not need to pass
+    :meth:`~repro.patterns.qgp.QuantifiedGraphPattern.validate` (the service
+    validates before dispatching, but canonicalization itself only needs the
+    structure).
+    """
+    focus = pattern.focus  # raises PatternError when unset
+    nodes = list(pattern.nodes())
+    labels = {node: pattern.node_label(node) for node in nodes}
+    edge_rows: List[Tuple[NodeId, NodeId, str, QuantToken]] = []
+    out_adj: Dict[NodeId, List[Tuple[str, QuantToken, NodeId]]] = {n: [] for n in nodes}
+    in_adj: Dict[NodeId, List[Tuple[str, QuantToken, NodeId]]] = {n: [] for n in nodes}
+    for edge in pattern.edges():
+        token = normalize_quantifier(edge.quantifier)
+        edge_rows.append((edge.source, edge.target, edge.label, token))
+        out_adj[edge.source].append((edge.label, token, edge.target))
+        in_adj[edge.target].append((edge.label, token, edge.source))
+
+    colors = _refine_colors(nodes, focus, labels, out_adj, in_adj)
+
+    # Group nodes into the refined colour classes, ordered by colour rank.
+    classes: Dict[int, List[NodeId]] = {}
+    for node in nodes:
+        classes.setdefault(colors[node], []).append(node)
+    class_list = [classes[color] for color in sorted(classes)]
+
+    tie_orderings = 1
+    for members in class_list:
+        tie_orderings *= factorial(len(members))
+
+    if tie_orderings > MAX_TIE_ORDERINGS:
+        # Pathologically symmetric pattern: deterministic name-based
+        # tie-break instead of the exhaustive search.  The encoding is still
+        # name-free, so soundness is unaffected (see module docs).
+        order: Dict[NodeId, int] = {}
+        position = 0
+        for members in class_list:
+            for node in sorted(members, key=lambda n: (str(type(n).__name__), str(n))):
+                order[node] = position
+                position += 1
+        best_order, best_encoding = order, _encode_under(order, labels, focus, edge_rows)
+    else:
+        best_order, best_encoding = None, None
+        for permutations in itertools.product(
+            *[itertools.permutations(members) for members in class_list]
+        ):
+            order = {}
+            position = 0
+            for block in permutations:
+                for node in block:
+                    order[node] = position
+                    position += 1
+            encoding = _encode_under(order, labels, focus, edge_rows)
+            if best_encoding is None or encoding < best_encoding:
+                best_order, best_encoding = order, encoding
+
+    digest = hashlib.sha256(
+        ("qgp-canon-v1:" + repr(best_encoding)).encode("utf-8")
+    ).hexdigest()
+    return CanonicalPattern(fingerprint=digest, encoding=best_encoding, order=best_order)
+
+
+def pattern_fingerprint(pattern: QuantifiedGraphPattern) -> str:
+    """The stable content hash of *pattern* (see :func:`canonicalize`).
+
+    >>> from repro.patterns.builder import PatternBuilder
+    >>> a = (PatternBuilder("A").focus("x", "person").node("y", "product")
+    ...      .edge("x", "y", "buy", at_least=2).build())
+    >>> b = (PatternBuilder("B").focus("u", "person").node("v", "product")
+    ...      .edge("u", "v", "buy", more_than=1).build())
+    >>> pattern_fingerprint(a) == pattern_fingerprint(b)
+    True
+    """
+    return canonicalize(pattern).fingerprint

@@ -1,0 +1,473 @@
+"""The query-serving façade: canonicalize → cache → batched parallel dispatch.
+
+:class:`QueryService` is the request-level layer in front of
+:class:`~repro.parallel.coordinator.PQMatch`.  Where the coordinator answers
+one pattern per call — walking candidate filtering, DMatch and the negated
+edges from scratch every time — the service recognises *traffic*:
+
+1. every incoming pattern is **canonicalized**
+   (:mod:`repro.service.patterns`), so syntactically different spellings of
+   one query share a single identity (its fingerprint);
+2. answers are served from a **version-aware LRU cache**
+   (:mod:`repro.service.cache`) keyed on the graph's mutation counter —
+   structural mutations invalidate by unreachability, attribute updates keep
+   the cache warm;
+3. cache misses inside one batch are **deduplicated** by fingerprint and
+   shipped as a single executor round: one
+   :class:`~repro.parallel.worker.FragmentTask` per (unique pattern ×
+   fragment), all submitted to the coordinator's persistent executor at once
+   instead of one dispatch round per query.  On the process backend the
+   fragments themselves were already shipped at pool creation, so a serving
+   round moves only patterns and answers.
+
+The pool, partition and executor are owned by the wrapped coordinator and
+reused for the service's lifetime (close the service — or use it as a context
+manager — to release pool processes).
+
+Concurrency model: :meth:`QueryService.evaluate` and
+:meth:`~QueryService.evaluate_many` serialise on an internal lock (the
+matching engines are not thread-safe), while :meth:`QueryService.submit` is
+the thread-safe entry point — it enqueues the query and returns a
+:class:`concurrent.futures.Future`; a single dispatcher thread drains the
+queue and evaluates whatever accumulated as **one batch**, so concurrent
+callers amortise dispatch and share cache fills for duplicate queries.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from repro.graph.digraph import PropertyGraph
+from repro.matching.qmatch import QMatch
+from repro.parallel.coordinator import PQMatch
+from repro.parallel.worker import FragmentTask, engine_to_spec
+from repro.patterns.qgp import QuantifiedGraphPattern
+from repro.service.cache import ResultCache
+from repro.service.patterns import canonicalize
+from repro.utils.errors import ReproError
+from repro.utils.timing import Timer
+
+__all__ = ["QueryService", "ServiceResult", "ServiceStats"]
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One served answer.
+
+    ``answer`` is a frozenset — cached and freshly computed answers are the
+    same immutable object family, so callers can compare them byte-for-byte
+    with a cold :class:`~repro.parallel.coordinator.PQMatch` run.
+    """
+
+    pattern: str
+    fingerprint: str
+    answer: FrozenSet
+    cached: bool
+    elapsed: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.answer)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self.answer
+
+
+@dataclass
+class ServiceStats:
+    """Lifetime counters of one :class:`QueryService`.
+
+    ``deduplicated`` counts queries answered by sharing another query's
+    computation *within the same batch* (cache hits are counted by the cache
+    itself); ``dispatch_rounds`` counts executor rounds — the quantity batching
+    minimises; ``computed`` counts unique patterns that actually reached the
+    matching layer.
+    """
+
+    served: int = 0
+    batches: int = 0
+    dispatch_rounds: int = 0
+    computed: int = 0
+    deduplicated: int = 0
+    submitted: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "served": self.served,
+            "batches": self.batches,
+            "dispatch_rounds": self.dispatch_rounds,
+            "computed": self.computed,
+            "deduplicated": self.deduplicated,
+            "submitted": self.submitted,
+        }
+
+
+def _engine_options_key(engine: object) -> Hashable:
+    """A hashable identity for the engine configuration part of cache keys.
+
+    Answers are engine-independent by the equivalence theorems the test suite
+    pins down, but the cache still refuses to *assume* that: results computed
+    under one engine configuration are never served for another.  The standard
+    :class:`~repro.matching.qmatch.QMatch` maps to its full option tuple
+    (``DMatchOptions`` is a frozen, hashable dataclass); anything else maps to
+    its type identity.
+    """
+    spec = engine_to_spec(engine)
+    if spec[0] == "qmatch":
+        _, use_incremental, options, _name = spec
+        return ("qmatch", use_incremental, options)
+    other = spec[1]
+    return ("opaque", type(other).__module__, type(other).__qualname__)
+
+
+class QueryService:
+    """Serve quantified-pattern queries against one graph, with reuse.
+
+    Parameters
+    ----------
+    graph:
+        The live :class:`~repro.graph.PropertyGraph` being served.  The
+        service reads its mutation counter on every batch, so structural
+        updates between batches are picked up automatically (stale cache
+        entries become unreachable, the coordinator re-partitions and — on
+        the process backend — re-ships fragments).
+    coordinator:
+        The :class:`~repro.parallel.coordinator.PQMatch` that evaluates cache
+        misses; defaults to a fresh serial-executor coordinator.  The service
+        owns it: :meth:`close` closes it.
+    cache_capacity:
+        Bound on the number of cached answers (LRU beyond it).
+
+    >>> from repro.graph.generators import small_world_social_graph
+    >>> from repro.datasets.workloads import workload_patterns
+    >>> graph = small_world_social_graph(60, 150, seed=3)
+    >>> queries = workload_patterns(graph, count=2, seed=5)
+    >>> with QueryService(graph) as service:
+    ...     first = service.evaluate_many(queries + queries)
+    ...     again = service.evaluate(queries[0])
+    >>> [r.cached for r in first], again.cached
+    ([False, False, True, True], True)
+    """
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        coordinator: Optional[PQMatch] = None,
+        cache_capacity: int = 1024,
+        name: str = "QueryService",
+    ) -> None:
+        self.graph = graph
+        self.coordinator = coordinator if coordinator is not None else PQMatch(
+            num_workers=4, d=2, engine=QMatch()
+        )
+        self.cache = ResultCache(cache_capacity)
+        self.name = name
+        self.stats = ServiceStats()
+        self._options_key = _engine_options_key(self.coordinator.engine)
+        # Serialises evaluation (engines, partition and executor are not
+        # thread-safe); submit() only ever touches it via the dispatcher.
+        self._evaluate_lock = threading.RLock()
+        # submit() machinery: pending (pattern, future) pairs drained in
+        # batches by a single lazily started dispatcher thread.
+        self._pending: List[Tuple[QuantifiedGraphPattern, Future]] = []
+        self._pending_lock = threading.Lock()
+        self._pending_signal = threading.Event()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._closed = False
+
+    # -------------------------------------------------------------- one query
+
+    def evaluate(self, pattern: QuantifiedGraphPattern) -> ServiceResult:
+        """Serve one pattern (cache → canonical dedupe → parallel dispatch)."""
+        return self.evaluate_many([pattern])[0]
+
+    def evaluate_answer(self, pattern: QuantifiedGraphPattern, graph=None) -> FrozenSet:
+        """Engine-interface parity helper returning only the answer set.
+
+        ``graph`` must be the served graph when given — a service is bound to
+        one graph; passing another is almost certainly a bug, so it raises.
+        """
+        if graph is not None and graph is not self.graph:
+            raise ReproError(
+                f"{self.name} serves graph {self.graph.name!r}; "
+                f"got a query for {graph.name!r}"
+            )
+        return self.evaluate(pattern).answer
+
+    # ------------------------------------------------------------- batch path
+
+    def evaluate_many(
+        self, patterns: Sequence[QuantifiedGraphPattern]
+    ) -> List[ServiceResult]:
+        """Serve a batch of patterns, in input order.
+
+        Duplicate (equivalent) patterns inside the batch are computed once;
+        all cache misses ship to the executor in a single round.  The call is
+        all-or-nothing: an invalid pattern anywhere in the batch raises (the
+        :meth:`submit` path isolates failures per request instead, so one
+        caller's bad pattern never fails a coalesced stranger's).
+        """
+        with self._evaluate_lock:
+            # The closed-check must share the evaluation lock that close()
+            # takes around the executor shutdown: a caller that passed an
+            # unlocked check could otherwise resume after close() finished
+            # and lazily resurrect a fresh process pool nothing would ever
+            # shut down.
+            if self._closed:
+                raise ReproError(f"{self.name} is closed")
+            return self._evaluate_batch(list(patterns))
+
+    def _serve_batch(
+        self, patterns: Sequence[QuantifiedGraphPattern]
+    ) -> List[ServiceResult]:
+        """The closed-check-free batch path: the dispatcher drains queued
+        submissions through this while :meth:`close` is joining it (close
+        shuts the executor down only after the join returns)."""
+        with self._evaluate_lock:
+            return self._evaluate_batch(list(patterns))
+
+    def _evaluate_batch(
+        self, patterns: List[QuantifiedGraphPattern]
+    ) -> List[ServiceResult]:
+        if not patterns:
+            return []
+        graph = self.graph
+        # The graph version is read ONCE per batch: answers computed for the
+        # misses below are filed under this version even if the owning thread
+        # mutates the graph while the dispatch runs — a concurrent mutation
+        # must never let a pre-mutation answer masquerade as a fresh one.
+        version = graph.version
+        results: List[Optional[ServiceResult]] = [None] * len(patterns)
+        # fingerprint -> (representative pattern, positions awaiting it)
+        missing: Dict[str, Tuple[QuantifiedGraphPattern, List[int]]] = {}
+        with Timer() as timer:
+            forms = [canonicalize(pattern) for pattern in patterns]
+            for position, (pattern, form) in enumerate(zip(patterns, forms)):
+                answer = self.cache.lookup(
+                    graph, form.fingerprint, self._options_key, version=version
+                )
+                if answer is not None:
+                    results[position] = ServiceResult(
+                        pattern=pattern.name,
+                        fingerprint=form.fingerprint,
+                        answer=answer,
+                        cached=True,
+                    )
+                else:
+                    entry = missing.setdefault(form.fingerprint, (pattern, []))
+                    entry[1].append(position)
+
+            if missing:
+                unique = [
+                    (fingerprint, pattern)
+                    for fingerprint, (pattern, _) in missing.items()
+                ]
+                answers = self._dispatch_batch(graph, unique)
+                for fingerprint, (pattern, positions) in missing.items():
+                    answer = self.cache.store(
+                        graph,
+                        fingerprint,
+                        answers[fingerprint],
+                        self._options_key,
+                        version=version,
+                    )
+                    for position in positions:
+                        results[position] = ServiceResult(
+                            pattern=patterns[position].name,
+                            fingerprint=fingerprint,
+                            answer=answer,
+                            cached=False,
+                        )
+                self.stats.computed += len(missing)
+                self.stats.deduplicated += sum(
+                    len(positions) - 1 for _, positions in missing.values()
+                )
+
+        self.stats.served += len(patterns)
+        self.stats.batches += 1
+        elapsed = timer.elapsed
+        return [
+            ServiceResult(
+                pattern=result.pattern,
+                fingerprint=result.fingerprint,
+                answer=result.answer,
+                cached=result.cached,
+                elapsed=elapsed,
+            )
+            for result in results
+        ]
+
+    def _dispatch_batch(
+        self,
+        graph: PropertyGraph,
+        unique: List[Tuple[str, QuantifiedGraphPattern]],
+    ) -> Dict[str, FrozenSet]:
+        """Evaluate the unique cache misses in one executor round.
+
+        Composes :meth:`PQMatch.fragment_tasks` / ``run_fragment_tasks`` —
+        the same construction and execution :meth:`PQMatch.evaluate` uses, so
+        answers are byte-identical by sharing code, not by mirroring it — but
+        concatenates *every* pattern's tasks into a single round, so the
+        per-round fixed costs (pool round-trip, task scheduling) are paid once
+        per batch instead of once per query.
+        """
+        coordinator = self.coordinator
+        radius = 0
+        for _, pattern in unique:
+            pattern.validate()
+            radius = max(radius, pattern.radius())
+        partition = coordinator.ensure_radius(graph, radius)
+
+        tasks: List[FragmentTask] = []
+        owners: List[str] = []
+        for fingerprint, pattern in unique:
+            pattern_tasks = coordinator.fragment_tasks(pattern, partition)
+            tasks.extend(pattern_tasks)
+            owners.extend([fingerprint] * len(pattern_tasks))
+
+        self.stats.dispatch_rounds += 1
+        fragment_results = coordinator.run_fragment_tasks(tasks)
+
+        answers: Dict[str, set] = {fingerprint: set() for fingerprint, _ in unique}
+        for fingerprint, fragment_result in zip(owners, fragment_results):
+            answers[fingerprint] |= fragment_result.answer
+        return {fingerprint: frozenset(nodes) for fingerprint, nodes in answers.items()}
+
+    # ------------------------------------------------------------- submission
+
+    def submit(self, pattern: QuantifiedGraphPattern) -> "Future[ServiceResult]":
+        """Thread-safe asynchronous entry point.
+
+        Enqueues the query and returns a future; a single dispatcher thread
+        drains the queue, so queries submitted concurrently coalesce into one
+        batch (deduplicated and dispatched together).  Call from any thread.
+        Cancelling the returned future before the dispatcher picks it up is
+        honoured (the query is skipped).
+        """
+        future: "Future[ServiceResult]" = Future()
+        with self._pending_lock:
+            # Closed-check and enqueue share the lock close() takes, so a
+            # submit racing close() either lands before it (and is drained)
+            # or observes _closed — it can never restart the dispatcher and
+            # resurrect the coordinator's executor after shutdown.
+            if self._closed:
+                raise ReproError(f"{self.name} is closed")
+            self._pending.append((pattern, future))
+            self._ensure_dispatcher()
+            self._pending_signal.set()
+            self.stats.submitted += 1
+        return future
+
+    def _ensure_dispatcher(self) -> None:
+        if self._dispatcher is None or not self._dispatcher.is_alive():
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name=f"{self.name}-dispatcher", daemon=True
+            )
+            self._dispatcher.start()
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            # A plain blocking wait: submit() always sets the signal under
+            # the pending lock after appending and close() sets it too, so
+            # there is no lost-wakeup window and no idle polling.
+            self._pending_signal.wait()
+            with self._pending_lock:
+                batch = self._pending
+                self._pending = []
+                if not self._closed:
+                    self._pending_signal.clear()
+                # else: leave the signal set so the next wait() returns
+                # immediately and the empty drain below terminates the loop.
+            if not batch:
+                if self._closed:
+                    return
+                continue
+            # Claim each future; ones cancelled while queued are skipped (and
+            # must not poison the rest of the batch — a dead dispatcher would
+            # orphan every later future).
+            claimed = [
+                (pattern, future)
+                for pattern, future in batch
+                if future.set_running_or_notify_cancel()
+            ]
+            if not claimed:
+                continue
+            patterns = [pattern for pattern, _ in claimed]
+            try:
+                served = self._serve_batch(patterns)
+            except BaseException:
+                # The coalesced batch mixes unrelated callers, so a failure
+                # (typically one invalid pattern) must not fan out: fall back
+                # to serving each request on its own and fail only the
+                # request that is actually broken.  Valid requests stay cheap
+                # — whatever the failed round cached is reused.
+                for pattern, future in claimed:
+                    try:
+                        result = self._serve_batch([pattern])[0]
+                    except BaseException as error:
+                        if not future.done():
+                            future.set_exception(error)
+                    else:
+                        if not future.done():
+                            future.set_result(result)
+            else:
+                for (_, future), result in zip(claimed, served):
+                    if not future.done():
+                        future.set_result(result)
+
+    # -------------------------------------------------------------- telemetry
+
+    @property
+    def worker_rebuilds(self) -> int:
+        """``GraphIndex.build`` calls reported by pool workers (0 otherwise).
+
+        The process executor aggregates worker-side build counts; serving must
+        keep it at zero — fragments reach workers as decoded snapshots, never
+        as recompilation work.  Serial/threaded backends trivially report 0.
+        Reads the coordinator's executor *if one exists* — telemetry must not
+        lazily create (or, after close, resurrect) a pool.
+        """
+        return getattr(self.coordinator.current_executor, "last_worker_rebuilds", 0)
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        """Service + cache counters in one flat dict (bench/figure friendly)."""
+        merged = {f"cache_{key}": value for key, value in self.cache.stats.as_dict().items()}
+        merged.update(self.stats.as_dict())
+        merged["worker_rebuilds"] = float(self.worker_rebuilds)
+        return merged
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Stop the dispatcher (draining queued work) and release the executor.
+
+        The join is unbounded on purpose: close() promises queued submissions
+        are drained, and shutting the executor down under a timed-out join
+        would race the still-running dispatcher.  The executor shutdown takes
+        the evaluation lock, so an in-flight ``evaluate_many`` that passed its
+        closed-check first finishes before the pool goes down — and can never
+        resurrect it afterwards.
+        """
+        with self._pending_lock:
+            self._closed = True
+        dispatcher = self._dispatcher
+        if dispatcher is not None and dispatcher.is_alive():
+            self._pending_signal.set()
+            dispatcher.join()
+        self._dispatcher = None
+        with self._evaluate_lock:
+            self.coordinator.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService(graph={self.graph.name!r}, served={self.stats.served}, "
+            f"cache={len(self.cache)}/{self.cache.capacity})"
+        )

@@ -15,6 +15,7 @@ from repro.datasets import (
     pokec_like_graph,
     workload_patterns,
     yago_like_graph,
+    zipf_workload,
 )
 from repro.matching import EnumMatcher, QMatch
 from repro.utils import ReproError
@@ -77,6 +78,45 @@ class TestYagoLike:
         evaluation = paper_rule("R7").evaluate(small_yago)
         assert evaluation.support > 0
         assert evaluation.confidence > 0.5
+
+
+class TestZipfWorkload:
+    def _patterns(self, count=8):
+        return [paper_pattern("Q1", ratio=10.0 * (rank + 1)) for rank in range(count)]
+
+    def test_deterministic_and_complete(self):
+        patterns = self._patterns()
+        one = zipf_workload(patterns, 40, seed=3)
+        two = zipf_workload(patterns, 40, seed=3)
+        assert [p.name for p in one] == [p.name for p in two]
+        assert len(one) == 40
+        # length >= uniques: the round-robin seeding guarantees full coverage
+        assert {id(p) for p in one} == {id(p) for p in patterns}
+
+    def test_skew_favours_top_ranks(self):
+        patterns = self._patterns()
+        stream = zipf_workload(patterns, 400, exponent=1.5, seed=9)
+        counts = [sum(1 for p in stream if p is pattern) for pattern in patterns]
+        assert counts[0] > counts[-1]
+        assert counts[0] >= max(counts[1:])
+
+    def test_short_stream_still_honours_the_exponent(self):
+        """length < uniques must draw by weight, not return a uniform prefix."""
+        patterns = self._patterns()
+        stream = zipf_workload(patterns, 4, exponent=50.0, seed=11)
+        assert len(stream) == 4
+        # With an extreme exponent the head rank dominates completely.
+        assert all(p is patterns[0] for p in stream)
+
+    def test_validation(self):
+        patterns = self._patterns(2)
+        with pytest.raises(ReproError):
+            zipf_workload([], 5)
+        with pytest.raises(ReproError):
+            zipf_workload(patterns, -1)
+        with pytest.raises(ReproError):
+            zipf_workload(patterns, 5, exponent=0.0)
+        assert zipf_workload(patterns, 0) == []
 
 
 class TestBenchmarkGraphFactory:

@@ -160,6 +160,101 @@ class TestBinding:
             from_bytes(blob, graph=impostor, strict=True)
 
 
+class TestCompiledRowsManifest:
+    """Format version 2: the compiled-rows manifest (eager rebuild on decode)."""
+
+    def test_default_ships_exactly_the_materialised_stores(self, paper_g1):
+        index = GraphIndex.for_graph(paper_g1)
+        index.compiled_rows(False, 0)
+        index.compiled_rows(True, 1)
+        restored = from_bytes(to_bytes(index))
+        assert restored.compiled_row_keys() == ((False, 0), (True, 1))
+
+    def test_unmaterialised_snapshot_ships_no_manifest(self, paper_g1):
+        index = GraphIndex.build(paper_g1)
+        assert from_bytes(to_bytes(index)).compiled_row_keys() == ()
+
+    def test_full_manifest_decodes_every_store_eagerly(self, paper_g1):
+        index = GraphIndex.build(paper_g1)
+        restored = from_bytes(to_bytes(index, include_compiled_rows=True))
+        expected = tuple(
+            (incoming, label_id)
+            for incoming in (False, True)
+            for label_id in range(len(index.edge_labels))
+        )
+        assert restored.compiled_row_keys() == tuple(sorted(expected))
+        for incoming, label_id in expected:
+            assert restored.compiled_rows(incoming, label_id) == index.compiled_rows(
+                incoming, label_id
+            )
+
+    def test_manifest_can_be_suppressed(self, paper_g1):
+        index = GraphIndex.for_graph(paper_g1)
+        index.precompile_rows()
+        restored = from_bytes(to_bytes(index, include_compiled_rows=False))
+        assert restored.compiled_row_keys() == ()
+
+    def test_fragment_payload_materialises_rows_hot(self, paper_g1):
+        from repro.parallel import FragmentPayload
+
+        payload = FragmentPayload.from_fragment(0, paper_g1, set(paper_g1.nodes()))
+        materialised = FragmentPayload(
+            payload.fragment_id, payload.owned_nodes, payload.snapshot_bytes,
+            payload.attrs, payload.cache_key,
+        ).materialise()
+        decoded = materialised.cached_index()
+        assert decoded is not None
+        assert len(decoded.compiled_row_keys()) == 2 * len(decoded.edge_labels)
+
+    def test_manifest_free_snapshots_are_stamped_version_1(self, paper_g1):
+        """Minimal-version stamping: no manifest ⇒ a pure v1 container, so
+        pre-manifest readers keep accepting it after a rollback."""
+        index = GraphIndex.build(paper_g1)
+        plain = to_bytes(index, include_compiled_rows=False)
+        assert _HEADER.unpack_from(plain, 0)[1] == 1
+        with_manifest = to_bytes(index, include_compiled_rows=True)
+        assert _HEADER.unpack_from(with_manifest, 0)[1] == FORMAT_VERSION
+
+    def test_version_1_snapshots_stay_readable(self, paper_g1):
+        import zlib
+
+        index = GraphIndex.build(paper_g1)
+        blob = to_bytes(index, include_neighborhoods=False, include_compiled_rows=False)
+        payload = blob[_HEADER.size:]
+        legacy = _HEADER.pack(MAGIC, 1, 0, zlib.crc32(payload), len(payload)) + payload
+        _assert_same_index(index, from_bytes(legacy))
+
+    def test_malformed_manifest_entries_raise_snapshot_error(self, paper_g1):
+        index = GraphIndex.for_graph(paper_g1)
+        index.compiled_rows(False, 0)
+        blob = bytearray(to_bytes(index))
+        # The manifest is the last section: flip its direction int to junk.
+        import struct
+        import zlib
+
+        payload = bytearray(blob[_HEADER.size:])
+        payload[-8:-4] = struct.pack("<i", 7)  # direction must be 0 or 1
+        header = _HEADER.pack(
+            MAGIC, FORMAT_VERSION, _HEADER.unpack_from(bytes(blob), 0)[2],
+            zlib.crc32(bytes(payload)), len(payload),
+        )
+        with pytest.raises(SnapshotError, match="manifest"):
+            from_bytes(header + bytes(payload))
+
+    def test_flag_without_section_is_a_loud_truncation(self, paper_g1):
+        import zlib
+
+        index = GraphIndex.build(paper_g1)
+        blob = to_bytes(index, include_compiled_rows=False)
+        payload = blob[_HEADER.size:]
+        # Claim a compiled-rows manifest (flag bit 1) without appending one.
+        lying = _HEADER.pack(
+            MAGIC, FORMAT_VERSION, 2, zlib.crc32(payload), len(payload)
+        ) + payload
+        with pytest.raises(SnapshotError, match="truncated"):
+            from_bytes(lying)
+
+
 class TestErrorCases:
     def _blob(self, graph=None):
         graph = graph or build_paper_g1()

@@ -1,0 +1,160 @@
+"""The version-aware LRU result cache (:mod:`repro.service.cache`).
+
+The invalidation contract mirrors the index layer's staleness discipline:
+structural mutations (which bump ``PropertyGraph.version``) make entries
+unreachable, attribute-only updates (which do not) keep them live.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import PropertyGraph
+from repro.service.cache import ResultCache
+from repro.utils.errors import ReproError
+
+
+def _graph(name="g"):
+    graph = PropertyGraph(name)
+    graph.add_node("a", "person")
+    graph.add_node("b", "person")
+    graph.add_edge("a", "b", "follow")
+    return graph
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        graph = _graph()
+        assert cache.lookup(graph, "fp1") is None
+        stored = cache.store(graph, "fp1", {"a", "b"})
+        assert stored == frozenset({"a", "b"})
+        hit = cache.lookup(graph, "fp1")
+        assert hit == frozenset({"a", "b"})
+        assert isinstance(hit, frozenset)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_empty_answers_are_cached_too(self):
+        cache = ResultCache(capacity=4)
+        graph = _graph()
+        cache.store(graph, "fp-empty", set())
+        assert cache.lookup(graph, "fp-empty") == frozenset()
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ReproError):
+            ResultCache(capacity=0)
+
+    def test_distinct_fingerprints_do_not_alias(self):
+        cache = ResultCache(capacity=4)
+        graph = _graph()
+        cache.store(graph, "fp1", {"a"})
+        cache.store(graph, "fp2", {"b"})
+        assert cache.lookup(graph, "fp1") == frozenset({"a"})
+        assert cache.lookup(graph, "fp2") == frozenset({"b"})
+
+    def test_distinct_graphs_do_not_alias(self):
+        cache = ResultCache(capacity=4)
+        one, two = _graph("one"), _graph("two")
+        cache.store(one, "fp", {"a"})
+        assert cache.lookup(two, "fp") is None
+        assert cache.lookup(one, "fp") == frozenset({"a"})
+
+    def test_options_key_partitions_entries(self):
+        cache = ResultCache(capacity=4)
+        graph = _graph()
+        cache.store(graph, "fp", {"a"}, options_key=("qmatch", True))
+        assert cache.lookup(graph, "fp", options_key=("qmatch", False)) is None
+        assert cache.lookup(graph, "fp", options_key=("qmatch", True)) == frozenset({"a"})
+
+
+class TestLRU:
+    def test_eviction_beyond_capacity(self):
+        cache = ResultCache(capacity=2)
+        graph = _graph()
+        cache.store(graph, "fp1", {"a"})
+        cache.store(graph, "fp2", {"b"})
+        cache.store(graph, "fp3", {"a", "b"})
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.lookup(graph, "fp1") is None  # oldest evicted
+        assert cache.lookup(graph, "fp3") is not None
+
+    def test_hit_refreshes_recency(self):
+        cache = ResultCache(capacity=2)
+        graph = _graph()
+        cache.store(graph, "fp1", {"a"})
+        cache.store(graph, "fp2", {"b"})
+        assert cache.lookup(graph, "fp1") is not None  # fp1 now most recent
+        cache.store(graph, "fp3", {"a"})
+        assert cache.lookup(graph, "fp2") is None  # fp2 was least recent
+        assert cache.lookup(graph, "fp1") is not None
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache(capacity=2)
+        graph = _graph()
+        cache.store(graph, "fp1", {"a"})
+        cache.lookup(graph, "fp1")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1 and cache.stats.insertions == 1
+
+
+class TestVersionInvalidation:
+    def test_structural_mutation_invalidates(self):
+        cache = ResultCache(capacity=4)
+        graph = _graph()
+        cache.store(graph, "fp", {"a"})
+        graph.add_edge("b", "a", "follow")  # bumps graph.version
+        assert cache.lookup(graph, "fp") is None
+
+    def test_node_removal_invalidates(self):
+        cache = ResultCache(capacity=4)
+        graph = _graph()
+        cache.store(graph, "fp", {"a"})
+        graph.remove_edge("a", "b", "follow")
+        assert cache.lookup(graph, "fp") is None
+
+    def test_attribute_update_does_not_invalidate(self):
+        cache = ResultCache(capacity=4)
+        graph = _graph()
+        cache.store(graph, "fp", {"a"})
+        graph.set_node_attr("a", "city", "Edinburgh")
+        assert cache.lookup(graph, "fp") == frozenset({"a"})
+
+    def test_fresh_entry_after_mutation(self):
+        cache = ResultCache(capacity=4)
+        graph = _graph()
+        cache.store(graph, "fp", {"a"})
+        graph.add_node("c", "person")
+        cache.store(graph, "fp", {"a", "c"})
+        assert cache.lookup(graph, "fp") == frozenset({"a", "c"})
+
+    def test_pinned_version_files_under_lookup_time_version(self):
+        """An answer computed against version V must land under V even when
+        the graph mutates before store() runs — never under the new version."""
+        cache = ResultCache(capacity=4)
+        graph = _graph()
+        observed = graph.version
+        graph.add_node("c", "person")  # mutation interleaves with computation
+        cache.store(graph, "fp", {"a"}, version=observed)
+        assert cache.lookup(graph, "fp") is None  # current version: no entry
+        assert cache.lookup(graph, "fp", version=observed) == frozenset({"a"})
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = ResultCache(capacity=4)
+        graph = _graph()
+        assert cache.stats.hit_rate == 1.0  # untouched cache, by convention
+        cache.lookup(graph, "fp")
+        cache.store(graph, "fp", {"a"})
+        cache.lookup(graph, "fp")
+        assert cache.stats.hit_rate == 0.5
+        payload = cache.stats.as_dict()
+        assert payload["hits"] == 1 and payload["misses"] == 1
+        assert "repr" not in payload  # flat numeric dict only
+
+    def test_repr_is_informative(self):
+        cache = ResultCache(capacity=4)
+        text = repr(cache)
+        assert "ResultCache" in text and "0/4" in text

@@ -1,0 +1,202 @@
+"""Canonicalization and fingerprints (:mod:`repro.service.patterns`).
+
+The contract under test: the fingerprint is invariant under variable
+renaming, edge insertion order and quantifier spelling, and *only* under
+those — changing labels, quantifiers, topology or the focus changes it.
+Soundness for caching is pinned by the hypothesis property at the bottom:
+serving a renamed pattern must produce answers byte-identical to evaluating
+the original cold.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import paper_pattern
+from repro.matching.qmatch import QMatch
+from repro.patterns.builder import PatternBuilder
+from repro.patterns.qgp import QuantifiedGraphPattern
+from repro.patterns.quantifier import CountingQuantifier
+from repro.service.patterns import (
+    canonicalize,
+    normalize_quantifier,
+    pattern_fingerprint,
+)
+from repro.utils.errors import PatternError
+
+from test_property_based import labeled_graphs, quantified_patterns
+
+PAPER_PATTERNS = ["Q1", "Q2", "Q3", "Q4", "Q5"]
+
+
+def _renamed(pattern: QuantifiedGraphPattern, seed: int = 0) -> QuantifiedGraphPattern:
+    """A randomly renamed copy of *pattern* (same structure, fresh names)."""
+    rng = random.Random(seed)
+    nodes = list(pattern.nodes())
+    fresh = [f"renamed_{index}" for index in range(len(nodes))]
+    rng.shuffle(fresh)
+    clone = pattern.relabel_nodes(dict(zip(nodes, fresh)))
+    clone.name = f"{pattern.name}#renamed{seed}"
+    return clone
+
+
+class TestInvariance:
+    @pytest.mark.parametrize("name", PAPER_PATTERNS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_rename_preserves_fingerprint(self, name, seed):
+        pattern = paper_pattern(name)
+        assert pattern_fingerprint(_renamed(pattern, seed)) == pattern_fingerprint(pattern)
+
+    def test_edge_insertion_order_is_irrelevant(self):
+        forward = QuantifiedGraphPattern(name="fwd")
+        backward = QuantifiedGraphPattern(name="bwd")
+        for target in (forward, backward):
+            for node, label in [("x", "person"), ("y", "person"), ("p", "product")]:
+                target.add_node(node, label)
+            target.set_focus("x")
+        edges = [
+            ("x", "y", "follow", CountingQuantifier.at_least(2)),
+            ("y", "p", "recom", None),
+            ("x", "p", "like", None),
+        ]
+        for source, target_node, label, quantifier in edges:
+            forward.add_edge(source, target_node, label, quantifier)
+        for source, target_node, label, quantifier in reversed(edges):
+            backward.add_edge(source, target_node, label, quantifier)
+        assert pattern_fingerprint(forward) == pattern_fingerprint(backward)
+
+    def test_quantifier_spelling_normalised(self):
+        strict = (PatternBuilder("gt").focus("x", "person").node("y", "product")
+                  .edge("x", "y", "buy", more_than=1).build())
+        inclusive = (PatternBuilder("ge").focus("x", "person").node("y", "product")
+                     .edge("x", "y", "buy", at_least=2).build())
+        assert pattern_fingerprint(strict) == pattern_fingerprint(inclusive)
+
+    def test_ratio_value_types_normalised(self):
+        as_int = (PatternBuilder("i").focus("x", "person").node("y", "person")
+                  .edge("x", "y", "follow", at_least_percent=80).build())
+        as_float = (PatternBuilder("f").focus("x", "person").node("y", "person")
+                    .edge("x", "y", "follow", at_least_percent=80.0).build())
+        assert pattern_fingerprint(as_int) == pattern_fingerprint(as_float)
+
+    def test_pattern_name_is_irrelevant(self):
+        one = paper_pattern("Q1")
+        two = paper_pattern("Q1")
+        two.name = "totally-different"
+        assert pattern_fingerprint(one) == pattern_fingerprint(two)
+
+    def test_symmetric_branches_survive_swapping(self):
+        def build(first, second):
+            pattern = QuantifiedGraphPattern(name="sym")
+            pattern.add_node("x", "person")
+            pattern.set_focus("x")
+            for branch in (first, second):
+                pattern.add_node(branch, "person")
+                pattern.add_edge("x", branch, "follow")
+            return pattern
+
+        assert pattern_fingerprint(build("a", "b")) == pattern_fingerprint(build("b", "a"))
+
+
+class TestDistinction:
+    def test_paper_patterns_pairwise_distinct(self):
+        fingerprints = {name: pattern_fingerprint(paper_pattern(name)) for name in PAPER_PATTERNS}
+        assert len(set(fingerprints.values())) == len(PAPER_PATTERNS)
+
+    def test_node_label_matters(self):
+        person = (PatternBuilder("p").focus("x", "person").node("y", "person")
+                  .edge("x", "y", "follow").build())
+        product = (PatternBuilder("q").focus("x", "person").node("y", "product")
+                   .edge("x", "y", "follow").build())
+        assert pattern_fingerprint(person) != pattern_fingerprint(product)
+
+    def test_quantifier_matters(self):
+        base = (PatternBuilder("b").focus("x", "person").node("y", "person")
+                .edge("x", "y", "follow", at_least=2).build())
+        other = (PatternBuilder("o").focus("x", "person").node("y", "person")
+                 .edge("x", "y", "follow", at_least=3).build())
+        assert pattern_fingerprint(base) != pattern_fingerprint(other)
+
+    def test_focus_position_matters(self):
+        forward = QuantifiedGraphPattern(name="fwd")
+        for pattern in (forward,):
+            pattern.add_node("a", "person")
+            pattern.add_node("b", "person")
+            pattern.add_edge("a", "b", "follow")
+        forward.set_focus("a")
+        backward = forward.copy()
+        backward.set_focus("b")
+        assert pattern_fingerprint(forward) != pattern_fingerprint(backward)
+
+    def test_edge_direction_matters(self):
+        out_edge = (PatternBuilder("out").focus("x", "person").node("y", "person")
+                    .edge("x", "y", "follow").build())
+        in_edge = QuantifiedGraphPattern(name="in")
+        in_edge.add_node("x", "person")
+        in_edge.add_node("y", "person")
+        in_edge.add_edge("y", "x", "follow")
+        in_edge.set_focus("x")
+        assert pattern_fingerprint(out_edge) != pattern_fingerprint(in_edge)
+
+
+class TestCanonicalForm:
+    def test_focus_required(self):
+        pattern = QuantifiedGraphPattern(name="no-focus")
+        pattern.add_node("x", "person")
+        with pytest.raises(PatternError):
+            canonicalize(pattern)
+
+    def test_normalize_quantifier_tokens(self):
+        assert normalize_quantifier(CountingQuantifier.negation()) == ("!",)
+        assert normalize_quantifier(CountingQuantifier.existential()) == ("#", ">=", "1")
+        assert normalize_quantifier(CountingQuantifier.more_than(2)) == ("#", ">=", "3")
+        assert normalize_quantifier(CountingQuantifier.universal()) == ("%", "=", "100.0")
+
+    @pytest.mark.parametrize("name", PAPER_PATTERNS)
+    def test_as_pattern_round_trips_fingerprint(self, name):
+        form = canonicalize(paper_pattern(name))
+        rebuilt = form.as_pattern()
+        assert canonicalize(rebuilt).fingerprint == form.fingerprint
+        assert rebuilt.num_nodes == form.num_nodes
+        assert rebuilt.num_edges == form.num_edges
+
+    def test_as_pattern_preserves_answers(self, paper_g2, pattern_q4):
+        rebuilt = canonicalize(pattern_q4).as_pattern()
+        engine = QMatch()
+        assert engine.evaluate_answer(rebuilt, paper_g2) == engine.evaluate_answer(
+            pattern_q4, paper_g2
+        )
+
+    def test_order_maps_every_node(self, pattern_q3):
+        form = canonicalize(pattern_q3)
+        assert sorted(form.order.values()) == list(range(pattern_q3.num_nodes))
+        assert set(form.order) == set(pattern_q3.nodes())
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: rename-invariance and answer soundness on random inputs
+# ---------------------------------------------------------------------------
+
+
+@given(pattern=quantified_patterns(), seed=st.integers(0, 1000))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_renamed_pattern_has_same_fingerprint(pattern, seed):
+    assert pattern_fingerprint(_renamed(pattern, seed)) == pattern_fingerprint(pattern)
+
+
+@given(graph=labeled_graphs(), pattern=quantified_patterns(), seed=st.integers(0, 1000))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_canonical_rebuild_is_answer_preserving(graph, pattern, seed):
+    """Canonical identity is sound: equal fingerprints ⇒ identical answers."""
+    renamed = _renamed(pattern, seed)
+    assert pattern_fingerprint(renamed) == pattern_fingerprint(pattern)
+    engine = QMatch()
+    expected = engine.evaluate_answer(pattern, graph)
+    assert engine.evaluate_answer(renamed, graph) == expected
+    assert engine.evaluate_answer(canonicalize(pattern).as_pattern(), graph) == expected

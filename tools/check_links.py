@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in README/docs point at real files.
+
+Scans the repo's markdown surface (README.md, docs/*.md, ROADMAP.md,
+CHANGES.md) for inline links and fails loudly when a relative target —
+optionally carrying a ``#fragment`` — does not exist on disk.  External links
+(``http(s)://``, ``mailto:``) and pure in-page anchors are ignored: this is a
+repository-consistency check, not a crawler, so it needs no network and
+cannot flake.
+
+Exit status 0 when every link resolves; 1 otherwise (one line per broken
+link).  CI runs it as part of the docs job; run it locally with
+``python tools/check_links.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline markdown links: [text](target).  Reference-style links are not used
+# in this repo; add a second pattern here if they ever are.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files() -> list[Path]:
+    files = [REPO_ROOT / name for name in ("README.md", "ROADMAP.md", "CHANGES.md")]
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [path for path in files if path.exists()]
+
+
+def broken_links() -> list[str]:
+    problems: list[str] = []
+    for path in markdown_files():
+        text = path.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                line = text.count("\n", 0, match.start()) + 1
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}:{line}: broken link -> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = broken_links()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(markdown_files())} markdown files: all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
