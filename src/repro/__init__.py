@@ -23,6 +23,9 @@ The package layers cleanly:
 * :mod:`repro.service`  — the query-serving layer: canonicalized pattern
   fingerprints, a version-aware LRU result cache, and the batching
   ``QueryService`` façade over PQMatch;
+* :mod:`repro.delta`    — the graph-update layer: typed ``GraphDelta``
+  batches, incremental index refresh, affected-area incremental matching,
+  partition/pool delta shipping and standing-query maintenance;
 * :mod:`repro.datasets` — Pokec-like / YAGO2-like / synthetic workloads;
 * :mod:`repro.core`     — the stable public API re-exported in one namespace.
 """
@@ -56,8 +59,12 @@ from repro.core import (
     QueryService,
     ResultCache,
     ServiceResult,
+    Subscription,
     canonicalize,
     pattern_fingerprint,
+    GraphDelta,
+    apply_delta,
+    inc_qmatch_delta,
 )
 
 __version__ = "1.0.0"
@@ -92,6 +99,10 @@ __all__ = [
     "QueryService",
     "ServiceResult",
     "ResultCache",
+    "Subscription",
     "canonicalize",
     "pattern_fingerprint",
+    "GraphDelta",
+    "apply_delta",
+    "inc_qmatch_delta",
 ]

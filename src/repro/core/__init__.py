@@ -6,6 +6,7 @@ parallel matching engines, and the QGAR layer, without reaching into the
 internal module layout.
 """
 
+from repro.delta import GraphDelta, apply_delta, inc_qmatch_delta
 from repro.graph import PropertyGraph, small_world_social_graph
 from repro.index import GraphIndex
 from repro.matching import (
@@ -37,6 +38,7 @@ from repro.service import (
     QueryService,
     ResultCache,
     ServiceResult,
+    Subscription,
     canonicalize,
     pattern_fingerprint,
 )
@@ -44,6 +46,9 @@ from repro.service import (
 __all__ = [
     "PropertyGraph",
     "GraphIndex",
+    "GraphDelta",
+    "apply_delta",
+    "inc_qmatch_delta",
     "small_world_social_graph",
     "CountingQuantifier",
     "QuantifiedGraphPattern",
@@ -70,6 +75,7 @@ __all__ = [
     "QueryService",
     "ServiceResult",
     "ResultCache",
+    "Subscription",
     "canonicalize",
     "pattern_fingerprint",
 ]

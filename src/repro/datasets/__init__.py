@@ -1,6 +1,7 @@
 """Synthetic datasets standing in for Pokec, YAGO2 and the GTgraph workloads."""
 
 from repro.datasets.pokec_like import PokecConfig, pokec_like_graph
+from repro.datasets.update_workload import WorkloadOp, update_workload
 from repro.datasets.workloads import (
     DATASET_NAMES,
     benchmark_graph,
@@ -21,5 +22,7 @@ __all__ = [
     "paper_rule",
     "workload_patterns",
     "zipf_workload",
+    "update_workload",
+    "WorkloadOp",
     "DATASET_NAMES",
 ]

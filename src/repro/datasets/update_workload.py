@@ -1,0 +1,181 @@
+"""Reproducible interleaved update/query streams (the dynamic-graph workload).
+
+Production traffic against a social graph is not queries *or* updates — it is
+both, interleaved: a Zipf-skewed query mix (a few hot patterns dominate)
+punctuated by edge churn (follows appear, likes disappear) whose endpoints
+are spread uniformly over the graph.  :func:`update_workload` generates
+exactly that stream, deterministically under a seed, for the incremental
+benchmark (``benchmarks/bench_incremental.py``) and the delta-layer tests.
+
+The generator **simulates** the stream against a scratch copy of the graph
+while emitting it, so every :class:`~repro.delta.GraphDelta` in the stream is
+guaranteed to apply cleanly when the consumer replays the operations in
+order: deletes name edges that exist at that point of the stream, inserts
+name edges that do not, and the scratch copy is thrown away afterwards (the
+caller's graph is never touched).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.delta.ops import GraphDelta
+from repro.graph.digraph import Edge, PropertyGraph
+from repro.patterns.qgp import QuantifiedGraphPattern
+from repro.utils.errors import ReproError
+from repro.utils.rng import SeedLike, ensure_rng, weighted_choice
+
+__all__ = ["WorkloadOp", "update_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadOp:
+    """One element of an interleaved stream: a query or an update batch.
+
+    ``kind`` is ``"query"`` (then ``pattern`` is set) or ``"update"`` (then
+    ``delta`` is set).  Exactly one of the two payload fields is non-None.
+    """
+
+    kind: str
+    pattern: Optional[QuantifiedGraphPattern] = None
+    delta: Optional[GraphDelta] = None
+
+    @property
+    def is_update(self) -> bool:
+        return self.kind == "update"
+
+
+def _random_edge_insert(
+    rng, scratch: PropertyGraph, nodes: List, labels: List[str]
+) -> Optional[Edge]:
+    """A uniform non-existing, non-loop edge over the current scratch state."""
+    for _ in range(32):  # rejection sampling; dense graphs may need retries
+        source, target = rng.choice(nodes), rng.choice(nodes)
+        label = rng.choice(labels)
+        if source != target and not scratch.has_edge(source, target, label):
+            return (source, target, label)
+    return None
+
+
+def update_workload(
+    graph: PropertyGraph,
+    patterns: Sequence[QuantifiedGraphPattern],
+    length: int,
+    update_fraction: float = 0.25,
+    ops_per_update: int = 2,
+    exponent: float = 1.1,
+    seed: SeedLike = 0,
+) -> List[WorkloadOp]:
+    """An interleaved stream of Zipf-skewed queries and uniform edge churn.
+
+    Parameters
+    ----------
+    graph:
+        The starting graph; copied internally, never mutated.
+    patterns:
+        The unique query pool; the *i*-th pattern (1-based, given order) is
+        drawn with probability ∝ ``1 / i**exponent``, the same heavy-tail
+        regime as :func:`repro.datasets.workloads.zipf_workload`.
+    length:
+        Total number of stream elements (queries + update batches).
+    update_fraction:
+        Fraction of stream positions that are update batches (0 ≤ f < 1).
+    ops_per_update:
+        Edge operations per update batch; each is an insert or a delete with
+        equal probability, endpoints uniform over the evolving node set.
+    seed:
+        Determinism: equal arguments produce the identical stream, deltas
+        included — replaying is how the benchmark compares engines fairly.
+
+    >>> from repro.graph.generators import small_world_social_graph
+    >>> from repro.datasets.workloads import workload_patterns
+    >>> g = small_world_social_graph(60, 150, seed=3)
+    >>> stream = update_workload(g, workload_patterns(g, count=2, seed=5), 20, seed=9)
+    >>> len(stream), any(op.is_update for op in stream)
+    (20, True)
+    >>> g.version == small_world_social_graph(60, 150, seed=3).version
+    True
+    """
+    if length < 0:
+        raise ReproError("workload length must be non-negative")
+    if not patterns:
+        raise ReproError("update_workload needs at least one pattern")
+    if not 0 <= update_fraction < 1:
+        raise ReproError("update_fraction must be in [0, 1)")
+    if ops_per_update <= 0:
+        raise ReproError("ops_per_update must be positive")
+    if exponent <= 0:
+        raise ReproError("the Zipf exponent must be positive")
+
+    rng = ensure_rng(seed)
+    scratch = graph.copy(name=f"{graph.name}#workload-scratch")
+    nodes = list(scratch.nodes())
+    labels = sorted({label for _, _, label in scratch.edges()})
+    if not labels:
+        raise ReproError("update_workload needs a graph with at least one edge")
+    weights = [1.0 / (rank ** exponent) for rank in range(1, len(patterns) + 1)]
+
+    # The evolving edge list, maintained incrementally (append on insert,
+    # swap-remove on delete) so each delete draw is O(1) instead of a full
+    # |E| walk per operation.  Dict iteration order seeds it deterministically.
+    edge_list: List[Edge] = list(scratch.edges())
+    edge_position = {edge: position for position, edge in enumerate(edge_list)}
+
+    def track_insert(edge: Edge) -> None:
+        edge_position[edge] = len(edge_list)
+        edge_list.append(edge)
+
+    def track_delete(edge: Edge) -> None:
+        position = edge_position.pop(edge)
+        last = edge_list.pop()
+        if last != edge:
+            edge_list[position] = last
+            edge_position[last] = position
+
+    stream: List[WorkloadOp] = []
+    for _ in range(length):
+        if rng.random() < update_fraction:
+            inserts: List[Edge] = []
+            deletes: List[Edge] = []
+            for _ in range(ops_per_update):
+                if rng.random() < 0.5:
+                    edge = _random_edge_insert(rng, scratch, nodes, labels)
+                    # An edge the batch already deleted must not be re-added:
+                    # GraphDelta rejects an edge in both lists, and dropping
+                    # the delete instead would reorder the batch's net effect.
+                    if edge is not None and edge not in deletes:
+                        inserts.append(edge)
+                        scratch.add_edge(*edge)
+                        track_insert(edge)
+                else:
+                    # Rejection-sample a pre-batch edge: draws landing on an
+                    # edge inserted earlier in this same batch are re-drawn
+                    # (GraphDelta applies inserts before deletes, not in the
+                    # draw order, so every delete must name a pre-batch edge).
+                    for _ in range(32):
+                        if not edge_list:
+                            break
+                        edge = rng.choice(edge_list)
+                        if edge not in inserts:
+                            deletes.append(edge)
+                            scratch.remove_edge(*edge)
+                            track_delete(edge)
+                            break
+            if inserts or deletes:
+                stream.append(
+                    WorkloadOp(
+                        kind="update",
+                        delta=GraphDelta.build(
+                            edge_inserts=inserts, edge_deletes=deletes
+                        ),
+                    )
+                )
+                continue
+            # Every op of the batch failed to draw (a near-complete graph can
+            # exhaust the insert sampler): emit a query instead, so the stream
+            # always has exactly `length` elements.
+        stream.append(
+            WorkloadOp(kind="query", pattern=weighted_choice(rng, list(patterns), weights))
+        )
+    return stream

@@ -1,0 +1,44 @@
+"""Graph-update subsystem: typed deltas threaded through every layer.
+
+``repro.delta`` is the sixth layer of the reproduction — the one that lets a
+*live* system absorb graph churn without cold starts:
+
+* :mod:`repro.delta.ops` — :class:`GraphDelta` batches,
+  :func:`apply_delta` (one version bump per batch, exact inverse returned);
+* :mod:`repro.delta.refresh` — incremental
+  :class:`~repro.index.GraphIndex` maintenance (:func:`refreshed_index`,
+  also reachable as ``GraphIndex.refreshed``), wire-byte-identical to a
+  from-scratch build;
+* :mod:`repro.delta.matching` — the graph-update analogue of IncQMatch:
+  :func:`affected_area` (the paper's ``AFF``, from the delta's d-hop
+  neighbourhood) and :func:`inc_qmatch_delta` (re-verify only inside it);
+* :mod:`repro.delta.partition` — d-hop preserving partition maintenance:
+  per-fragment sub-deltas with halo growth, so the parallel layer ships
+  deltas instead of re-shipping fragments.
+
+See ``docs/UPDATES.md`` for the executable walkthrough and
+``benchmarks/bench_incremental.py`` for the figure this layer is measured by.
+"""
+
+from repro.delta.matching import DeltaMatchStats, affected_area, inc_qmatch_delta
+from repro.delta.ops import ABSENT, GraphDelta, apply_delta
+from repro.delta.partition import FragmentUpdate, apply_delta_to_partition
+from repro.delta.refresh import (
+    refresh_call_count,
+    refresh_rebuild_count,
+    refreshed_index,
+)
+
+__all__ = [
+    "GraphDelta",
+    "apply_delta",
+    "ABSENT",
+    "refreshed_index",
+    "refresh_call_count",
+    "refresh_rebuild_count",
+    "affected_area",
+    "inc_qmatch_delta",
+    "DeltaMatchStats",
+    "apply_delta_to_partition",
+    "FragmentUpdate",
+]

@@ -1,0 +1,342 @@
+"""Typed graph-update batches and their application (the delta substrate).
+
+A production graph is not rebuilt between queries — it *churns*: edges appear
+and disappear, nodes join, attributes move.  Every layer of this library keys
+its caches on :attr:`repro.graph.PropertyGraph.version`, so the natural unit
+of change is a **batch** that bumps the counter exactly once:
+
+* :class:`GraphDelta` is an immutable, picklable value type describing one
+  batch — node inserts/deletes, edge inserts/deletes, attribute sets — in a
+  fixed application order;
+* :func:`apply_delta` validates the whole batch up front (the graph is never
+  left half-mutated), applies it through the ordinary mutation API, collapses
+  the mutation counter to **one** bump, and returns the exact *inverse* batch
+  — applying the inverse rolls the graph back to its pre-batch state,
+  structure and touched attributes alike.
+
+The inverse is also what makes deletions tractable downstream: a node delete
+cascades its incident edges, and the inverse records all of them, so the
+affected-area computation (:mod:`repro.delta.matching`) can see edges that no
+longer exist in the post-delta graph.
+
+Validation is strict by design: inserting an existing node or edge, deleting
+a missing one, or writing a batch whose operations overlap incoherently (a
+node both inserted and deleted, an edge inserted onto a node the same batch
+deletes) raises :class:`~repro.utils.errors.DeltaError` *before* any mutation.
+Strictness is what keeps inverses exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.graph.digraph import Edge, Label, NodeId, PropertyGraph
+from repro.utils.errors import DeltaError
+
+__all__ = ["GraphDelta", "apply_delta", "ABSENT"]
+
+# One node insert: (node id, node label, ((attr key, attr value), ...)).
+NodeInsert = Tuple[NodeId, Label, Tuple[Tuple[str, object], ...]]
+# One attribute write: (node id, attr key, new value — or ABSENT to remove).
+AttrSet = Tuple[NodeId, str, object]
+
+
+class _AbsentAttr:
+    """Sentinel marking "this attribute did not exist" in inverse deltas."""
+
+    _instance: Optional["_AbsentAttr"] = None
+
+    def __new__(cls) -> "_AbsentAttr":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ABSENT"
+
+    def __reduce__(self):
+        # Pickle round-trips to the singleton, so identity checks keep
+        # working after a delta crosses a process boundary.
+        return (_AbsentAttr, ())
+
+
+ABSENT = _AbsentAttr()
+
+
+def _freeze_attrs(attrs: Optional[Mapping[str, object]]) -> Tuple[Tuple[str, object], ...]:
+    if not attrs:
+        return ()
+    return tuple(sorted(attrs.items(), key=lambda item: item[0]))
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One immutable batch of graph updates.
+
+    The fields are applied in declaration order — node inserts, edge inserts,
+    edge deletes, node deletes (cascading their incident edges), attribute
+    sets — which is the one order in which every coherent batch is
+    well-defined: inserted edges may reference inserted nodes, and explicit
+    edge deletes run before any cascade could consume them.
+
+    Instances are plain tuples all the way down: hashable, picklable (they
+    cross the process boundary in :meth:`repro.parallel.executor.ProcessExecutor.apply_delta`)
+    and safely shareable.
+    """
+
+    node_inserts: Tuple[NodeInsert, ...] = ()
+    node_deletes: Tuple[NodeId, ...] = ()
+    edge_inserts: Tuple[Edge, ...] = ()
+    edge_deletes: Tuple[Edge, ...] = ()
+    attr_sets: Tuple[AttrSet, ...] = ()
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def build(
+        cls,
+        node_inserts: Iterable[Tuple] = (),
+        node_deletes: Iterable[NodeId] = (),
+        edge_inserts: Iterable[Edge] = (),
+        edge_deletes: Iterable[Edge] = (),
+        attr_sets: Iterable[AttrSet] = (),
+    ) -> "GraphDelta":
+        """Normalise loosely-typed inputs into a :class:`GraphDelta`.
+
+        Node inserts accept ``(node, label)`` pairs, ``(node, label, attrs)``
+        with a mapping or pre-frozen tuple of attrs; everything is coerced to
+        the canonical tuple form.
+        """
+        inserts: List[NodeInsert] = []
+        for item in node_inserts:
+            if len(item) == 2:
+                node, label = item
+                attrs: Tuple[Tuple[str, object], ...] = ()
+            else:
+                node, label, raw = item
+                attrs = raw if isinstance(raw, tuple) else _freeze_attrs(raw)
+            inserts.append((node, label, attrs))
+        return cls(
+            node_inserts=tuple(inserts),
+            node_deletes=tuple(node_deletes),
+            edge_inserts=tuple(edge_inserts),
+            edge_deletes=tuple(edge_deletes),
+            attr_sets=tuple(attr_sets),
+        )
+
+    @classmethod
+    def insert_edge(cls, source: NodeId, target: NodeId, label: Label) -> "GraphDelta":
+        return cls(edge_inserts=((source, target, label),))
+
+    @classmethod
+    def delete_edge(cls, source: NodeId, target: NodeId, label: Label) -> "GraphDelta":
+        return cls(edge_deletes=((source, target, label),))
+
+    # --------------------------------------------------------------- structure
+
+    def is_empty(self) -> bool:
+        return not (
+            self.node_inserts
+            or self.node_deletes
+            or self.edge_inserts
+            or self.edge_deletes
+            or self.attr_sets
+        )
+
+    def is_structural(self) -> bool:
+        """Whether the batch changes graph structure (vs attributes only)."""
+        return bool(
+            self.node_inserts or self.node_deletes or self.edge_inserts or self.edge_deletes
+        )
+
+    @property
+    def size(self) -> int:
+        """Total number of operations in the batch."""
+        return (
+            len(self.node_inserts)
+            + len(self.node_deletes)
+            + len(self.edge_inserts)
+            + len(self.edge_deletes)
+            + len(self.attr_sets)
+        )
+
+    def touched_nodes(self) -> Set[NodeId]:
+        """Every node named by a *structural* operation of this batch.
+
+        This is the seed set of the affected-area computation: endpoints of
+        inserted and deleted edges, inserted nodes and deleted nodes.
+        Attribute writes are excluded — they are invisible to matching.
+        """
+        touched: Set[NodeId] = set()
+        for node, _label, _attrs in self.node_inserts:
+            touched.add(node)
+        touched.update(self.node_deletes)
+        for source, target, _label in self.edge_inserts:
+            touched.add(source)
+            touched.add(target)
+        for source, target, _label in self.edge_deletes:
+            touched.add(source)
+            touched.add(target)
+        return touched
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphDelta(+{len(self.node_inserts)}n/-{len(self.node_deletes)}n, "
+            f"+{len(self.edge_inserts)}e/-{len(self.edge_deletes)}e, "
+            f"{len(self.attr_sets)} attrs)"
+        )
+
+
+def _validate(graph: PropertyGraph, delta: GraphDelta) -> None:
+    """Reject malformed or non-applicable batches before touching the graph."""
+    inserted_nodes: Set[NodeId] = set()
+    for node, _label, _attrs in delta.node_inserts:
+        if node in inserted_nodes:
+            raise DeltaError(f"node {node!r} inserted twice in one batch")
+        if graph.has_node(node):
+            raise DeltaError(f"node insert of existing node {node!r}")
+        inserted_nodes.add(node)
+
+    deleted_nodes: Set[NodeId] = set()
+    for node in delta.node_deletes:
+        if node in deleted_nodes:
+            raise DeltaError(f"node {node!r} deleted twice in one batch")
+        if node in inserted_nodes:
+            raise DeltaError(f"node {node!r} both inserted and deleted in one batch")
+        if not graph.has_node(node):
+            raise DeltaError(f"node delete of missing node {node!r}")
+        deleted_nodes.add(node)
+
+    present = lambda node: node in inserted_nodes or graph.has_node(node)  # noqa: E731
+    seen_edge_inserts: Set[Edge] = set()
+    for edge in delta.edge_inserts:
+        source, target, label = edge
+        if edge in seen_edge_inserts:
+            raise DeltaError(f"edge {edge!r} inserted twice in one batch")
+        seen_edge_inserts.add(edge)
+        if not present(source) or not present(target):
+            missing = source if not present(source) else target
+            raise DeltaError(f"edge insert {edge!r} references missing node {missing!r}")
+        if source in deleted_nodes or target in deleted_nodes:
+            raise DeltaError(f"edge insert {edge!r} touches a node the batch deletes")
+        if graph.has_edge(source, target, label):
+            raise DeltaError(f"edge insert of existing edge {edge!r}")
+
+    seen_edge_deletes: Set[Edge] = set()
+    for edge in delta.edge_deletes:
+        source, target, label = edge
+        if edge in seen_edge_deletes:
+            raise DeltaError(f"edge {edge!r} deleted twice in one batch")
+        seen_edge_deletes.add(edge)
+        if edge in seen_edge_inserts:
+            raise DeltaError(f"edge {edge!r} both inserted and deleted in one batch")
+        if not graph.has_edge(source, target, label):
+            raise DeltaError(f"edge delete of missing edge {edge!r}")
+
+    for node, key, _value in delta.attr_sets:
+        if node in deleted_nodes:
+            raise DeltaError(f"attribute set on node {node!r} the batch deletes")
+        if not present(node):
+            raise DeltaError(f"attribute set on missing node {node!r}")
+        if not isinstance(key, str):
+            raise DeltaError(f"attribute key {key!r} is not a string")
+
+
+def apply_delta(graph: PropertyGraph, delta: GraphDelta) -> GraphDelta:
+    """Apply *delta* to *graph* as one batch; return the exact inverse batch.
+
+    The whole batch is validated first (:class:`DeltaError` leaves the graph
+    untouched), then applied in the canonical order.  Structural batches bump
+    :attr:`PropertyGraph.version` exactly **once** — the per-operation bumps
+    of the mutation API are collapsed via
+    :meth:`PropertyGraph.collapse_version` — and attribute-only batches do not
+    bump it at all, mirroring the staleness discipline of every cache layer.
+
+    Applying the returned inverse restores the pre-batch structure and every
+    attribute the batch wrote (attributes absent before the batch are removed
+    again via the :data:`ABSENT` sentinel).
+
+    >>> from repro.graph.digraph import PropertyGraph
+    >>> g = PropertyGraph("d")
+    >>> _ = g.add_node("a", "person"); _ = g.add_node("b", "person")
+    >>> before = g.version
+    >>> inverse = apply_delta(g, GraphDelta.build(
+    ...     node_inserts=[("c", "person")],
+    ...     edge_inserts=[("a", "c", "follow"), ("b", "c", "follow")]))
+    >>> g.version == before + 1 and g.num_edges == 2
+    True
+    >>> _ = apply_delta(g, inverse)
+    >>> g.num_edges == 0 and not g.has_node("c")
+    True
+    """
+    _validate(graph, delta)
+    base = graph.version
+
+    # Inverse pieces, gathered while applying (deletes record what they kill).
+    inverse_node_deletes: List[NodeId] = []
+    inverse_edge_deletes: List[Edge] = []
+    inverse_edge_inserts: List[Edge] = []
+    inverse_node_inserts: List[NodeInsert] = []
+    inverse_attr_sets: List[AttrSet] = []
+
+    for node, label, attrs in delta.node_inserts:
+        graph.add_node(node, label, **dict(attrs))
+        inverse_node_deletes.append(node)
+
+    for source, target, label in delta.edge_inserts:
+        graph.add_edge(source, target, label)
+        inverse_edge_deletes.append((source, target, label))
+
+    for source, target, label in delta.edge_deletes:
+        graph.remove_edge(source, target, label)
+        inverse_edge_inserts.append((source, target, label))
+
+    for node in delta.node_deletes:
+        label = graph.node_label(node)
+        attrs = _freeze_attrs(graph.node_attrs(node))
+        # Record the cascade: every incident edge dies with the node and must
+        # come back with it on rollback.  (The affected-area computation also
+        # reads these — they are the only surviving record of pre-delta
+        # adjacency around a deleted node.)
+        cascade = [
+            (node, target, edge_label)
+            for edge_label in sorted(graph.out_edge_labels(node), key=str)
+            for target in sorted(graph.successors(node, edge_label), key=str)
+        ]
+        cascade += [
+            (source, node, edge_label)
+            for source in sorted(graph.predecessors(node), key=str)
+            if source != node  # self-loops already recorded by the out pass
+            for edge_label in sorted(graph.edge_labels(source, node), key=str)
+        ]
+        graph.remove_node(node)
+        inverse_node_inserts.append((node, label, attrs))
+        inverse_edge_inserts.extend(cascade)
+
+    inserted = {node for node, _label, _attrs in delta.node_inserts}
+    for node, key, value in delta.attr_sets:
+        if node not in inserted:
+            # Attr writes on nodes this batch inserted need no inverse entry:
+            # the inverse deletes the node, and an attr op on a node the same
+            # batch deletes would make the inverse fail its own validation.
+            previous = graph.node_attrs(node).get(key, ABSENT)
+            inverse_attr_sets.append((node, key, previous))
+        if value is ABSENT:
+            graph.remove_node_attr(node, key)
+        else:
+            graph.set_node_attr(node, key, value)
+
+    if delta.is_structural():
+        graph.collapse_version(base)
+
+    # Inverse application order is the canonical order again: re-insert nodes,
+    # re-insert edges (cascades included), delete inserted edges, delete
+    # inserted nodes, restore attributes (last writer wins, so reversed).
+    return GraphDelta(
+        node_inserts=tuple(inverse_node_inserts),
+        node_deletes=tuple(reversed(inverse_node_deletes)),
+        edge_inserts=tuple(inverse_edge_inserts),
+        edge_deletes=tuple(reversed(inverse_edge_deletes)),
+        attr_sets=tuple(reversed(inverse_attr_sets)),
+    )

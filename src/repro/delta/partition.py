@@ -1,0 +1,255 @@
+"""D-hop preserving partition maintenance under graph deltas.
+
+A :class:`~repro.parallel.partition.HopPreservingPartition` is expensive to
+build (one d-hop BFS per node) and, on the process backend, expensive to
+*ship* (every fragment crosses the pool boundary as snapshot bytes).  Before
+this module, any structural mutation invalidated the whole thing: re-partition,
+re-serialise, re-ship, re-decode.  :func:`apply_delta_to_partition` instead
+translates one graph batch into **per-fragment sub-deltas**:
+
+* ownership is maintained — deleted nodes leave their fragment, inserted
+  nodes are adopted by the fragment owning most of their neighbours (fewest
+  owned nodes on ties, so churn keeps the partition balanced);
+* the replicated halo *grows where it must*: an owned node's ``Nd`` can only
+  gain members through a path crossing an **inserted** edge, so only owned
+  nodes within ``d-1`` hops of an inserted edge's endpoints (a much tighter
+  set than the full affected area, which deletions inflate for nothing) have
+  their ``Nd`` recomputed (compiled frontier BFS) and any missing context is
+  pulled into the fragment as node/edge inserts read from the post-delta
+  source graph;
+* each materialised fragment graph has its sub-delta applied in place (one
+  version bump) and its cached compiled index *refreshed*, never rebuilt.
+
+Fragments deliberately do **not** shed halo nodes that fell out of every
+owned ``Nd``: each fragment stays an induced subgraph of the live graph
+restricted to its node set, so surplus context can neither invent edges nor
+miss them, and owned focus candidates still see their complete ``≤ d``-hop
+neighbourhood — which is all Lemma 9(1) needs.  The stale surplus ages out at
+the next full re-partition.
+
+The returned :class:`FragmentUpdate` records are what
+:meth:`repro.parallel.executor.ProcessExecutor.apply_delta` ships to pool
+workers — the delta travels, the fragment does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.delta.ops import GraphDelta, apply_delta, _freeze_attrs
+from repro.graph.digraph import PropertyGraph
+from repro.index.snapshot import GraphIndex
+from repro.parallel.partition import HopPreservingPartition
+from repro.utils.errors import DeltaError
+
+__all__ = ["FragmentUpdate", "apply_delta_to_partition"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class FragmentUpdate:
+    """One fragment's share of a graph batch, ready to ship to a worker.
+
+    ``graph`` is the coordinator-side materialised fragment graph *after* the
+    sub-delta was applied; ``old_version`` is its mutation counter before it
+    (the executor needs both to re-key its payload cache deterministically).
+    ``owned_added``/``owned_removed`` carry ownership churn, which is not part
+    of the fragment graph itself but is part of what a worker must know.
+    ``refresh_ok`` records whether the coordinator's own index refresh took
+    the incremental path — a worker replaying the same sub-delta on the same
+    structure will too, so the executor only chains deltas with
+    ``refresh_ok=True`` (anything else, e.g. a node-deleting batch, falls
+    back to the re-ship path instead of making a pool worker rebuild).
+    """
+
+    fragment_id: int
+    graph: PropertyGraph
+    old_version: int
+    delta: GraphDelta
+    owned_added: Tuple[NodeId, ...] = ()
+    owned_removed: Tuple[NodeId, ...] = ()
+    refresh_ok: bool = False
+
+
+def _adopting_fragment(partition, node: NodeId, graph: PropertyGraph) -> int:
+    """The fragment that adopts an inserted node: most neighbours owned there,
+    ties broken towards the lightest (fewest owned) fragment, then by id."""
+    votes: Dict[int, int] = {}
+    for neighbor in graph.neighbors(node):
+        owner = partition.owner_of(neighbor)
+        if owner is not None:
+            votes[owner] = votes.get(owner, 0) + 1
+    return min(
+        partition.fragments,
+        key=lambda fragment: (
+            -votes.get(fragment.fragment_id, 0),
+            len(fragment.owned_nodes),
+            fragment.fragment_id,
+        ),
+    ).fragment_id
+
+
+def apply_delta_to_partition(
+    partition: HopPreservingPartition,
+    delta: GraphDelta,
+    inverse: Optional[GraphDelta] = None,
+    index: Optional[GraphIndex] = None,
+) -> List[FragmentUpdate]:
+    """Propagate an applied graph batch into *partition*, fragment by fragment.
+
+    Call **after** ``apply_delta(partition.source, delta)``; *inverse* is that
+    call's return value (required for node deletions, whose cascaded edges
+    only the inverse records).  Node sets, ownership and every materialised
+    fragment graph (plus its cached compiled index) are updated in place; the
+    partition stays covering and complete for the post-delta graph, which the
+    regression tests assert via :meth:`HopPreservingPartition.is_covering`.
+
+    Returns one :class:`FragmentUpdate` per materialised fragment whose graph
+    structurally changed — the executor's shipping list.
+    """
+    graph = partition.source
+    if delta.node_deletes and inverse is None:
+        raise DeltaError(
+            "partition maintenance needs the inverse batch when nodes are "
+            "deleted (the cascaded edges are only recorded there)"
+        )
+    if not delta.is_structural():
+        return []
+    if index is None:
+        index = GraphIndex.for_graph(graph)
+
+    # Build the ownership map for the *pre-delta* owned sets before mutating
+    # them; inserted-node adoption votes read it through partition.owner_of.
+    partition.owner_of(None)
+    deleted = set(delta.node_deletes)
+    owned_dropped: Dict[int, List[NodeId]] = {}
+    for fragment in partition.fragments:
+        dropped = deleted & fragment.owned_nodes
+        if dropped:
+            owned_dropped[fragment.fragment_id] = sorted(dropped, key=str)
+            fragment.owned_nodes -= dropped
+        fragment.border_nodes -= deleted
+
+    adopted: Dict[int, List[NodeId]] = {}
+    for node, _label, _attrs in delta.node_inserts:
+        owner = _adopting_fragment(partition, node, graph)
+        adopted.setdefault(owner, []).append(node)
+
+    merged = index.neighborhoods()
+    encode = index.nodes.encode
+    decode = index.nodes.decode
+    scratch = bytearray(index.num_nodes)
+
+    def within(node: NodeId, hops: int) -> Set[NodeId]:
+        return set(
+            map(decode, merged.nodes_within_hops_ids(encode(node), hops, visited=scratch))
+        )
+
+    def nd(node: NodeId) -> Set[NodeId]:
+        return within(node, partition.d)
+
+    # An owned node's Nd can only *grow* through a path that crosses an
+    # inserted edge, so only owned nodes within d-1 hops of an inserted
+    # edge's endpoints (post-delta) can need new context — a much tighter
+    # set than the full affected area, which deletions inflate for nothing:
+    # deletions never force halo growth (the surplus context just stays).
+    grow_region: Set[NodeId] = set()
+    if partition.d > 0:
+        grow_seeds: Set[NodeId] = set()
+        for source, target, _label in delta.edge_inserts:
+            grow_seeds.add(source)
+            grow_seeds.add(target)
+        for seed in grow_seeds:
+            grow_region |= within(seed, partition.d - 1)
+
+    updates: List[FragmentUpdate] = []
+    for fragment in partition.fragments:
+        newly_owned = adopted.get(fragment.fragment_id, [])
+        recompute = (fragment.owned_nodes & grow_region) | set(newly_owned)
+        required: Set[NodeId] = set()
+        for owned in recompute:
+            required |= nd(owned)
+        node_set = fragment.node_set
+        pulled = required - node_set
+
+        # The sub-delta, in source-graph vocabulary.  Edge inserts are (a)
+        # the batch's own inserts that land inside the untouched node set and
+        # (b) every post-graph edge incident to a pulled node with its other
+        # endpoint inside the new node set; the two are disjoint because (a)
+        # requires both endpoints pre-existing in the fragment.
+        survivors = node_set - deleted
+        new_node_set = survivors | pulled
+        edge_inserts: List[Tuple[NodeId, NodeId, str]] = [
+            (s, t, l)
+            for (s, t, l) in delta.edge_inserts
+            if s in survivors and t in survivors
+        ]
+        seen_pulled_edges: Set[Tuple[NodeId, NodeId, str]] = set()
+        for node in pulled:
+            for label in graph.out_edge_labels(node):
+                for target in graph.successors(node, label):
+                    if target in new_node_set:
+                        seen_pulled_edges.add((node, target, label))
+            for source in graph.predecessors(node):
+                if source in new_node_set and source not in pulled:
+                    for label in graph.edge_labels(source, node):
+                        seen_pulled_edges.add((source, node, label))
+        edge_inserts.extend(sorted(seen_pulled_edges, key=str))
+
+        sub_delta = GraphDelta(
+            node_inserts=tuple(
+                (node, graph.node_label(node), _freeze_attrs(graph.node_attrs(node)))
+                for node in sorted(pulled, key=str)
+            ),
+            node_deletes=tuple(node for node in delta.node_deletes if node in node_set),
+            edge_inserts=tuple(edge_inserts),
+            edge_deletes=tuple(
+                (s, t, l)
+                for (s, t, l) in delta.edge_deletes
+                if s in node_set and t in node_set
+            ),
+            attr_sets=tuple(
+                (node, key, value)
+                for (node, key, value) in delta.attr_sets
+                if node in new_node_set
+            ),
+        )
+
+        fragment.node_set = new_node_set
+        fragment.owned_nodes.update(newly_owned)
+
+        fragment_graph = partition._graph_cache.get(fragment.fragment_id)
+        if fragment_graph is None:
+            # Never materialised: the next fragment_graph() call induces the
+            # subgraph from the (already mutated) source — nothing to patch.
+            continue
+        if sub_delta.is_empty():
+            continue
+        old_version = fragment_graph.version
+        cached_index = fragment_graph.cached_index()
+        was_fresh = cached_index is not None and cached_index.version == old_version
+        apply_delta(fragment_graph, sub_delta)
+        refresh_ok = False
+        if was_fresh and sub_delta.is_structural():
+            from repro.delta.refresh import refresh_rebuild_count
+
+            rebuilds_before = refresh_rebuild_count()
+            cached_index.refreshed(sub_delta)
+            refresh_ok = refresh_rebuild_count() == rebuilds_before
+        if sub_delta.is_structural():
+            updates.append(
+                FragmentUpdate(
+                    fragment_id=fragment.fragment_id,
+                    graph=fragment_graph,
+                    old_version=old_version,
+                    delta=sub_delta,
+                    owned_added=tuple(sorted(newly_owned, key=str)),
+                    owned_removed=tuple(owned_dropped.get(fragment.fragment_id, ())),
+                    refresh_ok=refresh_ok,
+                )
+            )
+
+    partition._owner_map = None
+    return updates

@@ -62,6 +62,10 @@ class PropertyGraph:
         "_label_index",
         "_version",
         "_index_cache",
+        # Weak referenceability (no storage cost until a weakref is taken):
+        # lifetime regression tests pin down that caches release mutated
+        # graphs, and observers can track a served graph without pinning it.
+        "__weakref__",
     )
 
     def __init__(self, name: str = "graph") -> None:
@@ -100,6 +104,21 @@ class PropertyGraph:
     def cache_index(self, snapshot: object) -> None:
         """Attach a compiled index snapshot (managed by ``GraphIndex.for_graph``)."""
         self._index_cache = snapshot
+
+    def collapse_version(self, base: int) -> None:
+        """Collapse the mutation counter to ``base + 1`` (one batched bump).
+
+        The delta layer (:mod:`repro.delta`) applies a whole update batch
+        through the ordinary mutation API — which bumps :attr:`version` once
+        per operation — and then collapses the counter so the batch reads as a
+        *single* structural change to every version-keyed consumer (index
+        staleness, partition caches, the result cache).  The counter stays
+        monotone: collapsing never moves it below ``base + 1`` relative to the
+        pre-batch value, and a no-op call (counter already at or below the
+        target) leaves it alone.
+        """
+        if self._version > base + 1:
+            self._version = base + 1
 
     # ------------------------------------------------------------------ nodes
 
@@ -142,6 +161,22 @@ class PropertyGraph:
         if node not in self._labels:
             raise NodeNotFoundError(node)
         self._attrs.setdefault(node, {})[key] = value
+
+    def remove_node_attr(self, node: NodeId, key: str) -> None:
+        """Remove one attribute of *node* (a missing *key* is a no-op).
+
+        Like :meth:`set_node_attr` this never bumps :attr:`version` — the
+        matching semantics (and hence every compiled structure) ignore
+        attributes.  The delta layer uses it to roll back an attribute that
+        did not exist before a batch set it.
+        """
+        if node not in self._labels:
+            raise NodeNotFoundError(node)
+        attrs = self._attrs.get(node)
+        if attrs is not None:
+            attrs.pop(key, None)
+            if not attrs:
+                del self._attrs[node]
 
     def nodes(self) -> Iterator[NodeId]:
         """Iterate over all node ids."""
@@ -405,7 +440,7 @@ class PropertyGraph:
         return {
             slot: getattr(self, slot)
             for slot in self.__slots__
-            if slot != "_index_cache"
+            if slot not in ("_index_cache", "__weakref__")
         }
 
     def __setstate__(self, state: Dict[str, object]) -> None:

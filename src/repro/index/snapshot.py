@@ -126,11 +126,18 @@ class GraphIndex:
                 label_ids.append(node_labels.intern(graph.node_label(node)))
             node_label_ids = array("i", label_ids)
 
-            edge_labels = Interner()
+            # Sorted interning order: the compiled label ids depend only on the
+            # label *set*, never on edge insertion/iteration order, so two
+            # builds of structurally equal graphs are byte-identical and the
+            # incremental refresh (repro.delta) can extend the interner
+            # in-place for new labels instead of rescanning the edge list.
+            edge_list = list(graph.edges())
+            edge_labels = Interner(sorted({label for _, _, label in edge_list}))
             node_id = nodes.id_of
+            edge_label_id = edge_labels.id_of
             interned_edges: List[Tuple[int, int, int]] = [
-                (node_id(source), node_id(target), edge_labels.intern(label))
-                for source, target, label in graph.edges()
+                (node_id(source), node_id(target), edge_label_id(label))
+                for source, target, label in edge_list
             ]
 
             out, inc = build_csr_pair(len(nodes), len(edge_labels), interned_edges)
@@ -166,6 +173,22 @@ class GraphIndex:
         snapshot = cls.build(graph)
         graph.cache_index(snapshot)
         return snapshot
+
+    def refreshed(self, delta, max_touched_fraction: Optional[float] = None) -> "GraphIndex":
+        """A fresh snapshot after *delta* was applied to the source graph.
+
+        Incremental maintenance: touched CSR rows are patched, signatures and
+        derived structures recomputed only for affected nodes, unchanged
+        buffers shared — falling back to a full :meth:`build` whenever the
+        patch could not be wire-byte-identical to one (see
+        :mod:`repro.delta.refresh` for the exact conditions).  The result is
+        cached on the graph, so a subsequent :meth:`for_graph` is a hit.
+        """
+        from repro.delta.refresh import DEFAULT_MAX_TOUCHED_FRACTION, refreshed_index
+
+        if max_touched_fraction is None:
+            max_touched_fraction = DEFAULT_MAX_TOUCHED_FRACTION
+        return refreshed_index(self, delta, max_touched_fraction=max_touched_fraction)
 
     # -------------------------------------------------------------- freshness
 

@@ -192,6 +192,53 @@ class PQMatch:
             self._partition = partition
         return partition
 
+    def apply_delta(self, graph: PropertyGraph, delta, inverse=None) -> List:
+        """Propagate an applied :class:`~repro.delta.GraphDelta` into the
+        cached partition and the live executor.
+
+        Call **after** ``repro.delta.apply_delta(graph, delta)`` mutated the
+        graph (*inverse* is that call's return value).  The cached partition
+        is maintained in place — ownership churn, halo growth, per-fragment
+        sub-deltas applied to materialised fragment graphs with their compiled
+        indexes *refreshed* — and the partition cache is re-stamped to the
+        post-delta version, so the next query neither re-partitions nor (on
+        the process backend, whose payloads are re-keyed to delta chains)
+        re-ships or recreates the pool.
+
+        A partition that is missing, bound to another graph, or more than
+        this one batch behind is simply dropped: the next query rebuilds it
+        from scratch, which is always correct.  Returns the per-fragment
+        :class:`~repro.delta.FragmentUpdate` list (empty when nothing was
+        maintained).
+        """
+        if not delta.is_structural():
+            return []
+        if (
+            self._partition is None
+            or self._partition_graph_id != id(graph)
+            or self._partition_version != graph.version - 1
+        ):
+            self._partition = None
+            self._partition_graph_id = None
+            self._partition_version = None
+            return []
+        from repro.delta.partition import apply_delta_to_partition
+        from repro.index.snapshot import GraphIndex
+
+        cached = graph.cached_index()
+        if cached is not None and cached.version == graph.version - 1:
+            index = cached.refreshed(delta)
+        else:
+            index = GraphIndex.for_graph(graph)
+        updates = apply_delta_to_partition(
+            self._partition, delta, inverse=inverse, index=index
+        )
+        self._partition_version = graph.version
+        executor = self._executor
+        if updates and executor is not None and hasattr(executor, "apply_delta"):
+            executor.apply_delta(updates)
+        return updates
+
     # ------------------------------------------------------------------ tasks
 
     def fragment_tasks(

@@ -27,9 +27,11 @@ return their :class:`repro.matching.result.FragmentResult` lists.
 
 from __future__ import annotations
 
+import pickle
+import zlib
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.matching.result import FragmentResult
 from repro.parallel.worker import (
@@ -63,10 +65,20 @@ def _run_task(task: FragmentTask) -> FragmentResult:
 # Module-level state *inside each pool worker process*: the payloads shipped
 # by the pool initializer and the fragments decoded from them so far.  A
 # fragment is decoded on the first task that touches it and reused (graph and
-# compiled index both) by every later task of the same payload epoch.
+# compiled index both) by every later task of the same payload epoch.  When
+# the coordinator applies a :class:`repro.delta.GraphDelta`, tasks arrive
+# carrying a *delta chain* — (child key, parent key, pickled sub-delta,
+# ownership churn) hops from a shipped payload to the current fragment state —
+# and the worker replays the chain on its cached fragment: apply the batch,
+# *refresh* the compiled index (never rebuild), adjust the owned set, re-key.
 
 _WORKER_PAYLOADS: Dict[CacheKey, FragmentPayload] = {}
-_WORKER_FRAGMENTS: Dict[CacheKey, object] = {}
+# cache key -> (materialised fragment graph, current owned-node set)
+_WORKER_FRAGMENTS: Dict[CacheKey, Tuple[object, Set]] = {}
+
+# One chain hop: (child cache key, parent cache key, pickled GraphDelta,
+# owned nodes added, owned nodes removed).
+ChainHop = Tuple[CacheKey, CacheKey, bytes, Tuple, Tuple]
 
 
 def _pool_initializer(payloads: Sequence[FragmentPayload]) -> None:
@@ -77,30 +89,59 @@ def _pool_initializer(payloads: Sequence[FragmentPayload]) -> None:
         _WORKER_PAYLOADS[payload.cache_key] = payload
 
 
+def _worker_fragment(cache_key: CacheKey, chain: Tuple[ChainHop, ...]) -> Tuple[object, Set]:
+    """The cached (graph, owned) pair for *cache_key*, materialising on demand.
+
+    A key with no cache entry is either a shipped payload (decode it) or the
+    child of a chain hop (materialise the parent, apply the hop's sub-delta in
+    place, refresh the cached compiled index, adjust ownership).  The parent
+    entry is dropped — its graph object just mutated past that key.
+    """
+    entry = _WORKER_FRAGMENTS.get(cache_key)
+    if entry is not None:
+        return entry
+    hop = next((h for h in chain if h[0] == cache_key), None)
+    if hop is None:
+        payload = _WORKER_PAYLOADS[cache_key]
+        graph = payload.materialise()
+        entry = (graph, set(payload.owned_nodes))
+    else:
+        from repro.delta.ops import apply_delta
+
+        _child, parent_key, delta_bytes, owned_added, owned_removed = hop
+        graph, owned = _worker_fragment(parent_key, chain)
+        _WORKER_FRAGMENTS.pop(parent_key, None)
+        delta = pickle.loads(delta_bytes)
+        cached_index = graph.cached_index()
+        refreshable = cached_index is not None and cached_index.version == graph.version
+        apply_delta(graph, delta)
+        if refreshable and delta.is_structural():
+            cached_index.refreshed(delta)
+        entry = (graph, (owned - set(owned_removed)) | set(owned_added))
+    _WORKER_FRAGMENTS[cache_key] = entry
+    return entry
+
+
 def _pool_run_fragment(
     cache_key: CacheKey,
     pattern: QuantifiedGraphPattern,
     engine_spec: Tuple,
+    chain: Tuple[ChainHop, ...] = (),
 ) -> Tuple[FragmentResult, int]:
     """Evaluate one pattern on one cached fragment inside a pool worker.
 
     Returns the fragment result plus the number of ``GraphIndex.build`` calls
     the evaluation triggered in this worker — the coordinator aggregates the
     count and the regression tests assert it stays zero (decoding a snapshot
-    must fully replace recompilation).
+    must fully replace recompilation, and replaying a delta chain must
+    *refresh* the decoded index, not recompile it).
     """
     from repro.index.snapshot import build_call_count
 
     builds_before = build_call_count()
-    graph = _WORKER_FRAGMENTS.get(cache_key)
-    payload = _WORKER_PAYLOADS[cache_key]
-    if graph is None:
-        graph = payload.materialise()
-        _WORKER_FRAGMENTS[cache_key] = graph
+    graph, owned_nodes = _worker_fragment(cache_key, chain)
     engine = engine_from_spec(engine_spec)
-    result = match_fragment(
-        pattern, graph, payload.owned_nodes, engine, payload.fragment_id
-    )
+    result = match_fragment(pattern, graph, owned_nodes, engine, cache_key[0])
     return result, build_call_count() - builds_before
 
 
@@ -134,6 +175,57 @@ class ThreadedExecutor:
         """The pool is per-run; present for executor-interface parity."""
 
 
+class _DeltaPayloadRef:
+    """A payload reachable from a shipped one by replaying a delta chain.
+
+    Created by :meth:`ProcessExecutor.apply_delta` instead of re-serialising
+    the mutated fragment: it carries the new content key (derived by folding
+    the pickled sub-delta into the parent's checksum, so the coordinator and
+    any observer compute it identically without touching the graph) and a
+    link to its parent.  Tasks keyed on it ship the chain; only a pool
+    recreation flattens it back into a real :class:`FragmentPayload`.
+    """
+
+    __slots__ = ("fragment_id", "cache_key", "base", "delta_bytes", "owned_added", "owned_removed")
+
+    def __init__(
+        self,
+        fragment_id: int,
+        cache_key: CacheKey,
+        base: Union[FragmentPayload, "_DeltaPayloadRef"],
+        delta_bytes: bytes,
+        owned_added: Tuple,
+        owned_removed: Tuple,
+    ) -> None:
+        self.fragment_id = fragment_id
+        self.cache_key = cache_key
+        self.base = base
+        self.delta_bytes = delta_bytes
+        self.owned_added = owned_added
+        self.owned_removed = owned_removed
+
+    @property
+    def root(self) -> FragmentPayload:
+        """The shipped payload this chain hangs off."""
+        base = self.base
+        while isinstance(base, _DeltaPayloadRef):
+            base = base.base
+        return base
+
+    def chain_hops(self) -> Tuple:
+        """The hops root→self, in replay order, as worker-side ``ChainHop``s."""
+        hops = []
+        node: Union[FragmentPayload, _DeltaPayloadRef] = self
+        while isinstance(node, _DeltaPayloadRef):
+            hops.append(
+                (node.cache_key, node.base.cache_key, node.delta_bytes,
+                 node.owned_added, node.owned_removed)
+            )
+            node = node.base
+        hops.reverse()
+        return tuple(hops)
+
+
 class ProcessExecutor:
     """Run fragment tasks on a persistent process pool (true CPU parallelism).
 
@@ -144,16 +236,24 @@ class ProcessExecutor:
       once per query (the cached source graph is pinned so an ``id()`` reuse
       can never alias a dead graph's entry);
     * the pool itself, keyed by the *payload epoch* (the sorted content keys
-      of the shipped fragments).  While the epoch is unchanged — the fig-8b/c
-      sweep loop re-evaluating patterns on one partition — tasks ship only
-      ``(cache key, pattern, engine options)``; fragment buffers cross the
-      boundary once, at pool creation, and each worker decodes a fragment at
-      most once.  A new epoch (new partition, mutated graph) recreates the
-      pool, which is exactly the re-ship the staleness story requires.
+      of the shipped **root** fragments).  While the epoch is unchanged — the
+      fig-8b/c sweep loop re-evaluating patterns on one partition — tasks
+      ship only ``(cache key, pattern, engine options)``; fragment buffers
+      cross the boundary once, at pool creation, and each worker decodes a
+      fragment at most once.  A new epoch (new partition, a graph mutated
+      outside the delta protocol) recreates the pool, which is exactly the
+      re-ship the staleness story requires.
+
+    Graph *deltas* are the exception that keeps the pool alive across
+    mutations: :meth:`apply_delta` re-keys the affected payloads to
+    :class:`_DeltaPayloadRef` chains, and subsequent tasks carry the chain so
+    workers replay the batch on their cached fragments (apply + index
+    refresh) instead of receiving — or worse, recompiling — new fragments.
 
     ``last_worker_rebuilds`` accumulates the workers' reported
-    ``GraphIndex.build`` counts; it staying at zero is asserted by the
-    regression tests and the fig-8b/c benchmark.
+    ``GraphIndex.build`` counts; it staying at zero — including across
+    delta-applied mutations — is asserted by the regression tests and the
+    fig-8b/c and incremental benchmarks.
     """
 
     name = "process"
@@ -165,12 +265,18 @@ class ProcessExecutor:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_epoch: Optional[Tuple[CacheKey, ...]] = None
         # (fragment_id, id(graph), graph version) -> (pinned graph, payload)
-        self._payloads: Dict[Tuple[int, int, int], Tuple[object, FragmentPayload]] = {}
+        self._payloads: Dict[
+            Tuple[int, int, int], Tuple[object, Union[FragmentPayload, _DeltaPayloadRef]]
+        ] = {}
         self.last_worker_rebuilds = 0
+        # Fragments re-keyed through apply_delta() while their pool stayed
+        # alive; the incremental benchmark reads this to prove deltas shipped
+        # instead of fragments.
+        self.deltas_shipped = 0
 
     # ------------------------------------------------------------- payloads
 
-    def _payload_for(self, task: FragmentTask) -> FragmentPayload:
+    def _payload_for(self, task: FragmentTask) -> Union[FragmentPayload, _DeltaPayloadRef]:
         source = task.fragment_graph
         key = (task.fragment_id, id(source), source.version)
         entry = self._payloads.get(key)
@@ -182,6 +288,55 @@ class ProcessExecutor:
         self._payloads[key] = (source, payload)
         return payload
 
+    # ---------------------------------------------------------------- deltas
+
+    def apply_delta(self, updates: Sequence) -> int:
+        """Re-key cached fragment payloads across an applied graph batch.
+
+        *updates* are the :class:`repro.delta.FragmentUpdate` records of
+        :func:`repro.delta.apply_delta_to_partition` — call it (via
+        :meth:`repro.parallel.coordinator.PQMatch.apply_delta`) after the
+        batch mutated the fragment graphs.  For every fragment whose payload
+        was already serialised, the mutated state is addressed by a
+        :class:`_DeltaPayloadRef` whose key is derived from the parent
+        checksum and the pickled sub-delta; the next :meth:`run` ships the
+        sub-delta with the task and the live pool replays it — no fragment
+        re-serialisation, no pool recreation, no worker rebuild.
+
+        Fragments never shipped are simply forgotten; they serialise fresh
+        (post-delta) on their next use.  Returns the number of re-keyed
+        payloads.
+        """
+        rekeyed = 0
+        for update in updates:
+            graph = update.graph
+            old_key = (update.fragment_id, id(graph), update.old_version)
+            entry = self._payloads.get(old_key)
+            if entry is None or entry[0] is not graph:
+                continue
+            del self._payloads[old_key]
+            if not update.refresh_ok:
+                # A worker replaying this sub-delta could not refresh its
+                # decoded index incrementally (e.g. node deletions) — forget
+                # the payload so the fragment re-ships fresh instead of
+                # making a pool worker rebuild.
+                continue
+            base = entry[1]
+            delta_bytes = pickle.dumps(update.delta, protocol=pickle.HIGHEST_PROTOCOL)
+            checksum = zlib.crc32(delta_bytes, base.cache_key[2]) & 0xFFFFFFFF
+            ref = _DeltaPayloadRef(
+                fragment_id=update.fragment_id,
+                cache_key=(update.fragment_id, graph.version, checksum),
+                base=base,
+                delta_bytes=delta_bytes,
+                owned_added=update.owned_added,
+                owned_removed=update.owned_removed,
+            )
+            self._payloads[(update.fragment_id, id(graph), graph.version)] = (graph, ref)
+            rekeyed += 1
+        self.deltas_shipped += rekeyed
+        return rekeyed
+
     # ------------------------------------------------------------------ run
 
     def run(self, tasks: Sequence[FragmentTask]) -> List[FragmentResult]:
@@ -192,14 +347,39 @@ class ProcessExecutor:
         # (many patterns × the same fragments, as the serving layer submits)
         # must share the pool — and the shipped payloads — with single-pattern
         # runs over the same partition, so duplicate keys are collapsed.
-        epoch = tuple(sorted(set(payload.cache_key for payload in payloads)))
+        # Delta-chained payloads resolve to their shipped *root*: the pool
+        # that holds the root fragments can serve every state reachable from
+        # them by replaying chains, so a mutation never recreates it.
+        epoch = tuple(sorted(
+            {(p.root if isinstance(p, _DeltaPayloadRef) else p).cache_key for p in payloads}
+        ))
         if self._pool is None or epoch != self._pool_epoch:
+            # Cold pool (or a changed fragment set): flatten chained payloads
+            # into real ones first — a fresh pool should ship current bytes,
+            # not history to replay.
+            for position, (payload, task) in enumerate(zip(payloads, tasks)):
+                if isinstance(payload, _DeltaPayloadRef):
+                    source = task.fragment_graph
+                    key = (task.fragment_id, id(source), source.version)
+                    entry = self._payloads.get(key)
+                    if not (entry is not None and entry[0] is source
+                            and isinstance(entry[1], FragmentPayload)):
+                        entry = (
+                            source,
+                            FragmentPayload.from_fragment(
+                                task.fragment_id, source, task.owned_nodes
+                            ),
+                        )
+                        self._payloads[key] = entry
+                    payloads[position] = entry[1]
+            epoch = tuple(sorted({payload.cache_key for payload in payloads}))
             self.shutdown()
             live = set(epoch)
             self._payloads = {
                 key: entry
                 for key, entry in self._payloads.items()
-                if entry[1].cache_key in live
+                if not isinstance(entry[1], _DeltaPayloadRef)
+                and entry[1].cache_key in live
             }
             unique_payloads = list(
                 {payload.cache_key: payload for payload in payloads}.values()
@@ -216,6 +396,7 @@ class ProcessExecutor:
                 payload.cache_key,
                 task.pattern,
                 engine_to_spec(task.engine),
+                payload.chain_hops() if isinstance(payload, _DeltaPayloadRef) else (),
             )
             for payload, task in zip(payloads, tasks)
         ]

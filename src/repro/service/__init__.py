@@ -29,7 +29,13 @@ from repro.service.patterns import (
     normalize_quantifier,
     pattern_fingerprint,
 )
-from repro.service.server import QueryService, ServiceResult, ServiceStats
+from repro.service.server import (
+    DeltaNotification,
+    QueryService,
+    ServiceResult,
+    ServiceStats,
+    Subscription,
+)
 
 __all__ = [
     "CanonicalPattern",
@@ -41,4 +47,6 @@ __all__ = [
     "QueryService",
     "ServiceResult",
     "ServiceStats",
+    "Subscription",
+    "DeltaNotification",
 ]

@@ -47,12 +47,20 @@ CacheKey = Tuple[int, int, str, Hashable]
 
 @dataclass
 class CacheStats:
-    """Monotone counters describing one cache's lifetime behaviour."""
+    """Monotone counters describing one cache's lifetime behaviour.
+
+    ``purged`` counts stale entries dropped by :meth:`ResultCache.purge_stale`
+    (as opposed to capacity ``evictions``); ``migrated`` counts entries
+    carried forward across a graph version by
+    :meth:`ResultCache.carry_forward`.
+    """
 
     hits: int = 0
     misses: int = 0
     insertions: int = 0
     evictions: int = 0
+    purged: int = 0
+    migrated: int = 0
 
     @property
     def lookups(self) -> int:
@@ -70,6 +78,8 @@ class CacheStats:
             "misses": self.misses,
             "insertions": self.insertions,
             "evictions": self.evictions,
+            "purged": self.purged,
+            "migrated": self.migrated,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -95,10 +105,18 @@ class ResultCache:
         unreachable anyway and simply age out.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024, purge_interval: int = 64) -> None:
         if capacity <= 0:
             raise ReproError("cache capacity must be positive")
+        if purge_interval <= 0:
+            raise ReproError("purge interval must be positive")
         self.capacity = capacity
+        # Every purge_interval insertions, store() sweeps superseded-version
+        # entries out (see purge_stale): stale entries are unreachable by
+        # construction, but while they wait for LRU eviction they pin their —
+        # possibly mutated-and-forgotten — graph object alive.
+        self.purge_interval = purge_interval
+        self._inserts_since_purge = 0
         self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
         self._lock = threading.Lock()
         self.stats = CacheStats()
@@ -168,12 +186,106 @@ class ResultCache:
             self._entries[key] = _Entry(graph, frozen)
             self._entries.move_to_end(key)
             self.stats.insertions += 1
+            self._inserts_since_purge += 1
+            if self._inserts_since_purge >= self.purge_interval:
+                self._purge_stale_locked()
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
         return frozen
 
+    # -------------------------------------------------------------- migration
+
+    def peek(
+        self,
+        graph: PropertyGraph,
+        fingerprint: str,
+        options_key: Hashable = None,
+        version: Optional[int] = None,
+    ) -> Optional[FrozenSet[NodeId]]:
+        """Like :meth:`lookup`, but invisible: no stats, no LRU refresh.
+
+        The delta-migration path inspects cached answers to decide carry vs
+        drop; that inspection is bookkeeping, not traffic, and must not skew
+        hit rates or entry recency.
+        """
+        key = self._key(graph, fingerprint, options_key, version)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.graph is graph:
+                return entry.answer
+            return None
+
+    def fingerprints_for(
+        self, graph: PropertyGraph, version: int
+    ) -> Tuple[Tuple[str, Hashable], ...]:
+        """The ``(fingerprint, options key)`` pairs cached for one graph version.
+
+        The delta layer iterates these to decide, entry by entry, whether an
+        answer can be carried across an applied batch (see
+        :meth:`repro.service.server.QueryService.apply_delta`).
+        """
+        graph_id = id(graph)
+        with self._lock:
+            return tuple(
+                (key[2], key[3])
+                for key, entry in self._entries.items()
+                if key[0] == graph_id and key[1] == version and entry.graph is graph
+            )
+
+    def carry_forward(
+        self,
+        graph: PropertyGraph,
+        fingerprints: Iterable[Tuple[str, Hashable]],
+        old_version: int,
+        new_version: int,
+    ) -> int:
+        """Re-file cached answers from *old_version* under *new_version*.
+
+        The **caller** owns the soundness argument — the cache cannot know
+        whether an answer survived a mutation; it only moves what it is told
+        survives, atomically under its lock.  The old entries are dropped
+        (they are unreachable anyway), the carried ones keep the answer
+        object.  Returns the number of entries carried.
+        """
+        carried = 0
+        with self._lock:
+            for fingerprint, options_key in fingerprints:
+                old_key = self._key(graph, fingerprint, options_key, old_version)
+                entry = self._entries.pop(old_key, None)
+                if entry is None or entry.graph is not graph:
+                    continue
+                new_key = self._key(graph, fingerprint, options_key, new_version)
+                self._entries[new_key] = entry
+                self._entries.move_to_end(new_key)
+                carried += 1
+            self.stats.migrated += carried
+        return carried
+
     # -------------------------------------------------------------- lifecycle
+
+    def purge_stale(self) -> int:
+        """Drop every entry whose graph has moved past the entry's version.
+
+        Stale entries are already unreachable (their version is no longer
+        looked up), but until LRU pressure evicts them they pin their graph
+        object — a mutated-and-replaced graph could be kept alive behind
+        entries nobody can hit.  ``store`` runs this sweep automatically every
+        :attr:`purge_interval` insertions; call it directly after bulk
+        mutations.  Returns the number of entries dropped.
+        """
+        with self._lock:
+            return self._purge_stale_locked()
+
+    def _purge_stale_locked(self) -> int:
+        stale = [
+            key for key, entry in self._entries.items() if entry.graph.version != key[1]
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.stats.purged += len(stale)
+        self._inserts_since_purge = 0
+        return len(stale)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept — they describe the lifetime)."""

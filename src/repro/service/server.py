@@ -36,9 +36,11 @@ callers amortise dispatch and share cache fills for duplicate queries.
 from __future__ import annotations
 
 import threading
+import weakref
+from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
 
 from repro.graph.digraph import PropertyGraph
 from repro.matching.qmatch import QMatch
@@ -46,11 +48,17 @@ from repro.parallel.coordinator import PQMatch
 from repro.parallel.worker import FragmentTask, engine_to_spec
 from repro.patterns.qgp import QuantifiedGraphPattern
 from repro.service.cache import ResultCache
-from repro.service.patterns import canonicalize
+from repro.service.patterns import CanonicalPattern, canonicalize
 from repro.utils.errors import ReproError
 from repro.utils.timing import Timer
 
-__all__ = ["QueryService", "ServiceResult", "ServiceStats"]
+__all__ = [
+    "QueryService",
+    "ServiceResult",
+    "ServiceStats",
+    "Subscription",
+    "DeltaNotification",
+]
 
 
 @dataclass(frozen=True)
@@ -83,7 +91,10 @@ class ServiceStats:
     computation *within the same batch* (cache hits are counted by the cache
     itself); ``dispatch_rounds`` counts executor rounds — the quantity batching
     minimises; ``computed`` counts unique patterns that actually reached the
-    matching layer.
+    matching layer.  ``memo_hits`` counts canonicalizations skipped by the
+    per-pattern-object memo; the ``delta_*`` family describes update batches:
+    batches applied, cache entries carried across a version vs dropped, and
+    standing-query answers delta-maintained.
     """
 
     served: int = 0
@@ -92,6 +103,11 @@ class ServiceStats:
     computed: int = 0
     deduplicated: int = 0
     submitted: int = 0
+    memo_hits: int = 0
+    deltas_applied: int = 0
+    delta_cache_carried: int = 0
+    delta_cache_dropped: int = 0
+    delta_subscription_updates: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -101,7 +117,71 @@ class ServiceStats:
             "computed": self.computed,
             "deduplicated": self.deduplicated,
             "submitted": self.submitted,
+            "memo_hits": self.memo_hits,
+            "deltas_applied": self.deltas_applied,
+            "delta_cache_carried": self.delta_cache_carried,
+            "delta_cache_dropped": self.delta_cache_dropped,
+            "delta_subscription_updates": self.delta_subscription_updates,
         }
+
+
+@dataclass(frozen=True)
+class DeltaNotification:
+    """One standing-query answer change, as delivered to subscribers.
+
+    ``version`` is the graph version the new answer holds for; ``added`` and
+    ``removed`` are the answer diff against the previous version.
+    """
+
+    version: int
+    added: FrozenSet
+    removed: FrozenSet
+    aff_size: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed)
+
+
+class Subscription:
+    """A standing query: its answer is *maintained* across graph deltas.
+
+    Created by :meth:`QueryService.subscribe`.  ``answer`` always reflects the
+    service graph's current version; every structural batch the service
+    applies re-verifies only the affected area (:func:`repro.delta.inc_qmatch_delta`)
+    and, when the answer changed, appends a :class:`DeltaNotification` to
+    ``notifications`` and invokes the optional callback.  Cancel with
+    :meth:`cancel` (idempotent) to stop maintenance.
+    """
+
+    def __init__(
+        self,
+        service: "QueryService",
+        pattern: QuantifiedGraphPattern,
+        fingerprint: str,
+        answer: FrozenSet,
+        version: int,
+        callback: Optional[Callable[["Subscription", DeltaNotification], None]] = None,
+    ) -> None:
+        self.pattern = pattern
+        self.fingerprint = fingerprint
+        self.answer = answer
+        self.version = version
+        self.callback = callback
+        self.notifications: List[DeltaNotification] = []
+        self.active = True
+        self._service = service
+
+    def cancel(self) -> None:
+        """Stop maintaining this subscription (safe to call twice)."""
+        if self.active:
+            self.active = False
+            self._service._drop_subscription(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Subscription(pattern={self.pattern.name!r}, |answer|={len(self.answer)}, "
+            f"version={self.version}, active={self.active})"
+        )
 
 
 def _engine_options_key(engine: object) -> Hashable:
@@ -166,6 +246,20 @@ class QueryService:
         self.name = name
         self.stats = ServiceStats()
         self._options_key = _engine_options_key(self.coordinator.engine)
+        # Prepared-statement style canonicalization memo: repeat submissions
+        # of the *same pattern object* skip the ~50µs canonicalize.  Weak keys
+        # so the memo never pins a caller's pattern; callers must treat a
+        # submitted pattern as frozen (mutating it would stale the memo — the
+        # same contract a prepared statement has).
+        self._canonical_memo: "weakref.WeakKeyDictionary[QuantifiedGraphPattern, CanonicalPattern]" = (
+            weakref.WeakKeyDictionary()
+        )
+        # fingerprint -> representative pattern object, kept so update batches
+        # can reason per cached entry (radius, focus label) during migration.
+        # Bounded like the answer cache; an evicted representative only costs
+        # a dropped carry-forward.
+        self._patterns: "OrderedDict[str, QuantifiedGraphPattern]" = OrderedDict()
+        self._subscriptions: List[Subscription] = []
         # Serialises evaluation (engines, partition and executor are not
         # thread-safe); submit() only ever touches it via the dispatcher.
         self._evaluate_lock = threading.RLock()
@@ -243,7 +337,7 @@ class QueryService:
         # fingerprint -> (representative pattern, positions awaiting it)
         missing: Dict[str, Tuple[QuantifiedGraphPattern, List[int]]] = {}
         with Timer() as timer:
-            forms = [canonicalize(pattern) for pattern in patterns]
+            forms = [self._canonical(pattern) for pattern in patterns]
             for position, (pattern, form) in enumerate(zip(patterns, forms)):
                 answer = self.cache.lookup(
                     graph, form.fingerprint, self._options_key, version=version
@@ -334,6 +428,222 @@ class QueryService:
         for fingerprint, fragment_result in zip(owners, fragment_results):
             answers[fingerprint] |= fragment_result.answer
         return {fingerprint: frozenset(nodes) for fingerprint, nodes in answers.items()}
+
+    # -------------------------------------------------------- canonicalization
+
+    def _canonical(self, pattern: QuantifiedGraphPattern) -> CanonicalPattern:
+        """Canonicalize with the per-pattern-object memo (prepared statements).
+
+        Repeat submissions of the same object skip the colour-refinement
+        canonicalization entirely; distinct-but-equivalent objects still meet
+        at the fingerprint, exactly as before.  Also records the pattern as
+        the representative of its fingerprint for delta-time migration.
+        """
+        form = self._canonical_memo.get(pattern)
+        if form is not None:
+            self.stats.memo_hits += 1
+            # Keep the representative registry's LRU order tracking real
+            # traffic: without this, the hottest (always-memo-hit) patterns
+            # would be the first evicted and lose delta-time carry-forward.
+            self._patterns[form.fingerprint] = pattern
+            self._patterns.move_to_end(form.fingerprint)
+            return form
+        form = canonicalize(pattern)
+        try:
+            self._canonical_memo[pattern] = form
+        except TypeError:
+            pass  # unhashable/unweakrefable pattern subclass: just skip the memo
+        self._patterns[form.fingerprint] = pattern
+        self._patterns.move_to_end(form.fingerprint)
+        while len(self._patterns) > self.cache.capacity:
+            self._patterns.popitem(last=False)
+        return form
+
+    # ----------------------------------------------------------------- updates
+
+    def apply_delta(self, delta) -> "GraphDelta":
+        """Apply one :class:`~repro.delta.GraphDelta` batch to the served graph.
+
+        This is the single write entry point of the service, and it threads
+        the batch through every layer instead of cold-starting any of them:
+
+        1. the graph mutates once (one version bump) via
+           :func:`repro.delta.apply_delta`;
+        2. the compiled full-graph index is **refreshed**, not rebuilt;
+        3. the coordinator maintains its partition in place and the process
+           executor re-keys shipped fragments to delta chains
+           (:meth:`PQMatch.apply_delta`) — no re-partition, no re-ship,
+           zero worker rebuilds;
+        4. cached answers migrate *selectively*: an entry whose pattern's
+           affected area contains **no node carrying its focus label** cannot
+           have changed (any focus candidate whose answer flipped is inside
+           AFF) and is carried to the new version for free; entries the area
+           might touch are dropped and recomputed on next request.  Note the
+           focus-label guard is what makes the carry sound — an empty
+           ``AFF ∩ answer`` alone would miss *newly created* matches;
+        5. standing queries (:meth:`subscribe`) are delta-maintained via
+           :func:`repro.delta.inc_qmatch_delta` and notified of their diff.
+
+        Serialises with :meth:`evaluate_many`/:meth:`submit` on the evaluation
+        lock, so every served answer reflects the graph strictly before or
+        strictly after the batch — never a mix.  Returns the inverse batch;
+        applying it rolls everything back (it is just another delta).
+        """
+        from repro.delta.matching import affected_area
+        from repro.delta.ops import apply_delta as apply_graph_delta
+        from repro.index.snapshot import GraphIndex
+
+        with self._evaluate_lock:
+            if self._closed:
+                raise ReproError(f"{self.name} is closed")
+            graph = self.graph
+            old_version = graph.version
+            inverse = apply_graph_delta(graph, delta)
+            if not delta.is_structural():
+                return inverse
+            new_version = graph.version
+
+            cached = graph.cached_index()
+            if cached is not None and cached.version == old_version:
+                index = cached.refreshed(delta)
+            else:
+                index = GraphIndex.for_graph(graph)
+            self.coordinator.apply_delta(graph, delta, inverse)
+
+            # ---------------------------------------------- cache migration
+            areas: Dict[int, set] = {}
+            labels_in_area: Dict[int, set] = {}
+            carried: List[Tuple[str, Hashable]] = []
+            deleted = set(delta.node_deletes)
+            dropped = 0
+            for fingerprint, options_key in self.cache.fingerprints_for(graph, old_version):
+                pattern = self._patterns.get(fingerprint)
+                if pattern is None or options_key != self._options_key:
+                    dropped += 1
+                    continue
+                radius = pattern.radius()
+                if radius not in areas:
+                    areas[radius] = affected_area(
+                        graph, delta, radius, inverse=inverse, index=index
+                    )
+                    labels_in_area[radius] = {
+                        graph.node_label(node) for node in areas[radius]
+                    }
+                focus_label = pattern.node_label(pattern.focus)
+                if focus_label in labels_in_area[radius]:
+                    dropped += 1
+                    continue
+                if deleted:
+                    # Deleted nodes are *not* in AFF (they no longer exist),
+                    # so the label guard above cannot see a cached match the
+                    # batch itself deleted — same blind spot inc_qmatch_delta
+                    # covers by subtracting node_deletes before carrying.
+                    answer = self.cache.peek(
+                        graph, fingerprint, options_key, version=old_version
+                    )
+                    if answer is None or not deleted.isdisjoint(answer):
+                        dropped += 1
+                        continue
+                carried.append((fingerprint, options_key))
+            if carried:
+                self.cache.carry_forward(graph, carried, old_version, new_version)
+            self.stats.delta_cache_carried += len(carried)
+            self.stats.delta_cache_dropped += dropped
+
+            # ------------------------------------------------- subscriptions
+            self._maintain_subscriptions(delta, inverse, index, new_version)
+            self.stats.deltas_applied += 1
+            return inverse
+
+    def subscribe(
+        self,
+        pattern: QuantifiedGraphPattern,
+        callback: Optional[Callable[[Subscription, DeltaNotification], None]] = None,
+    ) -> Subscription:
+        """Register *pattern* as a standing query.
+
+        The initial answer is served through the normal path (cache, batch
+        dispatch); from then on every :meth:`apply_delta` batch maintains the
+        answer incrementally — re-verifying only the affected area — instead
+        of recomputing it, keeps the result cache warm at the new version,
+        and notifies the subscription (list + optional callback) of the diff.
+        """
+        with self._evaluate_lock:
+            if self._closed:
+                raise ReproError(f"{self.name} is closed")
+            result = self._evaluate_batch([pattern])[0]
+            subscription = Subscription(
+                service=self,
+                pattern=pattern,
+                fingerprint=result.fingerprint,
+                answer=result.answer,
+                version=self.graph.version,
+                callback=callback,
+            )
+            self._subscriptions.append(subscription)
+            return subscription
+
+    def _drop_subscription(self, subscription: Subscription) -> None:
+        try:
+            self._subscriptions.remove(subscription)
+        except ValueError:
+            pass
+
+    def _maintenance_engine(self) -> Tuple[QMatch, bool]:
+        """The sequential engine used to maintain standing queries.
+
+        Returns ``(engine, cacheable)``: *cacheable* marks that the engine is
+        equivalent to the coordinator's (the standard QMatch rebuilt from its
+        options), so maintained answers may be filed into the result cache
+        under the service's options key.  Opaque engines maintain answers with
+        a default QMatch — answers are engine-independent — but never touch
+        the cache, honouring its never-cross-options discipline.
+        """
+        spec = engine_to_spec(self.coordinator.engine)
+        if spec[0] == "qmatch":
+            _, use_incremental, options, name = spec
+            return QMatch(use_incremental=use_incremental, options=options, name=name), True
+        return QMatch(), False
+
+    def _maintain_subscriptions(self, delta, inverse, index, new_version: int) -> None:
+        if not self._subscriptions:
+            return
+        from repro.delta.matching import inc_qmatch_delta
+
+        engine, cacheable = self._maintenance_engine()
+        for subscription in list(self._subscriptions):
+            if not subscription.active:
+                continue
+            answer, stats = inc_qmatch_delta(
+                subscription.pattern,
+                self.graph,
+                delta,
+                subscription.answer,
+                inverse=inverse,
+                engine=engine,
+                index=index,
+            )
+            if cacheable:
+                answer = self.cache.store(
+                    self.graph,
+                    subscription.fingerprint,
+                    answer,
+                    self._options_key,
+                    version=new_version,
+                )
+            subscription.answer = answer
+            subscription.version = new_version
+            self.stats.delta_subscription_updates += 1
+            if stats.added or stats.removed:
+                notification = DeltaNotification(
+                    version=new_version,
+                    added=frozenset(stats.added),
+                    removed=frozenset(stats.removed),
+                    aff_size=stats.aff_size,
+                )
+                subscription.notifications.append(notification)
+                if subscription.callback is not None:
+                    subscription.callback(subscription, notification)
 
     # ------------------------------------------------------------- submission
 

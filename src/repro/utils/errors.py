@@ -16,6 +16,7 @@ __all__ = [
     "EdgeNotFoundError",
     "StaleIndexError",
     "SnapshotError",
+    "DeltaError",
     "PatternError",
     "QuantifierError",
     "PatternValidationError",
@@ -66,6 +67,12 @@ class EdgeNotFoundError(GraphError, KeyError):
 class StaleIndexError(GraphError):
     """Raised when a :class:`repro.index.GraphIndex` snapshot is used after the
     source graph has mutated past the snapshot's version counter."""
+
+
+class DeltaError(GraphError):
+    """Raised when a :class:`repro.delta.GraphDelta` is malformed or does not
+    apply cleanly to the graph it targets (missing endpoints, duplicate ops,
+    inserts of existing nodes/edges)."""
 
 
 class SnapshotError(GraphError):

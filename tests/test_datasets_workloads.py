@@ -178,3 +178,126 @@ class TestBenchHarness:
         engines = [EngineSpec("PQMatch", lambda: pqmatch_engine(num_workers=2))]
         records = run_engines(engines, [dataset_q1], small_pokec)
         assert "work_speedup" in records[0].extras
+
+
+class TestUpdateWorkload:
+    def _graph(self):
+        from repro.graph import small_world_social_graph
+
+        return small_world_social_graph(50, 120, seed=3)
+
+    def _patterns(self, graph):
+        return workload_patterns(graph, count=3, seed=5)
+
+    def test_deterministic_and_replayable(self):
+        from repro.datasets import update_workload
+        from repro.delta import apply_delta
+
+        graph = self._graph()
+        patterns = self._patterns(graph)
+        first = update_workload(graph, patterns, 40, update_fraction=0.4, seed=9)
+        second = update_workload(graph, patterns, 40, update_fraction=0.4, seed=9)
+        assert [op.kind for op in first] == [op.kind for op in second]
+        assert [op.delta for op in first if op.is_update] == [
+            op.delta for op in second if op.is_update
+        ]
+        # Every delta must apply cleanly when the stream is replayed in order
+        # (the generator simulated the stream against a scratch copy).
+        replay = graph.copy()
+        for op in first:
+            if op.is_update:
+                apply_delta(replay, op.delta)
+
+    def test_source_graph_is_never_mutated(self):
+        from repro.datasets import update_workload
+
+        graph = self._graph()
+        reference = self._graph()
+        update_workload(graph, self._patterns(graph), 40, update_fraction=0.5, seed=2)
+        assert graph == reference and graph.version == reference.version
+
+    def test_mix_and_op_kinds(self):
+        from repro.datasets import update_workload
+
+        graph = self._graph()
+        stream = update_workload(
+            graph, self._patterns(graph), 200, update_fraction=0.3, seed=7
+        )
+        updates = [op for op in stream if op.is_update]
+        queries = [op for op in stream if not op.is_update]
+        assert updates and queries
+        assert 0.15 < len(updates) / len(stream) < 0.45
+        assert all(op.delta is not None and op.pattern is None for op in updates)
+        assert all(op.pattern is not None and op.delta is None for op in queries)
+        assert any(op.delta.edge_inserts for op in updates)
+        assert any(op.delta.edge_deletes for op in updates)
+
+    def test_batches_never_insert_and_delete_the_same_edge(self):
+        """Regression: within one multi-op batch, a delete draw could pick an
+        edge inserted earlier in the same batch (and vice versa), producing a
+        delta that GraphDelta validation rejects on replay."""
+        from repro.datasets import update_workload
+        from repro.delta import apply_delta
+        from repro.graph import small_world_social_graph
+
+        graph = small_world_social_graph(30, 70, seed=0)
+        patterns = workload_patterns(graph, count=2, seed=1)
+        replay = graph.copy()
+        for seed in range(6):
+            stream = update_workload(
+                graph, patterns, 60, update_fraction=0.6, ops_per_update=4, seed=seed
+            )
+            for op in stream:
+                if op.is_update:
+                    assert not set(op.delta.edge_inserts) & set(op.delta.edge_deletes)
+            scratch = replay.copy()
+            for op in stream:
+                if op.is_update:
+                    apply_delta(scratch, op.delta)  # must never raise
+
+    def test_stream_always_has_exactly_length_elements(self):
+        """Regression: a batch whose every op fails to draw (near-complete
+        graph) used to be dropped, shortening the stream below `length`."""
+        from repro.datasets import update_workload
+        from repro.graph import PropertyGraph
+
+        graph = PropertyGraph("dense")
+        graph.add_node("a", "person")
+        graph.add_node("b", "person")
+        graph.add_edge("a", "b", "follow")
+        graph.add_edge("b", "a", "follow")  # every non-loop edge present
+        patterns = self._patterns(self._graph())
+        for seed in range(5):
+            stream = update_workload(
+                graph, patterns, 50, update_fraction=0.8, ops_per_update=2, seed=seed
+            )
+            assert len(stream) == 50
+
+    def test_zipf_skew_favours_early_patterns(self):
+        from repro.datasets import update_workload
+
+        graph = self._graph()
+        patterns = self._patterns(graph)
+        stream = update_workload(
+            graph, patterns, 300, update_fraction=0.0, exponent=1.5, seed=4
+        )
+        counts = [0] * len(patterns)
+        for op in stream:
+            counts[patterns.index(op.pattern)] += 1
+        assert counts[0] > counts[-1]
+
+    def test_validation(self):
+        from repro.datasets import update_workload
+
+        graph = self._graph()
+        patterns = self._patterns(graph)
+        with pytest.raises(ReproError):
+            update_workload(graph, [], 10)
+        with pytest.raises(ReproError):
+            update_workload(graph, patterns, -1)
+        with pytest.raises(ReproError):
+            update_workload(graph, patterns, 10, update_fraction=1.0)
+        with pytest.raises(ReproError):
+            update_workload(graph, patterns, 10, ops_per_update=0)
+        with pytest.raises(ReproError):
+            update_workload(graph, patterns, 10, exponent=0.0)

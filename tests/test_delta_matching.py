@@ -1,0 +1,255 @@
+"""Graph-update incremental matching: AFF locality and answer maintenance.
+
+``inc_qmatch_delta`` must return exactly ``Q(xo, G_post)`` while verifying
+only focus candidates inside the affected area — the graph-update analogue of
+the paper's Proposition 6 bound (verifications ≤ |AFF|).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.delta import GraphDelta, apply_delta, inc_qmatch_delta
+from repro.delta.matching import affected_area
+from repro.graph import PropertyGraph
+from repro.matching import QMatch
+from repro.patterns import PatternBuilder
+
+from fixtures import build_paper_g1, build_paper_g2, build_q2, build_q3, build_q4
+
+SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def maintain(pattern, graph, delta, inverse, cached):
+    """Run the maintenance and cross-check the answer against a cold engine."""
+    answer, stats = inc_qmatch_delta(pattern, graph, delta, cached, inverse=inverse)
+    cold = frozenset(QMatch().evaluate_answer(pattern, graph))
+    assert answer == cold, f"maintained {set(answer)} != cold {set(cold)}"
+    assert stats.verifications <= max(stats.aff_size, 1), (
+        f"{stats.verifications} verifications > |AFF| = {stats.aff_size}"
+    )
+    return answer, stats
+
+
+# ---------------------------------------------------------------------------
+# Affected area
+# ---------------------------------------------------------------------------
+
+
+class TestAffectedArea:
+    def test_insert_area_is_the_dhop_ball_of_the_endpoints(self):
+        graph = build_paper_g1()
+        delta = GraphDelta.insert_edge("x1", "v1", "follow")
+        inverse = apply_delta(graph, delta)
+        area = affected_area(graph, delta, 1, inverse=inverse)
+        # 1 hop around {x1, v1} in the post-delta graph (undirected).
+        assert area == {"x1", "v0", "v1", "x2", "redmi"}
+
+    def test_delete_area_covers_the_severed_side(self):
+        graph = build_paper_g1()
+        delta = GraphDelta.delete_edge("x1", "v0", "follow")
+        inverse = apply_delta(graph, delta)
+        area = affected_area(graph, delta, 1, inverse=inverse)
+        # x1 is isolated post-delta, but it used to reach v0 through the
+        # removed edge — the overlay keeps both endpoints' balls in the area.
+        assert {"x1", "v0", "redmi"} <= area
+
+    def test_deleted_nodes_seed_but_do_not_join_the_area(self):
+        graph = build_paper_g1()
+        delta = GraphDelta.build(node_deletes=["v0"])
+        inverse = apply_delta(graph, delta)
+        area = affected_area(graph, delta, 1, inverse=inverse)
+        assert "v0" not in area
+        # Its former neighbours are affected through the cascade overlay.
+        assert "x1" in area and "redmi" in area
+
+    def test_radius_zero_area_is_the_touched_set(self):
+        graph = build_paper_g1()
+        delta = GraphDelta.insert_edge("x2", "v3", "follow")
+        inverse = apply_delta(graph, delta)
+        assert affected_area(graph, delta, 0, inverse=inverse) == {"x2", "v3"}
+
+    def test_empty_delta_has_empty_area(self):
+        graph = build_paper_g1()
+        assert affected_area(graph, GraphDelta(), 2) == set()
+
+
+# ---------------------------------------------------------------------------
+# Answer maintenance on the paper's ground-truth examples
+# ---------------------------------------------------------------------------
+
+
+class TestIncQMatchDelta:
+    def test_insert_creates_a_match(self):
+        graph = build_paper_g1()
+        pattern = build_q3(p=2)
+        cached = frozenset(QMatch().evaluate_answer(pattern, graph))
+        assert cached == {"x2"}  # Example 3 of the paper
+        # Give x1 a second recommending followee: x1 joins the answer.
+        delta = GraphDelta.insert_edge("x1", "v1", "follow")
+        inverse = apply_delta(graph, delta)
+        answer, stats = maintain(pattern, graph, delta, inverse, cached)
+        assert answer == {"x1", "x2"}
+        assert stats.added == {"x1"} and stats.removed == set()
+
+    def test_delete_destroys_a_match(self):
+        graph = build_paper_g1()
+        pattern = build_q3(p=2)
+        cached = frozenset(QMatch().evaluate_answer(pattern, graph))
+        delta = GraphDelta.delete_edge("x2", "v1", "follow")
+        inverse = apply_delta(graph, delta)
+        answer, stats = maintain(pattern, graph, delta, inverse, cached)
+        assert answer == set()
+        assert stats.removed == {"x2"}
+
+    def test_negated_edge_insert_destroys_a_match(self):
+        graph = build_paper_g1()
+        pattern = build_q3(p=2)
+        cached = frozenset(QMatch().evaluate_answer(pattern, graph))
+        # x2 starts following the bad-rating reviewer: the negated branch of
+        # Q3 now matches, so x2 falls out of the answer.
+        delta = GraphDelta.insert_edge("x2", "v4", "follow")
+        inverse = apply_delta(graph, delta)
+        answer, _stats = maintain(pattern, graph, delta, inverse, cached)
+        assert answer == set()
+
+    def test_node_delete_maintains_through_the_cascade(self):
+        graph = build_paper_g2()
+        pattern = build_q4(p=2)
+        cached = frozenset(QMatch().evaluate_answer(pattern, graph))
+        assert cached == {"x5", "x6"}  # Example 4 of the paper
+        delta = GraphDelta.build(node_deletes=["v8"])  # x6 loses one advisee
+        inverse = apply_delta(graph, delta)
+        answer, _stats = maintain(pattern, graph, delta, inverse, cached)
+        assert answer == {"x5"}
+
+    def test_universal_quantifier_maintained(self):
+        graph = build_paper_g1()
+        pattern = build_q2()
+        cached = frozenset(QMatch().evaluate_answer(pattern, graph))
+        assert cached == {"x1", "x2"}  # Example 3 of the paper
+        delta = GraphDelta.insert_edge("x1", "v4", "follow")
+        inverse = apply_delta(graph, delta)
+        answer, _stats = maintain(pattern, graph, delta, inverse, cached)
+        assert answer == {"x2"}
+
+    def test_attribute_only_delta_carries_everything(self):
+        graph = build_paper_g1()
+        pattern = build_q3(p=2)
+        cached = frozenset(QMatch().evaluate_answer(pattern, graph))
+        delta = GraphDelta.build(attr_sets=[("x2", "age", 30)])
+        inverse = apply_delta(graph, delta)
+        answer, stats = inc_qmatch_delta(pattern, graph, delta, cached, inverse=inverse)
+        assert answer == cached
+        assert stats.verifications == 0
+        assert stats.carried == len(cached)
+
+    def test_far_away_churn_carries_the_cached_matches(self):
+        graph = build_paper_g2()
+        pattern = build_q4(p=2)
+        cached = frozenset(QMatch().evaluate_answer(pattern, graph))
+        # Churn confined to x4's corner: v5–v6 edges are ≥ 2 hops from x6's
+        # advisees only through shared hubs, so x6 may still verify — but the
+        # answer must be exact either way, and anything outside AFF carries.
+        delta = GraphDelta.insert_edge("v5", "v6", "advisor")
+        inverse = apply_delta(graph, delta)
+        answer, stats = maintain(pattern, graph, delta, inverse, cached)
+        assert answer == {"x5", "x6"}
+        assert stats.carried == len(cached - stats.affected_area)
+
+    def test_rollback_restores_the_cached_answer(self):
+        graph = build_paper_g1()
+        pattern = build_q3(p=2)
+        cached = frozenset(QMatch().evaluate_answer(pattern, graph))
+        delta = GraphDelta.insert_edge("x1", "v1", "follow")
+        inverse = apply_delta(graph, delta)
+        forward, _ = inc_qmatch_delta(pattern, graph, delta, cached, inverse=inverse)
+        inverse_of_inverse = apply_delta(graph, inverse)
+        restored, _ = inc_qmatch_delta(
+            pattern, graph, inverse, forward, inverse=inverse_of_inverse
+        )
+        assert restored == cached
+
+
+# ---------------------------------------------------------------------------
+# The property: maintained answer == cold answer on random graphs and churn
+# ---------------------------------------------------------------------------
+
+NODE_LABELS = ["person", "product"]
+EDGE_LABELS = ["follow", "recom"]
+
+
+def _star_pattern(p: int):
+    return (
+        PatternBuilder(f"hyp-star-{p}")
+        .focus("xo", "person")
+        .node("z", "person")
+        .edge("xo", "z", "follow", at_least=p)
+        .build()
+    )
+
+
+@st.composite
+def churn_cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=50_000))
+    rng = random.Random(seed)
+    num_nodes = draw(st.integers(min_value=4, max_value=14))
+    graph = PropertyGraph(f"hyp-churn-{seed}")
+    for node in range(num_nodes):
+        graph.add_node(node, "person" if rng.random() < 0.8 else "product")
+    for _ in range(draw(st.integers(min_value=3, max_value=30))):
+        source, target = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if source != target:
+            label = rng.choice(EDGE_LABELS)
+            if not graph.has_edge(source, target, label):
+                graph.add_edge(source, target, label)
+
+    edge_inserts, edge_deletes = [], []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        if rng.random() < 0.5:
+            source, target = rng.randrange(num_nodes), rng.randrange(num_nodes)
+            label = rng.choice(EDGE_LABELS)
+            edge = (source, target, label)
+            if (
+                source != target
+                and not graph.has_edge(source, target, label)
+                and edge not in edge_inserts
+            ):
+                edge_inserts.append(edge)
+        else:
+            existing = sorted(set(graph.edges()) - set(edge_deletes), key=str)
+            if existing:
+                edge_deletes.append(rng.choice(existing))
+    node_deletes = []
+    if draw(st.booleans()):
+        victim = rng.randrange(num_nodes)
+        incident = lambda e: victim in (e[0], e[1])  # noqa: E731
+        if not any(incident(e) for e in edge_inserts + edge_deletes):
+            node_deletes.append(victim)
+    delta = GraphDelta.build(
+        node_deletes=node_deletes,
+        edge_inserts=edge_inserts,
+        edge_deletes=edge_deletes,
+    )
+    p = draw(st.integers(min_value=1, max_value=2))
+    return graph, delta, _star_pattern(p)
+
+
+@settings(**SETTINGS)
+@given(case=churn_cases())
+def test_maintained_answer_equals_cold_answer(case):
+    graph, delta, pattern = case
+    if delta.is_empty():
+        return
+    cached = frozenset(QMatch().evaluate_answer(pattern, graph))
+    inverse = apply_delta(graph, delta)
+    answer, stats = inc_qmatch_delta(pattern, graph, delta, cached, inverse=inverse)
+    assert answer == frozenset(QMatch().evaluate_answer(pattern, graph))
+    assert stats.verifications <= max(stats.aff_size, 1)

@@ -1,0 +1,252 @@
+"""GraphDelta batches: validation, application order, inverses, versioning."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.delta import ABSENT, GraphDelta, apply_delta
+from repro.graph import PropertyGraph
+from repro.utils.errors import DeltaError
+
+from fixtures import build_paper_g1
+
+
+def snapshot_state(graph: PropertyGraph):
+    """A comparable rendering of the graph's structure and attributes."""
+    return (
+        {node: graph.node_label(node) for node in graph.nodes()},
+        sorted(graph.edges(), key=str),
+        {node: dict(graph.node_attrs(node)) for node in graph.nodes() if graph.node_attrs(node)},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+
+class TestBuild:
+    def test_build_coerces_node_insert_forms(self):
+        delta = GraphDelta.build(
+            node_inserts=[("a", "person"), ("b", "person", {"age": 3})]
+        )
+        assert delta.node_inserts == (
+            ("a", "person", ()),
+            ("b", "person", (("age", 3),)),
+        )
+
+    def test_build_freezes_attr_order(self):
+        delta = GraphDelta.build(node_inserts=[("a", "person", {"z": 1, "a": 2})])
+        assert delta.node_inserts[0][2] == (("a", 2), ("z", 1))
+
+    def test_size_and_structural(self):
+        delta = GraphDelta.build(
+            edge_inserts=[("a", "b", "follow")], attr_sets=[("a", "k", 1)]
+        )
+        assert delta.size == 2
+        assert delta.is_structural()
+        attr_only = GraphDelta.build(attr_sets=[("a", "k", 1)])
+        assert not attr_only.is_structural()
+        assert GraphDelta().is_empty()
+
+    def test_touched_nodes_excludes_attr_sets(self):
+        delta = GraphDelta.build(
+            edge_inserts=[("a", "b", "follow")],
+            edge_deletes=[("c", "d", "recom")],
+            attr_sets=[("e", "k", 1)],
+        )
+        assert delta.touched_nodes() == {"a", "b", "c", "d"}
+
+    def test_delta_is_picklable(self):
+        delta = GraphDelta.build(
+            node_inserts=[("a", "person", {"k": 1})],
+            attr_sets=[("a", "k", ABSENT)],
+        )
+        clone = pickle.loads(pickle.dumps(delta))
+        assert clone == delta
+        # The ABSENT sentinel must round-trip to the singleton: identity is
+        # how apply_delta distinguishes "remove" from "set to some value".
+        assert clone.attr_sets[0][2] is ABSENT
+
+
+# ---------------------------------------------------------------------------
+# Validation (the graph must be untouched on rejection)
+# ---------------------------------------------------------------------------
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "delta",
+        [
+            GraphDelta.build(node_inserts=[("x1", "person")]),  # exists
+            GraphDelta.build(node_inserts=[("n", "person"), ("n", "person")]),
+            GraphDelta.build(node_deletes=["missing"]),
+            GraphDelta.build(node_deletes=["x1", "x1"]),
+            GraphDelta.build(node_inserts=[("n", "person")], node_deletes=["n"]),
+            GraphDelta.build(edge_inserts=[("x1", "v0", "follow")]),  # exists
+            GraphDelta.build(
+                edge_inserts=[("x1", "v1", "follow"), ("x1", "v1", "follow")]
+            ),
+            GraphDelta.build(edge_inserts=[("x1", "missing", "follow")]),
+            GraphDelta.build(
+                node_deletes=["v0"], edge_inserts=[("x1", "v0", "recom")]
+            ),
+            GraphDelta.build(edge_deletes=[("x1", "v1", "follow")]),  # missing
+            GraphDelta.build(
+                edge_deletes=[("x1", "v0", "follow"), ("x1", "v0", "follow")]
+            ),
+            GraphDelta.build(
+                edge_inserts=[("x1", "v1", "follow")],
+                edge_deletes=[("x1", "v1", "follow")],
+            ),
+            GraphDelta.build(node_deletes=["v0"], attr_sets=[("v0", "k", 1)]),
+            GraphDelta.build(attr_sets=[("missing", "k", 1)]),
+            GraphDelta.build(attr_sets=[("x1", 7, 1)]),  # non-string key
+        ],
+    )
+    def test_rejected_batch_leaves_graph_untouched(self, delta):
+        graph = build_paper_g1()
+        before_state = snapshot_state(graph)
+        before_version = graph.version
+        with pytest.raises(DeltaError):
+            apply_delta(graph, delta)
+        assert snapshot_state(graph) == before_state
+        assert graph.version == before_version
+
+    def test_insert_edge_onto_inserted_node_is_valid(self):
+        graph = build_paper_g1()
+        inverse = apply_delta(
+            graph,
+            GraphDelta.build(
+                node_inserts=[("n", "person")], edge_inserts=[("x1", "n", "follow")]
+            ),
+        )
+        assert graph.has_edge("x1", "n", "follow")
+        apply_delta(graph, inverse)
+        assert not graph.has_node("n")
+
+
+# ---------------------------------------------------------------------------
+# Application and versioning
+# ---------------------------------------------------------------------------
+
+
+class TestApply:
+    def test_structural_batch_bumps_version_once(self):
+        graph = build_paper_g1()
+        before = graph.version
+        apply_delta(
+            graph,
+            GraphDelta.build(
+                node_inserts=[("n", "person")],
+                edge_inserts=[("x1", "n", "follow"), ("n", "redmi", "recom")],
+                edge_deletes=[("x1", "v0", "follow")],
+            ),
+        )
+        assert graph.version == before + 1
+
+    def test_attribute_only_batch_does_not_bump_version(self):
+        graph = build_paper_g1()
+        before = graph.version
+        inverse = apply_delta(graph, GraphDelta.build(attr_sets=[("x1", "k", 1)]))
+        assert graph.version == before
+        assert graph.node_attrs("x1") == {"k": 1}
+        apply_delta(graph, inverse)
+        assert graph.version == before
+        assert "k" not in graph.node_attrs("x1")
+
+    def test_node_delete_cascades_incident_edges(self):
+        graph = build_paper_g1()
+        edges_before = graph.num_edges
+        inverse = apply_delta(graph, GraphDelta.build(node_deletes=["v2"]))
+        # v2 had two in-edges (x2, x3 follow) and one out-edge (recom redmi).
+        assert graph.num_edges == edges_before - 3
+        assert not graph.has_node("v2")
+        # The inverse records the cascade: all three edges come back with it.
+        assert len(inverse.edge_inserts) == 3
+        apply_delta(graph, inverse)
+        assert graph.num_edges == edges_before
+
+
+class TestInverse:
+    def test_inverse_restores_structure_and_attributes(self):
+        graph = build_paper_g1()
+        graph.set_node_attr("x1", "age", 30)
+        before_state = snapshot_state(graph)
+        delta = GraphDelta.build(
+            node_inserts=[("n", "person", {"fresh": True})],
+            node_deletes=["v4"],
+            edge_inserts=[("x1", "n", "follow")],
+            edge_deletes=[("x2", "v1", "follow")],
+            attr_sets=[("x1", "age", 31), ("x2", "new_attr", "v")],
+        )
+        inverse = apply_delta(graph, delta)
+        assert snapshot_state(graph) != before_state
+        apply_delta(graph, inverse)
+        assert snapshot_state(graph) == before_state
+
+    def test_double_rollback_roundtrips(self):
+        graph = build_paper_g1()
+        delta = GraphDelta.build(edge_inserts=[("x1", "v1", "follow")])
+        inverse = apply_delta(graph, delta)
+        inverse_of_inverse = apply_delta(graph, inverse)
+        apply_delta(graph, inverse_of_inverse)
+        assert graph.has_edge("x1", "v1", "follow")
+
+    def test_inverse_removes_attribute_that_did_not_exist(self):
+        graph = build_paper_g1()
+        inverse = apply_delta(graph, GraphDelta.build(attr_sets=[("x3", "k", 9)]))
+        assert inverse.attr_sets == (("x3", "k", ABSENT),)
+        apply_delta(graph, inverse)
+        assert dict(graph.node_attrs("x3")) == {}
+
+    def test_inverse_of_insert_plus_attr_on_inserted_node_is_valid(self):
+        """Regression: the inverse of a batch that inserts a node and sets an
+        attribute on it must not carry an attr op for the node it deletes —
+        that inverse would fail its own validation."""
+        graph = build_paper_g1()
+        before_state = snapshot_state(graph)
+        inverse = apply_delta(
+            graph,
+            GraphDelta.build(
+                node_inserts=[("n", "person")], attr_sets=[("n", "k", 1)]
+            ),
+        )
+        apply_delta(graph, inverse)  # must not raise
+        assert snapshot_state(graph) == before_state
+
+    def test_self_loop_cascade_is_recorded_once(self):
+        """Regression: deleting a node with a self-loop recorded the loop in
+        both cascade passes, producing an inverse its own validation rejects."""
+        graph = build_paper_g1()
+        graph.add_edge("x1", "x1", "follow")
+        before_state = snapshot_state(graph)
+        inverse = apply_delta(graph, GraphDelta.build(node_deletes=["x1"]))
+        assert inverse.edge_inserts.count(("x1", "x1", "follow")) == 1
+        apply_delta(graph, inverse)  # must not raise
+        assert snapshot_state(graph) == before_state
+
+    def test_version_roundtrip_stays_monotone(self):
+        graph = build_paper_g1()
+        before = graph.version
+        inverse = apply_delta(graph, GraphDelta.build(node_deletes=["v0"]))
+        apply_delta(graph, inverse)
+        # Rollback is just another batch: the counter moves forward, never back.
+        assert graph.version == before + 2
+
+
+class TestCollapseVersion:
+    def test_collapse_is_monotone_and_idempotent(self):
+        graph = PropertyGraph("collapse")
+        graph.add_node("a", "person")
+        graph.add_node("b", "person")
+        base = graph.version
+        graph.add_edge("a", "b", "follow")
+        graph.collapse_version(base)
+        assert graph.version == base + 1
+        graph.collapse_version(base)  # no-op: already at target
+        assert graph.version == base + 1
+        graph.collapse_version(base + 5)  # never moves the counter up
+        assert graph.version == base + 1

@@ -1,0 +1,194 @@
+"""Partition maintenance under deltas: covering, complete, refresh-only.
+
+``apply_delta_to_partition`` must leave a d-hop preserving partition that is
+still *covering* (every owned node's Nd inside its fragment) and *complete*
+(every live node owned somewhere), with each materialised fragment graph an
+exact induced subgraph of the post-delta source restricted to its node set —
+the invariants Lemma 9(1) rests on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.delta import GraphDelta, apply_delta, apply_delta_to_partition
+from repro.delta.refresh import refresh_rebuild_count
+from repro.graph import small_world_social_graph
+from repro.index import GraphIndex
+from repro.matching import QMatch
+from repro.parallel import PQMatch
+from repro.utils.errors import DeltaError
+
+from fixtures import build_q3
+
+
+def make_partitioned(seed=7, num_nodes=80, num_edges=240, d=2, workers=4):
+    graph = small_world_social_graph(num_nodes, num_edges, seed=seed)
+    coordinator = PQMatch(num_workers=workers, d=d)
+    partition = coordinator.partition(graph)
+    # Materialise every fragment (and its index) so maintenance has real
+    # graphs to patch, not just node sets.
+    for fragment in partition.fragments:
+        GraphIndex.for_graph(partition.fragment_graph(fragment))
+    return graph, coordinator, partition
+
+
+def assert_fragments_are_induced(partition):
+    graph = partition.source
+    for fragment in partition.fragments:
+        materialised = partition._graph_cache.get(fragment.fragment_id)
+        if materialised is None:
+            continue
+        expected = graph.induced_subgraph(fragment.node_set)
+        assert sorted(materialised.edges(), key=str) == sorted(
+            expected.edges(), key=str
+        ), f"fragment {fragment.fragment_id} edges diverged from the induced subgraph"
+        assert set(materialised.nodes()) == fragment.node_set
+
+
+def churn_delta(graph, seed=0):
+    """A small valid edge-churn batch over *graph*."""
+    edges = sorted(graph.edges(), key=str)
+    nodes = sorted(graph.nodes(), key=str)
+    delete = edges[seed % len(edges)]
+    source, target = nodes[seed % len(nodes)], nodes[(seed * 7 + 3) % len(nodes)]
+    inserts = []
+    if source != target and not graph.has_edge(source, target, "follow"):
+        inserts.append((source, target, "follow"))
+    return GraphDelta.build(edge_inserts=inserts, edge_deletes=[delete])
+
+
+class TestPartitionMaintenance:
+    def test_edge_churn_keeps_partition_covering_and_complete(self):
+        graph, _coordinator, partition = make_partitioned()
+        for round_ in range(4):
+            delta = churn_delta(graph, seed=round_ * 13)
+            inverse = apply_delta(graph, delta)
+            index = GraphIndex.for_graph(graph)
+            apply_delta_to_partition(partition, delta, inverse=inverse, index=index)
+            assert partition.is_complete()
+            assert partition.is_covering(), f"round {round_}: partition lost covering"
+            assert_fragments_are_induced(partition)
+
+    def test_insert_churn_refreshes_fragment_indexes_without_rebuild(self):
+        graph, _coordinator, partition = make_partitioned()
+        nodes = sorted(graph.nodes(), key=str)
+        label = sorted({l for _, _, l in graph.edges()})[0]
+        inserts = []
+        for offset in range(0, 12, 3):
+            source, target = nodes[offset], nodes[-1 - offset]
+            if source != target and not graph.has_edge(source, target, label):
+                inserts.append((source, target, label))
+        delta = GraphDelta.build(edge_inserts=inserts)
+        inverse = apply_delta(graph, delta)
+        index = GraphIndex.for_graph(graph)
+        before = refresh_rebuild_count()
+        updates = apply_delta_to_partition(
+            partition, delta, inverse=inverse, index=index
+        )
+        assert refresh_rebuild_count() == before
+        assert updates, "edge churn inside fragments must produce updates"
+        for update in updates:
+            assert update.refresh_ok
+            assert update.graph.version == update.old_version + 1
+
+    def test_order_permuting_delete_is_flagged_not_chained(self):
+        """Deleting a label's first-occurrence edge permutes the interning
+        order, so the fragment refresh legitimately falls back to a rebuild —
+        the update must then carry ``refresh_ok=False`` (the executor re-ships
+        instead of chaining the delta to pool workers)."""
+        graph, _coordinator, partition = make_partitioned()
+        first_label_edge = next(iter(graph.edges()))
+        delta = GraphDelta.build(edge_deletes=[first_label_edge])
+        inverse = apply_delta(graph, delta)
+        index = GraphIndex.for_graph(graph)
+        before = refresh_rebuild_count()
+        updates = apply_delta_to_partition(
+            partition, delta, inverse=inverse, index=index
+        )
+        assert partition.is_covering() and partition.is_complete()
+        if refresh_rebuild_count() > before:
+            assert any(not update.refresh_ok for update in updates)
+
+    def test_node_insert_is_adopted_by_a_neighbouring_fragment(self):
+        graph, _coordinator, partition = make_partitioned()
+        anchor = next(iter(partition.fragments[0].owned_nodes))
+        delta = GraphDelta.build(
+            node_inserts=[("newbie", "person")],
+            edge_inserts=[("newbie", anchor, "follow")],
+        )
+        inverse = apply_delta(graph, delta)
+        apply_delta_to_partition(
+            partition, delta, inverse=inverse, index=GraphIndex.for_graph(graph)
+        )
+        assert partition.owner_of("newbie") is not None
+        assert partition.is_complete()
+        assert partition.is_covering()
+        assert_fragments_are_induced(partition)
+
+    def test_node_delete_drops_ownership_everywhere(self):
+        graph, _coordinator, partition = make_partitioned()
+        victim = next(iter(partition.fragments[0].owned_nodes))
+        delta = GraphDelta.build(node_deletes=[victim])
+        inverse = apply_delta(graph, delta)
+        apply_delta_to_partition(
+            partition, delta, inverse=inverse, index=GraphIndex.for_graph(graph)
+        )
+        assert partition.owner_of(victim) is None
+        for fragment in partition.fragments:
+            assert victim not in fragment.owned_nodes
+            assert victim not in fragment.node_set or victim in fragment.node_set - {
+                victim
+            }  # removed from materialised graphs via the sub-delta
+        assert partition.is_complete()
+        assert partition.is_covering()
+        assert_fragments_are_induced(partition)
+
+    def test_node_delete_without_inverse_is_rejected(self):
+        graph, _coordinator, partition = make_partitioned()
+        victim = next(iter(partition.fragments[0].owned_nodes))
+        delta = GraphDelta.build(node_deletes=[victim])
+        apply_delta(graph, delta)
+        with pytest.raises(DeltaError):
+            apply_delta_to_partition(partition, delta)
+
+    def test_attribute_only_delta_is_a_noop(self):
+        graph, _coordinator, partition = make_partitioned()
+        node = next(iter(partition.fragments[0].owned_nodes))
+        delta = GraphDelta.build(attr_sets=[(node, "k", 1)])
+        apply_delta(graph, delta)
+        assert apply_delta_to_partition(partition, delta) == []
+
+
+class TestCoordinatorDelta:
+    def test_apply_delta_preserves_partition_and_answers(self):
+        graph, coordinator, partition = make_partitioned()
+        pattern = build_q3(p=2)
+        before = set(coordinator.evaluate_answer(pattern, graph))
+        assert before == set(QMatch().evaluate_answer(pattern, graph))
+
+        delta = churn_delta(graph, seed=3)
+        inverse = apply_delta(graph, delta)
+        coordinator.apply_delta(graph, delta, inverse)
+        # No re-partition: the cached partition object survived, re-stamped.
+        assert coordinator.partition(graph) is partition
+        after = set(coordinator.evaluate_answer(pattern, graph))
+        assert after == set(QMatch().evaluate_answer(pattern, graph))
+
+    def test_apply_delta_with_stale_partition_drops_it(self):
+        graph, coordinator, partition = make_partitioned()
+        first = churn_delta(graph, seed=1)
+        apply_delta(graph, first)  # partition now one batch behind…
+        second = churn_delta(graph, seed=2)
+        inverse = apply_delta(graph, second)  # …and now two: must drop
+        assert coordinator.apply_delta(graph, second, inverse) == []
+        rebuilt = coordinator.partition(graph)
+        assert rebuilt is not partition
+        assert rebuilt.is_covering()
+
+    def test_apply_delta_for_unknown_graph_is_safe(self):
+        _graph, coordinator, _partition = make_partitioned()
+        other = small_world_social_graph(20, 40, seed=99)
+        delta = churn_delta(other, seed=0)
+        inverse = apply_delta(other, delta)
+        assert coordinator.apply_delta(other, delta, inverse) == []

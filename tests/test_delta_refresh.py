@@ -1,0 +1,311 @@
+"""Incremental GraphIndex maintenance: wire-byte identity with a full build.
+
+The contract of :func:`repro.delta.refreshed_index` (also reachable as
+``GraphIndex.refreshed``) is singular: after ``apply_delta``, the refreshed
+snapshot serialises to **exactly** the bytes a from-scratch
+``GraphIndex.build`` of the post-delta graph produces.  Byte identity is the
+strongest equivalence the wire format can express — interner orders, CSR
+layouts, signatures, degree arrays all included — so one hypothesis property
+covers the entire structure.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.delta import GraphDelta, apply_delta
+from repro.delta.refresh import refresh_call_count, refresh_rebuild_count
+from repro.graph import PropertyGraph
+from repro.index import GraphIndex
+from repro.index.serialize import to_bytes
+
+from fixtures import build_paper_g1
+
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+NODE_LABELS = ["person", "product"]
+EDGE_LABELS = ["follow", "recom", "like"]
+
+
+def structural_bytes(index: GraphIndex) -> bytes:
+    return to_bytes(index, include_neighborhoods=False, include_compiled_rows=False)
+
+
+def full_bytes(index: GraphIndex) -> bytes:
+    return to_bytes(index, include_neighborhoods=True, include_compiled_rows=True)
+
+
+def rebuild_fallbacks(body) -> int:
+    """How many rebuild fallbacks running *body* triggered."""
+    before = refresh_rebuild_count()
+    body()
+    return refresh_rebuild_count() - before
+
+
+# ---------------------------------------------------------------------------
+# Deterministic cases
+# ---------------------------------------------------------------------------
+
+
+class TestRefreshIncremental:
+    def test_edge_churn_is_byte_identical_without_rebuild(self):
+        graph = build_paper_g1()
+        index = GraphIndex.build(graph)
+        delta = GraphDelta.build(
+            edge_inserts=[("x1", "v1", "follow"), ("x2", "v3", "follow")],
+            edge_deletes=[("x3", "v4", "follow")],
+        )
+        apply_delta(graph, delta)
+
+        def body():
+            self.refreshed = index.refreshed(delta)
+
+        assert rebuild_fallbacks(body) == 0
+        assert structural_bytes(self.refreshed) == structural_bytes(
+            GraphIndex.build(graph)
+        )
+
+    def test_node_insert_with_known_label_is_incremental(self):
+        graph = build_paper_g1()
+        index = GraphIndex.build(graph)
+        delta = GraphDelta.build(
+            node_inserts=[("n1", "person"), ("n2", "person")],
+            edge_inserts=[("n1", "n2", "follow"), ("x1", "n1", "follow")],
+        )
+        apply_delta(graph, delta)
+
+        def body():
+            self.refreshed = index.refreshed(delta)
+
+        assert rebuild_fallbacks(body) == 0
+        assert structural_bytes(self.refreshed) == structural_bytes(
+            GraphIndex.build(graph)
+        )
+
+    def test_new_edge_label_extends_interner_incrementally(self):
+        graph = build_paper_g1()
+        index = GraphIndex.build(graph)
+        delta = GraphDelta.build(edge_inserts=[("x1", "x2", "blocks")])
+        apply_delta(graph, delta)
+        refreshed = index.refreshed(delta)
+        assert structural_bytes(refreshed) == structural_bytes(GraphIndex.build(graph))
+        assert refreshed.edge_labels.get("blocks") >= 0
+
+    def test_derived_structures_are_patched_identically(self):
+        graph = build_paper_g1()
+        index = GraphIndex.build(graph)
+        # Materialise the hot derived structures so the refresh must patch them.
+        index.neighborhoods()
+        index.compiled_rows(False, index.edge_labels.id_of("follow"))
+        index.compiled_rows(True, index.edge_labels.id_of("recom"))
+        delta = GraphDelta.build(
+            node_inserts=[("n", "person")],
+            edge_inserts=[("x1", "n", "follow"), ("n", "redmi", "recom")],
+            edge_deletes=[("x2", "v1", "follow")],
+        )
+        apply_delta(graph, delta)
+        refreshed = index.refreshed(delta)
+        fresh = GraphIndex.build(graph)
+        fresh.neighborhoods()
+        fresh.compiled_rows(False, fresh.edge_labels.id_of("follow"))
+        fresh.compiled_rows(True, fresh.edge_labels.id_of("recom"))
+        assert full_bytes(refreshed) == full_bytes(fresh)
+        # The refresh patches exactly what was materialised — no more.
+        assert refreshed.compiled_row_keys() == index.compiled_row_keys()
+
+    def test_refresh_result_is_cached_on_the_graph(self):
+        graph = build_paper_g1()
+        index = GraphIndex.for_graph(graph)
+        delta = GraphDelta.insert_edge("x1", "v1", "follow")
+        apply_delta(graph, delta)
+        refreshed = index.refreshed(delta)
+        assert GraphIndex.for_graph(graph) is refreshed
+        assert not refreshed.is_stale()
+
+    def test_attribute_only_delta_returns_same_snapshot(self):
+        graph = build_paper_g1()
+        index = GraphIndex.build(graph)
+        delta = GraphDelta.build(attr_sets=[("x1", "k", 1)])
+        apply_delta(graph, delta)
+        assert index.refreshed(delta) is index
+
+    def test_refresh_counters_are_monotone(self):
+        graph = build_paper_g1()
+        index = GraphIndex.build(graph)
+        calls_before = refresh_call_count()
+        delta = GraphDelta.insert_edge("x1", "v1", "follow")
+        apply_delta(graph, delta)
+        index.refreshed(delta)
+        assert refresh_call_count() == calls_before + 1
+
+
+class TestRebuildFallbacks:
+    """Every fallback is still byte-identical — it *is* the full build."""
+
+    def fallback_case(self, graph, index, delta, **kwargs):
+        apply_delta(graph, delta)
+
+        def body():
+            self.refreshed = index.refreshed(delta, **kwargs)
+
+        fallbacks = rebuild_fallbacks(body)
+        assert structural_bytes(self.refreshed) == structural_bytes(
+            GraphIndex.build(graph)
+        )
+        return fallbacks
+
+    def test_node_deletes_fall_back(self):
+        graph = build_paper_g1()
+        index = GraphIndex.build(graph)
+        assert self.fallback_case(
+            graph, index, GraphDelta.build(node_deletes=["v4"])
+        ) == 1
+
+    def test_new_node_label_falls_back(self):
+        graph = build_paper_g1()
+        index = GraphIndex.build(graph)
+        delta = GraphDelta.build(
+            node_inserts=[("shop", "store")], edge_inserts=[("x1", "shop", "follow")]
+        )
+        assert self.fallback_case(graph, index, delta) == 1
+
+    def test_dying_edge_label_falls_back(self):
+        graph = build_paper_g1()
+        index = GraphIndex.build(graph)
+        delta = GraphDelta.delete_edge("v4", "redmi", "bad_rating")
+        assert self.fallback_case(graph, index, delta) == 1
+
+    def test_touched_fraction_threshold_falls_back(self):
+        graph = build_paper_g1()
+        index = GraphIndex.build(graph)
+        delta = GraphDelta.build(
+            edge_inserts=[("x1", "v1", "follow"), ("x2", "v3", "follow")]
+        )
+        # A threshold of 0 with a tiny floor forces the rebuild path.
+        apply_delta(graph, delta)
+        before = refresh_rebuild_count()
+        refreshed = index.refreshed(delta, max_touched_fraction=0.0)
+        # The size floor (16 touched nodes) still applies on tiny graphs, so
+        # accept either path — but the bytes must match the build regardless.
+        assert refresh_rebuild_count() - before in (0, 1)
+        assert structural_bytes(refreshed) == structural_bytes(GraphIndex.build(graph))
+
+    def test_version_drift_falls_back(self):
+        graph = build_paper_g1()
+        index = GraphIndex.build(graph)
+        first = GraphDelta.insert_edge("x1", "v1", "follow")
+        second = GraphDelta.insert_edge("x2", "v3", "follow")
+        apply_delta(graph, first)
+        apply_delta(graph, second)  # two batches behind: refresh must rebuild
+        before = refresh_rebuild_count()
+        refreshed = index.refreshed(second)
+        assert refresh_rebuild_count() == before + 1
+        assert structural_bytes(refreshed) == structural_bytes(GraphIndex.build(graph))
+
+
+# ---------------------------------------------------------------------------
+# The property: refreshed == rebuilt, byte for byte, on random graphs/deltas
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def graph_and_delta(draw):
+    """A random labeled digraph plus a random coherent update batch."""
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    rng = random.Random(seed)
+    num_nodes = draw(st.integers(min_value=3, max_value=16))
+    graph = PropertyGraph(f"hyp-delta-{seed}")
+    for node in range(num_nodes):
+        graph.add_node(node, rng.choice(NODE_LABELS))
+    for _ in range(draw(st.integers(min_value=2, max_value=40))):
+        source, target = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if source != target:
+            label = rng.choice(EDGE_LABELS)
+            if not graph.has_edge(source, target, label):
+                graph.add_edge(source, target, label)
+
+    node_inserts = []
+    next_node = num_nodes
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        node_inserts.append((next_node, rng.choice(NODE_LABELS)))
+        next_node += 1
+    all_nodes = list(range(next_node))
+
+    edge_inserts = []
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        source, target = rng.choice(all_nodes), rng.choice(all_nodes)
+        label = rng.choice(EDGE_LABELS)
+        edge = (source, target, label)
+        if (
+            source != target
+            and not graph.has_edge(source, target, label)
+            and edge not in edge_inserts
+        ):
+            edge_inserts.append(edge)
+
+    existing = sorted(graph.edges(), key=str)
+    edge_deletes = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        if existing:
+            edge = existing.pop(rng.randrange(len(existing)))
+            if edge not in edge_inserts:
+                edge_deletes.append(edge)
+
+    node_deletes = []
+    if draw(st.booleans()) and num_nodes > 3:
+        victim = rng.randrange(num_nodes)
+        incident = lambda e: victim in (e[0], e[1])  # noqa: E731
+        if not any(incident(e) for e in edge_inserts + edge_deletes):
+            node_deletes.append(victim)
+
+    delta = GraphDelta.build(
+        node_inserts=node_inserts,
+        node_deletes=node_deletes,
+        edge_inserts=edge_inserts,
+        edge_deletes=edge_deletes,
+    )
+    return graph, delta
+
+
+@settings(**SETTINGS)
+@given(case=graph_and_delta())
+def test_refreshed_snapshot_is_wire_byte_identical_to_full_build(case):
+    graph, delta = case
+    if delta.is_empty():
+        return
+    index = GraphIndex.build(graph)
+    index.neighborhoods()  # force the derived CSR so the patch path runs too
+    apply_delta(graph, delta)
+    refreshed = index.refreshed(delta)
+    fresh = GraphIndex.build(graph)
+    assert structural_bytes(refreshed) == structural_bytes(fresh)
+    fresh.neighborhoods()
+    assert to_bytes(refreshed, include_neighborhoods=True) == to_bytes(
+        fresh, include_neighborhoods=True
+    )
+
+
+@settings(**SETTINGS)
+@given(case=graph_and_delta())
+def test_refresh_chains_across_a_rollback(case):
+    """Two chained refreshes (forward, then the inverse) both stay identical
+    to the build.  The wire encodes the version counter — which rollback moves
+    *forward* — so the comparison is against a fresh build, not the original
+    bytes."""
+    graph, delta = case
+    if delta.is_empty():
+        return
+    GraphIndex.build(graph)
+    inverse = apply_delta(graph, delta)
+    forward = GraphIndex.for_graph(graph).refreshed(delta)
+    apply_delta(graph, inverse)
+    restored = forward.refreshed(inverse)
+    assert structural_bytes(restored) == structural_bytes(GraphIndex.build(graph))

@@ -158,3 +158,79 @@ class TestStats:
         cache = ResultCache(capacity=4)
         text = repr(cache)
         assert "ResultCache" in text and "0/4" in text
+
+
+class TestPurgeStale:
+    def test_purge_drops_superseded_versions_only(self):
+        cache = ResultCache(capacity=8)
+        graph = _graph()
+        cache.store(graph, "old", {"a"})
+        graph.add_node("c", "person")  # structural bump: "old" is now stale
+        cache.store(graph, "new", {"b"})
+        assert cache.purge_stale() == 1
+        assert cache.stats.purged == 1
+        assert cache.lookup(graph, "new") == frozenset({"b"})
+
+    def test_store_sweeps_automatically_past_the_interval(self):
+        cache = ResultCache(capacity=64, purge_interval=3)
+        graph = _graph()
+        cache.store(graph, "stale", {"a"})
+        graph.add_node("c", "person")
+        for position in range(3):  # the third insert crosses the interval
+            cache.store(graph, f"fp{position}", {"a"})
+        assert cache.stats.purged == 1
+
+    def test_stale_entries_do_not_pin_their_graph(self):
+        """The satellite regression: a mutated-and-forgotten graph must not
+        stay alive behind unreachable cache entries."""
+        import gc
+        import weakref
+
+        cache = ResultCache(capacity=64, purge_interval=2)
+        graph = _graph("pinned")
+        ref = weakref.ref(graph)
+        cache.store(graph, "entry", {"a"})
+        graph.add_node("c", "person")  # entry now stale, but still pins graph
+        keeper = _graph("keeper")
+        del graph
+        gc.collect()
+        assert ref() is not None, "precondition: the stale entry pins the graph"
+        cache.store(keeper, "k1", {"a"})
+        cache.store(keeper, "k2", {"a"})  # crosses purge_interval: sweep runs
+        gc.collect()
+        assert ref() is None, "purge_stale must release the mutated graph"
+
+    def test_purge_interval_validation(self):
+        with pytest.raises(ReproError):
+            ResultCache(capacity=4, purge_interval=0)
+
+
+class TestCarryForward:
+    def test_carry_forward_moves_entries_atomically(self):
+        cache = ResultCache(capacity=8)
+        graph = _graph()
+        old_version = graph.version
+        cache.store(graph, "fp", {"a"})
+        graph.add_node("c", "person")
+        carried = cache.carry_forward(
+            graph, [("fp", None)], old_version, graph.version
+        )
+        assert carried == 1
+        assert cache.stats.migrated == 1
+        assert cache.lookup(graph, "fp") == frozenset({"a"})
+        assert cache.lookup(graph, "fp", version=old_version) is None
+
+    def test_carry_forward_ignores_unknown_fingerprints(self):
+        cache = ResultCache(capacity=8)
+        graph = _graph()
+        assert cache.carry_forward(graph, [("ghost", None)], 0, 1) == 0
+
+    def test_fingerprints_for_lists_only_the_requested_version(self):
+        cache = ResultCache(capacity=8)
+        graph = _graph()
+        first_version = graph.version
+        cache.store(graph, "fp1", {"a"})
+        graph.add_node("c", "person")
+        cache.store(graph, "fp2", {"b"})
+        assert cache.fingerprints_for(graph, first_version) == (("fp1", None),)
+        assert cache.fingerprints_for(graph, graph.version) == (("fp2", None),)
