@@ -19,15 +19,19 @@ cannot silently rot.
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
+import platform
+import subprocess
 import sys
 from pathlib import Path
-from typing import Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 import pytest
 
 from repro.datasets import benchmark_graph
+from repro.obs import disable_metrics, disable_tracing, enable_metrics, enable_tracing
 from repro.utils import render_table
 
 _TESTS_DIR = str(Path(__file__).resolve().parent.parent / "tests")
@@ -45,6 +49,68 @@ _SCALE_OVERRIDE = os.environ.get("REPRO_BENCH_SCALE")
 POKEC_SCALE = float(_SCALE_OVERRIDE) if _SCALE_OVERRIDE else 3.0
 YAGO_SCALE = float(_SCALE_OVERRIDE) if _SCALE_OVERRIDE else 3.0
 SYNTHETIC_SCALE = float(_SCALE_OVERRIDE) if _SCALE_OVERRIDE else 2.0
+
+# REPRO_OBS=1 runs the whole benchmark session instrumented: the metrics
+# registry and the tracer are enabled before any benchmark executes, and
+# ``record_figure`` dumps the registry next to each figure's BENCH json
+# (``METRICS_<figure>.json``) so CI can upload the instrumented-run artifact.
+_OBS_ENABLED = os.environ.get("REPRO_OBS", "").strip() not in ("", "0", "false")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _obs_instrumented_session():
+    if not _OBS_ENABLED:
+        yield
+        return
+    enable_metrics()
+    enable_tracing()
+    yield
+    disable_tracing()
+    disable_metrics()
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def run_provenance() -> Dict[str, object]:
+    """Machine identity for one benchmark run, embedded in every BENCH json.
+
+    Numbers without provenance are noise a month later: two BENCH files can
+    only be compared once it is known they came from the same interpreter,
+    core count and dataset scale.  Collected once per process (the git SHA
+    subprocess is not free) and shared by every figure of the session.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "bench_scale": _SCALE_OVERRIDE or "default",
+        "obs_instrumented": _OBS_ENABLED,
+        "git_sha": _git_sha(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    }
+
+
+_PROVENANCE: Optional[Dict[str, object]] = None
+
+
+def _provenance() -> Dict[str, object]:
+    global _PROVENANCE
+    if _PROVENANCE is None:
+        _PROVENANCE = run_provenance()
+    return _PROVENANCE
 
 
 @pytest.fixture(scope="session")
@@ -111,11 +177,23 @@ def record_figure():
             "headers": list(headers),
             "rows": [dict(zip(headers, row)) for row in rows],
             "phases": dict(phases) if phases else {},
+            "provenance": _provenance(),
         }
         (RESULTS_DIR / f"BENCH_{figure}.json").write_text(
             json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
             encoding="utf-8",
         )
+        if _OBS_ENABLED:
+            from repro.obs import get_registry
+
+            (RESULTS_DIR / f"METRICS_{figure}.json").write_text(
+                json.dumps(
+                    {"figure": figure, "provenance": _provenance(),
+                     "metrics": get_registry().dump()},
+                    indent=2, sort_keys=True, default=str,
+                ) + "\n",
+                encoding="utf-8",
+            )
         return table
 
     return _record

@@ -27,6 +27,9 @@ The package layers cleanly:
   batches, incremental index refresh, affected-area incremental matching,
   partition/pool delta shipping and standing-query maintenance;
 * :mod:`repro.datasets` — Pokec-like / YAGO2-like / synthetic workloads;
+* :mod:`repro.obs`      — unified observability: an opt-in metrics registry,
+  span tracing with cross-process propagation, and the always-on service
+  introspection behind ``QueryService.stats()``;
 * :mod:`repro.core`     — the stable public API re-exported in one namespace.
 """
 
@@ -65,6 +68,19 @@ from repro.core import (
     GraphDelta,
     apply_delta,
     inc_qmatch_delta,
+    MetricsRegistry,
+    ServiceIntrospection,
+    SlowQueryLog,
+    enable_metrics,
+    disable_metrics,
+    active_metrics,
+    get_registry,
+    enable_tracing,
+    disable_tracing,
+    active_tracing,
+    get_tracer,
+    span,
+    format_span_tree,
 )
 
 __version__ = "1.0.0"
@@ -105,4 +121,17 @@ __all__ = [
     "GraphDelta",
     "apply_delta",
     "inc_qmatch_delta",
+    "MetricsRegistry",
+    "ServiceIntrospection",
+    "SlowQueryLog",
+    "enable_metrics",
+    "disable_metrics",
+    "active_metrics",
+    "get_registry",
+    "enable_tracing",
+    "disable_tracing",
+    "active_tracing",
+    "get_tracer",
+    "span",
+    "format_span_tree",
 ]

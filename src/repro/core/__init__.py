@@ -33,6 +33,21 @@ from repro.patterns import (
     QuantifiedGraphPattern,
     parse_pattern,
 )
+from repro.obs import (
+    MetricsRegistry,
+    ServiceIntrospection,
+    SlowQueryLog,
+    active_metrics,
+    active_tracing,
+    disable_metrics,
+    disable_tracing,
+    enable_metrics,
+    enable_tracing,
+    format_span_tree,
+    get_registry,
+    get_tracer,
+    span,
+)
 from repro.rules import QGAR, dgar_match, gar_match, mine_qgars
 from repro.service import (
     QueryService,
@@ -78,4 +93,17 @@ __all__ = [
     "Subscription",
     "canonicalize",
     "pattern_fingerprint",
+    "MetricsRegistry",
+    "ServiceIntrospection",
+    "SlowQueryLog",
+    "enable_metrics",
+    "disable_metrics",
+    "active_metrics",
+    "get_registry",
+    "enable_tracing",
+    "disable_tracing",
+    "active_tracing",
+    "get_tracer",
+    "span",
+    "format_span_tree",
 ]

@@ -34,6 +34,8 @@ from repro.delta.ops import GraphDelta
 from repro.graph.digraph import PropertyGraph
 from repro.index.snapshot import GraphIndex
 from repro.matching.qmatch import QMatch
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.patterns.qgp import QuantifiedGraphPattern
 
 __all__ = ["DeltaMatchStats", "affected_area", "inc_qmatch_delta"]
@@ -196,17 +198,27 @@ def inc_qmatch_delta(
         stats.carried = len(cached)
         return frozenset(cached), stats
 
-    aff = affected_area(graph, delta, pattern.radius(), inverse=inverse, index=index)
-    stats.affected_area = aff
-    if aff:
-        outcome = engine.evaluate(pattern, graph, focus_restriction=aff)
-        stats.verifications = outcome.counter.verifications
-        carried = cached - aff
-        answer = carried | set(outcome.answer)
-    else:
-        carried = cached
-        answer = set(cached)
+    with span("delta.inc_qmatch", pattern=pattern.name):
+        aff = affected_area(
+            graph, delta, pattern.radius(), inverse=inverse, index=index
+        )
+        stats.affected_area = aff
+        if aff:
+            outcome = engine.evaluate(pattern, graph, focus_restriction=aff)
+            stats.verifications = outcome.counter.verifications
+            carried = cached - aff
+            answer = carried | set(outcome.answer)
+        else:
+            carried = cached
+            answer = set(cached)
     stats.carried = len(carried)
     stats.added = answer - original
     stats.removed = original - answer
+    registry = get_registry()
+    if registry:
+        registry.counter("delta.evaluations").inc()
+        registry.counter("delta.verifications").inc(stats.verifications)
+        registry.histogram(
+            "delta.aff_size", buckets=(1, 4, 16, 64, 256, 1024, 4096)
+        ).observe(stats.aff_size)
     return frozenset(answer), stats

@@ -54,6 +54,8 @@ from repro.index.interning import Interner
 from repro.index.neighborhoods import NeighborhoodCSR
 from repro.index.signatures import NeighborhoodSignatures
 from repro.index.snapshot import GraphIndex
+from repro.obs.metrics import CORE, get_registry
+from repro.obs.trace import span
 from repro.utils.timing import Timer
 
 __all__ = [
@@ -67,18 +69,20 @@ __all__ = [
 # from-scratch build is cheaper and trivially byte-identical.
 DEFAULT_MAX_TOUCHED_FRACTION = 0.5
 
-_REFRESH_CALLS = 0
-_REFRESH_REBUILDS = 0
-
-
 def refresh_call_count() -> int:
-    """How many times :func:`refreshed_index` has run in this process."""
-    return _REFRESH_CALLS
+    """How many times :func:`refreshed_index` has run in this process.
+
+    Reads the always-on :data:`repro.obs.metrics.CORE` counters (the old
+    module globals leaked across tests; CORE is reset by the per-test
+    observability fixture).  When a metrics registry is enabled the same
+    events are also mirrored as ``index.refresh`` / ``index.refresh.fallback``.
+    """
+    return CORE.index_refreshes
 
 
 def refresh_rebuild_count() -> int:
     """How many of those calls fell back to a full ``GraphIndex.build``."""
-    return _REFRESH_REBUILDS
+    return CORE.index_refresh_rebuilds
 
 
 def _zeros(length: int) -> array:
@@ -252,8 +256,10 @@ def refreshed_index(
     identical to ``GraphIndex.build(index.graph)``; see the module docs for
     when the incremental path applies and when it falls back to that build.
     """
-    global _REFRESH_CALLS, _REFRESH_REBUILDS
-    _REFRESH_CALLS += 1
+    CORE.index_refreshes += 1
+    registry = get_registry()
+    if registry:
+        registry.counter("index.refresh").inc()
     graph = index.graph
 
     if not index.is_stale():
@@ -262,8 +268,9 @@ def refreshed_index(
         return index
 
     def rebuild() -> GraphIndex:
-        global _REFRESH_REBUILDS
-        _REFRESH_REBUILDS += 1
+        CORE.index_refresh_rebuilds += 1
+        if registry:
+            registry.counter("index.refresh.fallback").inc()
         snapshot = GraphIndex.build(graph)
         graph.cache_index(snapshot)
         return snapshot
@@ -309,7 +316,9 @@ def refreshed_index(
     if new_label_names and old_values and new_label_names[0] < old_values[-1]:
         return rebuild()  # the new label sorts into the middle — ids would move
 
-    with Timer() as timer:
+    with span(
+        "index.refresh", graph=graph.name, touched=len(touched)
+    ), Timer() as timer:
         # ----------------------------------------------------- interning tables
         if delta.node_inserts:
             nodes = Interner(index.nodes.values())
@@ -423,5 +432,7 @@ def refreshed_index(
                 snapshot._compiled_rows[(incoming, label_id)] = store
 
     snapshot.build_seconds = timer.elapsed
+    if registry:
+        registry.histogram("index.refresh_seconds").observe(timer.elapsed)
     graph.cache_index(snapshot)
     return snapshot

@@ -34,6 +34,8 @@ from repro.index.csr import LabeledCSR, build_csr_pair
 from repro.index.interning import Interner
 from repro.index.neighborhoods import NeighborhoodCSR, merge_undirected
 from repro.index.signatures import NeighborhoodSignatures, build_signatures
+from repro.obs.metrics import CORE, get_registry
+from repro.obs.trace import span
 from repro.utils.errors import StaleIndexError
 from repro.utils.timing import Timer
 
@@ -41,17 +43,19 @@ __all__ = ["GraphIndex", "build_call_count"]
 
 NodeId = Hashable
 
-# Number of GraphIndex.build calls made by *this process*.  The parallel
-# layer's contract is that fragments ship as serialised snapshots
-# (:mod:`repro.index.serialize`) and are decoded — never recompiled — inside
-# pool workers; the regression tests read this counter on both sides of the
-# process boundary to pin that down.
-_BUILD_CALLS = 0
-
 
 def build_call_count() -> int:
-    """How many times ``GraphIndex.build`` has run in this process."""
-    return _BUILD_CALLS
+    """How many times ``GraphIndex.build`` has run in this process.
+
+    The parallel layer's contract is that fragments ship as serialised
+    snapshots (:mod:`repro.index.serialize`) and are decoded — never
+    recompiled — inside pool workers; the regression tests read this counter
+    on both sides of the process boundary to pin that down.  The count is the
+    always-on :data:`repro.obs.metrics.CORE` core counter (reset per test by
+    the observability isolation fixture), mirrored into the optional metrics
+    registry as ``index.build`` when one is enabled.
+    """
+    return CORE.index_builds
 
 # (out_mask, in_mask) signature requirements of one pattern node; ``None``
 # marks a pattern node that cannot match at all (required label absent).
@@ -114,9 +118,8 @@ class GraphIndex:
     @classmethod
     def build(cls, graph: PropertyGraph) -> "GraphIndex":
         """Compile *graph* into a fresh snapshot (one pass over nodes + edges)."""
-        global _BUILD_CALLS
-        _BUILD_CALLS += 1
-        with Timer() as timer:
+        CORE.index_builds += 1
+        with span("index.build", graph=graph.name, nodes=graph.num_nodes), Timer() as timer:
             version = graph.version
             nodes = Interner()
             node_labels = Interner()
@@ -162,6 +165,11 @@ class GraphIndex:
             label_members=label_members,
             build_seconds=timer.elapsed,
         )
+        registry = get_registry()
+        if registry:
+            registry.counter("index.build").inc()
+            registry.histogram("index.build_seconds").observe(timer.elapsed)
+            registry.gauge("index.nodes").set(len(nodes))
         return snapshot
 
     @classmethod

@@ -22,6 +22,8 @@ from typing import Dict, Hashable, Optional, Set, Tuple
 from repro.graph.digraph import PropertyGraph
 from repro.matching.generic import find_isomorphisms, label_candidates
 from repro.matching.result import MatchResult
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.patterns.qgp import QuantifiedGraphPattern
 from repro.utils.counters import WorkCounter
 from repro.utils.errors import MatchingError
@@ -117,7 +119,9 @@ class EnumMatcher:
         """Compute ``Q(xo, G)`` and return a :class:`MatchResult`."""
         pattern.validate()
         counter = WorkCounter()
-        with Timer() as timer:
+        with span(
+            "qmatch.enumerate", pattern=pattern.name, engine=self.name
+        ), Timer() as timer:
             positive_part = pattern.pi()
             positive_answer, node_matches = evaluate_positive_by_enumeration(
                 positive_part, graph, counter
@@ -126,6 +130,15 @@ class EnumMatcher:
             for edge, positified in pattern.positified_pi_patterns():
                 excluded, _ = evaluate_positive_by_enumeration(positified, graph, counter)
                 answer -= excluded
+        registry = get_registry()
+        if registry:
+            registry.counter("match.queries").inc()
+            registry.counter("match.verifications").inc(counter.verifications)
+            registry.counter("match.extensions").inc(counter.extensions)
+            registry.counter("match.quantifier_checks").inc(
+                counter.quantifier_checks
+            )
+            registry.histogram("match.seconds").observe(timer.elapsed)
         return MatchResult(
             answer=answer,
             positive_answer=positive_answer,

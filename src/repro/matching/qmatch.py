@@ -27,6 +27,8 @@ from repro.graph.digraph import PropertyGraph
 from repro.matching.dmatch import DMatchOptions, dmatch
 from repro.matching.incremental import inc_qmatch
 from repro.matching.result import IncrementalStats, MatchResult
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.patterns.qgp import QuantifiedGraphPattern
 from repro.utils.counters import WorkCounter
 from repro.utils.timing import Timer
@@ -78,7 +80,9 @@ class QMatch:
         pattern.validate()
         counter = WorkCounter()
         incremental_stats: list[IncrementalStats] = []
-        with Timer() as timer:
+        with span(
+            "qmatch.evaluate", pattern=pattern.name, engine=self.name
+        ), Timer() as timer:
             positive_part = pattern.pi()
             cached = dmatch(
                 positive_part,
@@ -117,6 +121,22 @@ class QMatch:
                     answer -= excluded
                     if not answer:
                         break
+
+        # Mirror the per-query work totals into the registry (one batch of
+        # increments per evaluated query; the backtracking loop itself stays
+        # untouched so the disabled path costs one falsy check here).
+        registry = get_registry()
+        if registry:
+            registry.counter("match.queries").inc()
+            registry.counter("match.verifications").inc(counter.verifications)
+            registry.counter("match.extensions").inc(counter.extensions)
+            registry.counter("match.quantifier_checks").inc(
+                counter.quantifier_checks
+            )
+            registry.counter("match.candidates_pruned").inc(
+                counter.candidates_pruned
+            )
+            registry.histogram("match.seconds").observe(timer.elapsed)
 
         return MatchResult(
             answer=answer,

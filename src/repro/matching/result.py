@@ -85,12 +85,19 @@ class MatchResult:
 
 @dataclass
 class FragmentResult:
-    """Per-fragment outcome of a parallel run."""
+    """Per-fragment outcome of a parallel run.
+
+    ``spans`` carries the :class:`repro.obs.trace.SpanRecord` tuple a pool
+    worker recorded while tracing was propagated to it — piggybacked here so
+    the coordinator can ingest them into one coherent cross-process span tree.
+    Empty (and cost-free) unless tracing is enabled.
+    """
 
     fragment_id: int
     answer: Set[NodeId] = field(default_factory=set)
     counter: WorkCounter = field(default_factory=WorkCounter)
     elapsed: float = 0.0
+    spans: tuple = ()
 
 
 @dataclass

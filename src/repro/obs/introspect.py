@@ -1,0 +1,279 @@
+"""`repro.obs.introspect` — request-level visibility into a serving stack.
+
+Where :mod:`repro.obs.metrics` aggregates process-wide totals, this module
+answers the operator questions about **one** :class:`~repro.service.server.
+QueryService`: which fingerprints are hot, what their p50/p99 latencies are,
+how full the cache is, which pool epoch is live, and which queries were slow
+enough to care about.  It is deliberately **always on** — every instrument
+here observes at request granularity (a handful of arithmetic operations per
+served query, never per probe), so the sequential matching hot path is
+untouched and ``QueryService.stats()`` works without enabling the global
+registry.
+
+Two pieces:
+
+* :class:`ServiceIntrospection` — per-fingerprint request counts, cache-hit
+  counts and latency histograms (p50/p99 by bucket interpolation), bounded to
+  ``capacity`` fingerprints (LRU beyond it: introspection must never become
+  the memory leak it is meant to find).
+* :class:`SlowQueryLog` — a bounded log of queries whose service time
+  crossed a configurable threshold, each record carrying the fingerprint,
+  pattern name, elapsed seconds and the matching-layer work counters
+  (verifications / extensions / quantifier checks) plus the affected-area
+  size when the delta layer produced one.  This is the seed data for a
+  future cardinality-estimation planner: a pathological matching order shows
+  up here with exactly the counters a cost model needs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, Histogram
+from repro.utils.counters import WorkCounter
+
+__all__ = ["FingerprintStats", "ServiceIntrospection", "SlowQueryLog", "SlowQueryRecord"]
+
+
+class FingerprintStats:
+    """Latency and traffic accounting for one canonical fingerprint."""
+
+    __slots__ = ("fingerprint", "pattern_name", "requests", "cache_hits",
+                 "computed", "_histogram", "last_elapsed", "verifications")
+
+    def __init__(self, fingerprint: str, lock: threading.Lock) -> None:
+        self.fingerprint = fingerprint
+        self.pattern_name = ""
+        self.requests = 0
+        self.cache_hits = 0
+        self.computed = 0
+        self.verifications = 0
+        self.last_elapsed = 0.0
+        self._histogram = Histogram(
+            f"fingerprint.{fingerprint[:12]}", lock, DEFAULT_LATENCY_BUCKETS
+        )
+
+    @property
+    def p50(self) -> float:
+        return self._histogram.quantile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self._histogram.quantile(0.99)
+
+    @property
+    def mean(self) -> float:
+        return self._histogram.mean
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "pattern": self.pattern_name,
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "computed": self.computed,
+            "verifications": self.verifications,
+            "p50_seconds": self.p50,
+            "p99_seconds": self.p99,
+            "mean_seconds": self.mean,
+            "last_seconds": self.last_elapsed,
+        }
+
+
+@dataclass(frozen=True)
+class SlowQueryRecord:
+    """One logged slow query — fingerprint, timing, and its work counters."""
+
+    fingerprint: str
+    pattern_name: str
+    elapsed: float
+    threshold: float
+    cached: bool
+    verifications: int = 0
+    extensions: int = 0
+    quantifier_checks: int = 0
+    aff_size: int = 0
+    batch_size: int = 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "fingerprint": self.fingerprint,
+            "pattern": self.pattern_name,
+            "elapsed_seconds": self.elapsed,
+            "threshold_seconds": self.threshold,
+            "cached": self.cached,
+            "verifications": self.verifications,
+            "extensions": self.extensions,
+            "quantifier_checks": self.quantifier_checks,
+            "aff_size": self.aff_size,
+            "batch_size": self.batch_size,
+        }
+
+
+class SlowQueryLog:
+    """A bounded log of requests slower than *threshold* seconds.
+
+    ``threshold=None`` disables logging entirely (the default for services
+    that did not opt in); ``threshold=0.0`` logs everything, which is what
+    regression tests use to capture pathological patterns deterministically.
+    """
+
+    def __init__(self, threshold: Optional[float] = None, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("slow-query log capacity must be positive")
+        self.threshold = threshold
+        self.capacity = capacity
+        self._records: Deque[SlowQueryRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold is not None
+
+    def record(
+        self,
+        fingerprint: str,
+        pattern_name: str,
+        elapsed: float,
+        cached: bool = False,
+        counter: Optional[WorkCounter] = None,
+        aff_size: int = 0,
+        batch_size: int = 1,
+    ) -> Optional[SlowQueryRecord]:
+        """File the request if it crossed the threshold; returns the record."""
+        if self.threshold is None or elapsed < self.threshold:
+            return None
+        entry = SlowQueryRecord(
+            fingerprint=fingerprint,
+            pattern_name=pattern_name,
+            elapsed=elapsed,
+            threshold=self.threshold,
+            cached=cached,
+            verifications=counter.verifications if counter else 0,
+            extensions=counter.extensions if counter else 0,
+            quantifier_checks=counter.quantifier_checks if counter else 0,
+            aff_size=aff_size,
+            batch_size=batch_size,
+        )
+        with self._lock:
+            if len(self._records) == self.capacity:
+                self.dropped += 1
+            self._records.append(entry)
+        return entry
+
+    def records(self) -> Tuple[SlowQueryRecord, ...]:
+        with self._lock:
+            return tuple(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __repr__(self) -> str:
+        return (
+            f"SlowQueryLog(threshold={self.threshold}, size={len(self)}/"
+            f"{self.capacity}, dropped={self.dropped})"
+        )
+
+
+class ServiceIntrospection:
+    """Always-on per-service accounting behind ``QueryService.stats()``."""
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        slow_query_threshold: Optional[float] = None,
+        slow_query_capacity: int = 64,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("introspection capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._fingerprints: "OrderedDict[str, FingerprintStats]" = OrderedDict()
+        self.slow_queries = SlowQueryLog(slow_query_threshold, slow_query_capacity)
+
+    # -------------------------------------------------------------- recording
+
+    def observe(
+        self,
+        fingerprint: str,
+        pattern_name: str,
+        elapsed: float,
+        cached: bool,
+        counter: Optional[WorkCounter] = None,
+        aff_size: int = 0,
+        batch_size: int = 1,
+    ) -> None:
+        """Account one served request (hit or computed) for *fingerprint*."""
+        with self._lock:
+            stats = self._fingerprints.get(fingerprint)
+            if stats is None:
+                stats = FingerprintStats(fingerprint, self._lock)
+                self._fingerprints[fingerprint] = stats
+                while len(self._fingerprints) > self.capacity:
+                    self._fingerprints.popitem(last=False)
+            else:
+                self._fingerprints.move_to_end(fingerprint)
+            stats.pattern_name = pattern_name
+            stats.requests += 1
+            stats.last_elapsed = elapsed
+            if cached:
+                stats.cache_hits += 1
+            else:
+                stats.computed += 1
+            if counter is not None:
+                stats.verifications += counter.verifications
+        # The per-fingerprint histogram shares this introspection's lock,
+        # and observe() re-acquires it — so file the sample outside the
+        # with-block above.
+        stats._histogram.observe(elapsed)
+        self.slow_queries.record(
+            fingerprint,
+            pattern_name,
+            elapsed,
+            cached=cached,
+            counter=counter,
+            aff_size=aff_size,
+            batch_size=batch_size,
+        )
+
+    # -------------------------------------------------------------- snapshot
+
+    def fingerprint(self, fingerprint: str) -> Optional[FingerprintStats]:
+        with self._lock:
+            return self._fingerprints.get(fingerprint)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-fingerprint stats, hottest (most recently served) last."""
+        with self._lock:
+            return {
+                fingerprint: stats.as_dict()
+                for fingerprint, stats in self._fingerprints.items()
+            }
+
+    def top(self, count: int = 10) -> List[Tuple[str, Dict[str, object]]]:
+        """The *count* fingerprints with the most requests, descending."""
+        with self._lock:
+            ranked = sorted(
+                self._fingerprints.items(),
+                key=lambda item: item[1].requests,
+                reverse=True,
+            )
+        return [(fingerprint, stats.as_dict()) for fingerprint, stats in ranked[:count]]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._fingerprints.clear()
+        self.slow_queries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._fingerprints)

@@ -1,0 +1,369 @@
+"""`repro.obs.trace` — lightweight span tracing with cross-process propagation.
+
+A *span* is one timed region of work with a name, optional string tags, wall
+and CPU durations, and a parent — so one served query yields a tree::
+
+    service.batch
+      service.dispatch
+        pool.round
+          worker.fragment   (recorded in a pool worker process)
+          worker.fragment
+      service.record
+
+Spans are recorded by a process-wide :class:`Tracer` that is **disabled by
+default**: ``span(...)`` then returns a shared no-op context manager and the
+instrumented code costs one attribute check.  Enable with
+:func:`enable_tracing` (or the scoped :func:`active_tracing`).
+
+Cross-process propagation mirrors how fragments already travel: the
+coordinator captures its :func:`current_context` — a picklable
+``(trace_id, parent span id, enabled)`` triple — and ships it with each
+fragment task; the pool worker :meth:`Tracer.adopt`\\ s the context, records
+its spans locally, and returns them **piggybacked on the fragment result**.
+The coordinator :meth:`Tracer.ingest`\\ s them, so the final record list holds
+one coherent tree covering dispatcher → executor round → per-fragment worker
+work → merge, with the worker spans carrying their own ``pid``.
+
+Nesting is tracked per *thread* (a thread-local stack), which matches the
+library's concurrency model: each serving batch runs entirely on the
+dispatcher thread, and each pool worker runs one task at a time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+__all__ = [
+    "SpanRecord",
+    "TraceContext",
+    "Tracer",
+    "get_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "active_tracing",
+    "span",
+    "current_context",
+    "build_span_tree",
+    "format_span_tree",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.  Frozen and picklable — this is the wire form.
+
+    ``tags`` is a tuple of ``(key, value)`` string pairs (not a dict) so the
+    record hashes and pickles cheaply; ``pid`` identifies the recording
+    process, which is how a span tree shows work that crossed the process
+    boundary.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start: float
+    wall: float
+    cpu: float
+    pid: int
+    tags: Tuple[Tuple[str, str], ...] = ()
+
+    def tag(self, key: str) -> Optional[str]:
+        for tag_key, value in self.tags:
+            if tag_key == key:
+                return value
+        return None
+
+
+class TraceContext(NamedTuple):
+    """The picklable propagation triple shipped across process boundaries."""
+
+    trace_id: str
+    parent_id: Optional[str]
+    enabled: bool
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    record = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """A live span: times the ``with`` body and files a :class:`SpanRecord`."""
+
+    __slots__ = ("_tracer", "name", "tags", "trace_id", "span_id", "parent_id",
+                 "_start", "_wall0", "_cpu0", "record")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: Tuple[Tuple[str, str], ...]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.tags = tags
+        self.record: Optional[SpanRecord] = None
+
+    def __enter__(self) -> "_ActiveSpan":
+        tracer = self._tracer
+        stack = tracer._stack()
+        if stack:
+            self.trace_id, self.parent_id = stack[-1]
+        else:
+            self.trace_id, self.parent_id = tracer._new_trace_id(), None
+        self.span_id = tracer._new_span_id()
+        stack.append((self.trace_id, self.span_id))
+        self._start = time.time()
+        self._cpu0 = time.process_time()
+        self._wall0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        stack = self._tracer._stack()
+        if stack and stack[-1][1] == self.span_id:
+            stack.pop()
+        self.record = SpanRecord(
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            name=self.name,
+            start=self._start,
+            wall=wall,
+            cpu=cpu,
+            pid=os.getpid(),
+            tags=self.tags,
+        )
+        self._tracer._file(self.record)
+        return False
+
+
+class Tracer:
+    """Process-wide span recorder with a per-thread nesting stack."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._records: List[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------- plumbing
+
+    def _stack(self) -> List[Tuple[str, Optional[str]]]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _new_trace_id(self) -> str:
+        return f"t{os.getpid():x}-{next(self._ids):x}"
+
+    def _new_span_id(self) -> str:
+        return f"s{os.getpid():x}-{next(self._ids):x}"
+
+    def _file(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    # ------------------------------------------------------------ recording
+
+    def span(self, name: str, **tags: object):
+        """A context manager timing one region (no-op while disabled).
+
+        Tags are stringified — they are labels for humans and tests, not a
+        side channel for data.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        frozen = tuple((key, str(value)) for key, value in sorted(tags.items()))
+        return _ActiveSpan(self, name, frozen)
+
+    def current_context(self) -> TraceContext:
+        """The propagation triple for the innermost active span (picklable)."""
+        if not self.enabled:
+            return TraceContext("", None, False)
+        stack = self._stack()
+        if stack:
+            trace_id, span_id = stack[-1]
+            return TraceContext(trace_id, span_id, True)
+        return TraceContext(self._new_trace_id(), None, True)
+
+    @contextmanager
+    def adopt(self, context: TraceContext) -> Iterator[List[SpanRecord]]:
+        """Attach this process's spans under a remote parent (worker side).
+
+        Enables recording for the duration, parents new spans under
+        ``context.parent_id``, and yields a list that is filled — on exit —
+        with exactly the records created inside the block, removed from the
+        local tracer (they are shipped back to the coordinator, which is the
+        tree's owner; keeping them here too would double-count).
+        """
+        collected: List[SpanRecord] = []
+        if not context.enabled:
+            yield collected
+            return
+        was_enabled = self.enabled
+        self.enabled = True
+        stack = self._stack()
+        stack.append((context.trace_id, context.parent_id))
+        with self._lock:
+            mark = len(self._records)
+        try:
+            yield collected
+        finally:
+            if stack and stack[-1] == (context.trace_id, context.parent_id):
+                stack.pop()
+            self.enabled = was_enabled
+            with self._lock:
+                collected.extend(self._records[mark:])
+                del self._records[mark:]
+
+    # ----------------------------------------------------------- collection
+
+    def ingest(self, records: Sequence[SpanRecord]) -> None:
+        """File spans recorded elsewhere (shipped back from pool workers)."""
+        if not records:
+            return
+        with self._lock:
+            self._records.extend(records)
+
+    def records(self) -> Tuple[SpanRecord, ...]:
+        with self._lock:
+            return tuple(self._records)
+
+    def drain(self) -> Tuple[SpanRecord, ...]:
+        """Return all records and clear the buffer (typical per-test usage)."""
+        with self._lock:
+            records = tuple(self._records)
+            self._records.clear()
+            return records
+
+    def reset(self) -> None:
+        with self._lock:
+            self._records.clear()
+        self._local = threading.local()
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return _TRACER
+
+
+def enable_tracing() -> Tracer:
+    _TRACER.enabled = True
+    return _TRACER
+
+
+def disable_tracing() -> None:
+    _TRACER.enabled = False
+
+
+def tracing_enabled() -> bool:
+    return _TRACER.enabled
+
+
+@contextmanager
+def active_tracing() -> Iterator[Tracer]:
+    """Scoped tracing for tests and benchmarks: enable, yield, restore + drain."""
+    was_enabled = _TRACER.enabled
+    _TRACER.enabled = True
+    try:
+        yield _TRACER
+    finally:
+        _TRACER.enabled = was_enabled
+        if not was_enabled:
+            _TRACER.drain()
+
+
+def span(name: str, **tags: object):
+    """``with span("qmatch.enumerate", fingerprint=fp): ...`` on the global tracer."""
+    return _TRACER.span(name, **tags)
+
+
+def current_context() -> TraceContext:
+    return _TRACER.current_context()
+
+
+# ----------------------------------------------------------------- span trees
+
+
+@dataclass
+class SpanNode:
+    """One node of an assembled span tree."""
+
+    record: SpanRecord
+    children: List["SpanNode"]
+
+
+def build_span_tree(records: Sequence[SpanRecord]) -> List[SpanNode]:
+    """Assemble records into forests (one root per parentless span).
+
+    A span whose parent is not among *records* (e.g. its parent was recorded
+    in a process whose records were not shipped) becomes a root — the tree is
+    best-effort by design, never an error.  Children sort by start time.
+    """
+    nodes: Dict[str, SpanNode] = {
+        record.span_id: SpanNode(record, []) for record in records
+    }
+    roots: List[SpanNode] = []
+    for record in records:
+        node = nodes[record.span_id]
+        parent = nodes.get(record.parent_id) if record.parent_id else None
+        if parent is not None and parent is not node:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda child: child.record.start)
+    roots.sort(key=lambda root: root.record.start)
+    return roots
+
+
+def format_span_tree(
+    records: Sequence[SpanRecord], show_times: bool = True
+) -> str:
+    """Indented text rendering of the span forest.
+
+    With ``show_times=False`` the output is deterministic (names, tags and
+    cross-process markers only), which is what doctests print.
+    """
+    home_pid = os.getpid()
+    lines: List[str] = []
+
+    def _walk(node: SpanNode, depth: int) -> None:
+        record = node.record
+        parts = [f"{'  ' * depth}{record.name}"]
+        if record.tags:
+            rendered = ", ".join(f"{key}={value}" for key, value in record.tags)
+            parts.append(f"[{rendered}]")
+        if record.pid != home_pid:
+            parts.append("(remote)")
+        if show_times:
+            parts.append(f"wall={record.wall * 1e3:.2f}ms cpu={record.cpu * 1e3:.2f}ms")
+        lines.append(" ".join(parts))
+        for child in node.children:
+            _walk(child, depth + 1)
+
+    for root in build_span_tree(records):
+        _walk(root, 0)
+    return "\n".join(lines)

@@ -34,6 +34,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.matching.result import FragmentResult
+from repro.obs.metrics import get_registry
+from repro.obs.trace import TraceContext, current_context, get_tracer, span
 from repro.parallel.worker import (
     FragmentPayload,
     FragmentTask,
@@ -127,6 +129,7 @@ def _pool_run_fragment(
     pattern: QuantifiedGraphPattern,
     engine_spec: Tuple,
     chain: Tuple[ChainHop, ...] = (),
+    trace_ctx: TraceContext = TraceContext("", None, False),
 ) -> Tuple[FragmentResult, int]:
     """Evaluate one pattern on one cached fragment inside a pool worker.
 
@@ -135,13 +138,20 @@ def _pool_run_fragment(
     count and the regression tests assert it stays zero (decoding a snapshot
     must fully replace recompilation, and replaying a delta chain must
     *refresh* the decoded index, not recompile it).
+
+    When the coordinator had tracing enabled, *trace_ctx* parents this
+    worker's spans under the coordinator's ``pool.round`` span; the records
+    ship back on ``FragmentResult.spans`` for the coordinator to ingest.
     """
     from repro.index.snapshot import build_call_count
 
     builds_before = build_call_count()
-    graph, owned_nodes = _worker_fragment(cache_key, chain)
-    engine = engine_from_spec(engine_spec)
-    result = match_fragment(pattern, graph, owned_nodes, engine, cache_key[0])
+    with get_tracer().adopt(trace_ctx) as shipped_spans:
+        graph, owned_nodes = _worker_fragment(cache_key, chain)
+        engine = engine_from_spec(engine_spec)
+        result = match_fragment(pattern, graph, owned_nodes, engine, cache_key[0])
+    if shipped_spans:
+        result.spans = tuple(shipped_spans)
     return result, build_call_count() - builds_before
 
 
@@ -339,9 +349,26 @@ class ProcessExecutor:
 
     # ------------------------------------------------------------------ run
 
+    @property
+    def pool_epoch(self) -> Optional[Tuple[CacheKey, ...]]:
+        """The live pool's payload-content epoch (``None`` while cold)."""
+        return self._pool_epoch
+
     def run(self, tasks: Sequence[FragmentTask]) -> List[FragmentResult]:
         if not tasks:
             return []
+        with span("pool.round", backend=self.name, tasks=len(tasks)):
+            results = self._run_round(tasks)
+        registry = get_registry()
+        if registry:
+            registry.counter("pool.rounds").inc()
+            registry.counter("pool.tasks").inc(len(tasks))
+            registry.gauge("pool.workers").set(self.max_workers)
+            registry.gauge("pool.worker_rebuilds").set(self.last_worker_rebuilds)
+            registry.gauge("pool.deltas_shipped").set(self.deltas_shipped)
+        return results
+
+    def _run_round(self, tasks: Sequence[FragmentTask]) -> List[FragmentResult]:
         payloads = [self._payload_for(task) for task in tasks]
         # The epoch is the *set* of shipped fragment contents: a batched run
         # (many patterns × the same fragments, as the serving layer submits)
@@ -390,6 +417,10 @@ class ProcessExecutor:
                 initargs=(unique_payloads,),
             )
             self._pool_epoch = epoch
+            registry = get_registry()
+            if registry:
+                registry.counter("pool.recreations").inc()
+        trace_ctx = current_context()
         futures = [
             self._pool.submit(
                 _pool_run_fragment,
@@ -397,13 +428,17 @@ class ProcessExecutor:
                 task.pattern,
                 engine_to_spec(task.engine),
                 payload.chain_hops() if isinstance(payload, _DeltaPayloadRef) else (),
+                trace_ctx,
             )
             for payload, task in zip(payloads, tasks)
         ]
         results: List[FragmentResult] = []
+        tracer = get_tracer()
         for future in futures:
             result, rebuilds = future.result()
             self.last_worker_rebuilds += rebuilds
+            if result.spans:
+                tracer.ingest(result.spans)
             results.append(result)
         return results
 

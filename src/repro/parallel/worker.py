@@ -24,6 +24,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 from repro.graph.digraph import PropertyGraph
 from repro.matching.qmatch import QMatch
 from repro.matching.result import FragmentResult, MatchResult
+from repro.obs.trace import span
 from repro.parallel.partition import Fragment, HopPreservingPartition
 from repro.patterns.qgp import QuantifiedGraphPattern
 from repro.utils.counters import WorkCounter
@@ -218,7 +219,9 @@ def match_fragment(
     its whole d-hop neighbourhood.
     """
     engine = engine or QMatch()
-    with Timer() as timer:
+    with span(
+        "worker.fragment", fragment=fragment_id, owned=len(owned_nodes)
+    ), Timer() as timer:
         try:
             result = engine.evaluate(pattern, fragment_graph, focus_restriction=owned_nodes)
         except TypeError:

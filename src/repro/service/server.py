@@ -39,16 +39,21 @@ import threading
 import weakref
 from collections import OrderedDict
 from concurrent.futures import Future
+from time import perf_counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
 
 from repro.graph.digraph import PropertyGraph
 from repro.matching.qmatch import QMatch
+from repro.obs.introspect import ServiceIntrospection
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.parallel.coordinator import PQMatch
 from repro.parallel.worker import FragmentTask, engine_to_spec
 from repro.patterns.qgp import QuantifiedGraphPattern
 from repro.service.cache import ResultCache
 from repro.service.patterns import CanonicalPattern, canonicalize
+from repro.utils.counters import WorkCounter
 from repro.utils.errors import ReproError
 from repro.utils.timing import Timer
 
@@ -95,6 +100,13 @@ class ServiceStats:
     per-pattern-object memo; the ``delta_*`` family describes update batches:
     batches applied, cache entries carried across a version vs dropped, and
     standing-query answers delta-maintained.
+
+    The object doubles as the service's introspection entry point: *reading*
+    attributes (``service.stats.computed``) gives the lifetime counters, while
+    *calling* it (``service.stats()``) returns the full introspection snapshot
+    — per-fingerprint p50/p99 latencies, cache occupancy and hit rate, pool
+    epoch, standing-query counts and the slow-query log — via the owning
+    service's :meth:`QueryService.introspect`.
     """
 
     served: int = 0
@@ -123,6 +135,12 @@ class ServiceStats:
             "delta_cache_dropped": self.delta_cache_dropped,
             "delta_subscription_updates": self.delta_subscription_updates,
         }
+
+    def __call__(self) -> Dict[str, object]:
+        provider = getattr(self, "_snapshot_provider", None)
+        if provider is None:
+            return dict(self.as_dict())
+        return provider()
 
 
 @dataclass(frozen=True)
@@ -237,6 +255,9 @@ class QueryService:
         coordinator: Optional[PQMatch] = None,
         cache_capacity: int = 1024,
         name: str = "QueryService",
+        slow_query_threshold: Optional[float] = None,
+        introspection_capacity: int = 512,
+        slow_query_capacity: int = 64,
     ) -> None:
         self.graph = graph
         self.coordinator = coordinator if coordinator is not None else PQMatch(
@@ -245,6 +266,16 @@ class QueryService:
         self.cache = ResultCache(cache_capacity)
         self.name = name
         self.stats = ServiceStats()
+        # Calling service.stats() (vs reading its counter attributes) yields
+        # the full introspection snapshot.
+        self.stats._snapshot_provider = self.introspect
+        # Request-level accounting: per-fingerprint traffic + latency
+        # histograms and the (opt-in via slow_query_threshold) slow-query log.
+        self.introspection = ServiceIntrospection(
+            capacity=introspection_capacity,
+            slow_query_threshold=slow_query_threshold,
+            slow_query_capacity=slow_query_capacity,
+        )
         self._options_key = _engine_options_key(self.coordinator.engine)
         # Prepared-statement style canonicalization memo: repeat submissions
         # of the *same pattern object* skip the ~50µs canonicalize.  Weak keys
@@ -336,12 +367,20 @@ class QueryService:
         results: List[Optional[ServiceResult]] = [None] * len(patterns)
         # fingerprint -> (representative pattern, positions awaiting it)
         missing: Dict[str, Tuple[QuantifiedGraphPattern, List[int]]] = {}
-        with Timer() as timer:
+        # Per-request service time: a hit costs its lookup; a miss costs the
+        # lookup plus its fingerprint's share of the dispatch round (the sum
+        # of its fragments' evaluation times) — this is what feeds the
+        # per-fingerprint p50/p99 and the slow-query log.
+        request_elapsed: List[float] = [0.0] * len(patterns)
+        compute_counters: Dict[str, WorkCounter] = {}
+        with span("service.batch", size=len(patterns)), Timer() as timer:
             forms = [self._canonical(pattern) for pattern in patterns]
             for position, (pattern, form) in enumerate(zip(patterns, forms)):
+                lookup_started = perf_counter()
                 answer = self.cache.lookup(
                     graph, form.fingerprint, self._options_key, version=version
                 )
+                request_elapsed[position] = perf_counter() - lookup_started
                 if answer is not None:
                     results[position] = ServiceResult(
                         pattern=pattern.name,
@@ -358,7 +397,9 @@ class QueryService:
                     (fingerprint, pattern)
                     for fingerprint, (pattern, _) in missing.items()
                 ]
-                answers = self._dispatch_batch(graph, unique)
+                answers, timings, compute_counters = self._dispatch_batch(
+                    graph, unique
+                )
                 for fingerprint, (pattern, positions) in missing.items():
                     answer = self.cache.store(
                         graph,
@@ -368,6 +409,7 @@ class QueryService:
                         version=version,
                     )
                     for position in positions:
+                        request_elapsed[position] += timings.get(fingerprint, 0.0)
                         results[position] = ServiceResult(
                             pattern=patterns[position].name,
                             fingerprint=fingerprint,
@@ -382,6 +424,21 @@ class QueryService:
         self.stats.served += len(patterns)
         self.stats.batches += 1
         elapsed = timer.elapsed
+        batch_size = len(patterns)
+        for position, result in enumerate(results):
+            self.introspection.observe(
+                fingerprint=result.fingerprint,
+                pattern_name=result.pattern,
+                elapsed=request_elapsed[position],
+                cached=result.cached,
+                counter=None if result.cached else compute_counters.get(result.fingerprint),
+                batch_size=batch_size,
+            )
+        registry = get_registry()
+        if registry:
+            registry.counter("service.batches").inc()
+            registry.counter("service.served").inc(batch_size)
+            registry.histogram("service.batch_seconds").observe(elapsed)
         return [
             ServiceResult(
                 pattern=result.pattern,
@@ -397,7 +454,7 @@ class QueryService:
         self,
         graph: PropertyGraph,
         unique: List[Tuple[str, QuantifiedGraphPattern]],
-    ) -> Dict[str, FrozenSet]:
+    ) -> Tuple[Dict[str, FrozenSet], Dict[str, float], Dict[str, WorkCounter]]:
         """Evaluate the unique cache misses in one executor round.
 
         Composes :meth:`PQMatch.fragment_tasks` / ``run_fragment_tasks`` —
@@ -406,6 +463,11 @@ class QueryService:
         concatenates *every* pattern's tasks into a single round, so the
         per-round fixed costs (pool round-trip, task scheduling) are paid once
         per batch instead of once per query.
+
+        Returns ``(answers, timings, counters)``: per fingerprint, the frozen
+        answer, the summed per-fragment evaluation seconds (its share of the
+        round — the introspection layer's compute-latency sample) and the
+        merged work counters.
         """
         coordinator = self.coordinator
         radius = 0
@@ -422,12 +484,23 @@ class QueryService:
             owners.extend([fingerprint] * len(pattern_tasks))
 
         self.stats.dispatch_rounds += 1
-        fragment_results = coordinator.run_fragment_tasks(tasks)
+        with span("service.dispatch", patterns=len(unique), tasks=len(tasks)):
+            fragment_results = coordinator.run_fragment_tasks(tasks)
 
         answers: Dict[str, set] = {fingerprint: set() for fingerprint, _ in unique}
+        timings: Dict[str, float] = {fingerprint: 0.0 for fingerprint, _ in unique}
+        counters: Dict[str, WorkCounter] = {
+            fingerprint: WorkCounter() for fingerprint, _ in unique
+        }
         for fingerprint, fragment_result in zip(owners, fragment_results):
             answers[fingerprint] |= fragment_result.answer
-        return {fingerprint: frozenset(nodes) for fingerprint, nodes in answers.items()}
+            timings[fingerprint] += fragment_result.elapsed
+            counters[fingerprint].merge(fragment_result.counter)
+        return (
+            {fingerprint: frozenset(nodes) for fingerprint, nodes in answers.items()},
+            timings,
+            counters,
+        )
 
     # -------------------------------------------------------- canonicalization
 
@@ -614,6 +687,7 @@ class QueryService:
         for subscription in list(self._subscriptions):
             if not subscription.active:
                 continue
+            maintain_started = perf_counter()
             answer, stats = inc_qmatch_delta(
                 subscription.pattern,
                 self.graph,
@@ -622,6 +696,14 @@ class QueryService:
                 inverse=inverse,
                 engine=engine,
                 index=index,
+            )
+            self.introspection.slow_queries.record(
+                subscription.fingerprint,
+                subscription.pattern.name,
+                perf_counter() - maintain_started,
+                cached=False,
+                counter=WorkCounter(verifications=stats.verifications),
+                aff_size=stats.aff_size,
             )
             if cacheable:
                 answer = self.cache.store(
@@ -747,6 +829,37 @@ class QueryService:
         merged.update(self.stats.as_dict())
         merged["worker_rebuilds"] = float(self.worker_rebuilds)
         return merged
+
+    def introspect(self) -> Dict[str, object]:
+        """The full operator-facing snapshot (also what ``stats()`` returns).
+
+        One nested dict answering the runtime questions in one read: lifetime
+        service counters, cache occupancy/capacity/hit-rate, the live pool's
+        backend and payload epoch, active standing-query count, per-fingerprint
+        traffic with p50/p99 latency, and the slow-query log.
+        """
+        executor = self.coordinator.current_executor
+        epoch = getattr(executor, "pool_epoch", None)
+        cache_stats = self.cache.stats.as_dict()
+        cache_stats["entries"] = len(self.cache)
+        cache_stats["capacity"] = self.cache.capacity
+        return {
+            "service": self.stats.as_dict(),
+            "cache": cache_stats,
+            "pool": {
+                "backend": getattr(executor, "name", None),
+                "epoch_fragments": len(epoch) if epoch else 0,
+                "worker_rebuilds": self.worker_rebuilds,
+                "deltas_shipped": getattr(executor, "deltas_shipped", 0),
+            },
+            "graph": {"name": self.graph.name, "version": self.graph.version},
+            "subscriptions": sum(1 for s in self._subscriptions if s.active),
+            "fingerprints": self.introspection.snapshot(),
+            "slow_queries": [
+                record.as_dict()
+                for record in self.introspection.slow_queries.records()
+            ],
+        }
 
     # -------------------------------------------------------------- lifecycle
 

@@ -104,3 +104,22 @@ def dataset_rule_r1():
 @pytest.fixture
 def triangle_graph() -> PropertyGraph:
     return build_triangle()
+
+
+# --------------------------------------------------------------------------
+# Observability isolation: the registry singleton, the tracer and the
+# always-on CORE counters are process-wide state.  Resetting them around
+# every test kills the counter-leak footgun the old module globals had — a
+# test asserting on build/refresh counts can never be poisoned by an earlier
+# test's traffic, and a test that enables metrics/tracing can never leave
+# them enabled for the rest of the run.
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    from repro.obs import reset_observability
+
+    reset_observability()
+    yield
+    reset_observability()

@@ -1,0 +1,165 @@
+"""Service introspection (:mod:`repro.obs.introspect` + ``QueryService.stats()``).
+
+Contracts under test: ``service.stats`` still reads as the lifetime counter
+object (every existing assertion style keeps working) while *calling* it
+returns the full introspection snapshot; per-fingerprint request counts,
+cache-hit counts and p50/p99 latencies are consistent with the ResultCache's
+own counters; and the slow-query log captures a pathological pattern together
+with its matching-layer verification counters (the regression satellite).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import benchmark_graph, paper_pattern, workload_patterns
+from repro.obs.introspect import ServiceIntrospection, SlowQueryLog
+from repro.service import QueryService
+from repro.utils.counters import WorkCounter
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return benchmark_graph("pokec", scale=0.5, seed=2)
+
+
+@pytest.fixture(scope="module")
+def patterns(graph):
+    return [paper_pattern("Q1")] + workload_patterns(graph, count=2, seed=7)
+
+
+class TestUnitIntrospection:
+    def test_observe_accumulates_per_fingerprint(self):
+        intro = ServiceIntrospection()
+        intro.observe("fp1", "Q", 0.010, cached=False,
+                      counter=WorkCounter(verifications=5))
+        intro.observe("fp1", "Q", 0.001, cached=True)
+        stats = intro.fingerprint("fp1")
+        assert stats.requests == 2
+        assert stats.cache_hits == 1 and stats.computed == 1
+        assert stats.verifications == 5
+        assert 0.0 < stats.p50 <= stats.p99
+        snapshot = intro.snapshot()
+        assert snapshot["fp1"]["requests"] == 2
+
+    def test_capacity_evicts_least_recently_served(self):
+        intro = ServiceIntrospection(capacity=2)
+        for fingerprint in ("a", "b", "c"):
+            intro.observe(fingerprint, "Q", 0.001, cached=True)
+        assert intro.fingerprint("a") is None
+        assert len(intro) == 2
+
+    def test_slow_query_log_threshold_and_bound(self):
+        log = SlowQueryLog(threshold=0.01, capacity=2)
+        assert log.record("fp", "Q", 0.001) is None  # under threshold
+        for position in range(3):
+            assert log.record("fp", "Q", 0.02 + position) is not None
+        assert len(log) == 2 and log.dropped == 1
+        assert log.records()[-1].elapsed == pytest.approx(2.02)
+
+    def test_slow_query_log_disabled_by_default(self):
+        log = SlowQueryLog()
+        assert not log.enabled
+        assert log.record("fp", "Q", 100.0) is None
+
+
+class TestServiceStats:
+    def test_stats_attribute_and_call_coexist(self, graph, patterns):
+        with QueryService(graph) as service:
+            service.evaluate(patterns[0])
+            service.evaluate(patterns[0])
+            # attribute reads: the lifetime counters, unchanged contract
+            assert service.stats.computed == 1
+            assert service.stats.served == 2
+            # calling it: the introspection snapshot
+            snapshot = service.stats()
+            assert snapshot["service"]["computed"] == 1
+            assert snapshot is not service.stats
+
+    def test_snapshot_consistent_with_cache_internals(self, graph, patterns):
+        with QueryService(graph) as service:
+            service.evaluate_many(patterns)          # all misses
+            service.evaluate_many(patterns)          # all hits
+            service.evaluate(patterns[0])            # one more hit
+            snapshot = service.stats()
+
+            cache_stats = service.cache.stats
+            assert snapshot["cache"]["hits"] == cache_stats.hits
+            assert snapshot["cache"]["misses"] == cache_stats.misses
+            # the snapshot rounds to 4 decimals for stable display
+            assert snapshot["cache"]["hit_rate"] == pytest.approx(
+                cache_stats.hit_rate, abs=5e-5
+            )
+            assert snapshot["cache"]["entries"] == len(service.cache)
+
+            fingerprints = snapshot["fingerprints"]
+            assert len(fingerprints) == len(patterns)
+            assert sum(entry["requests"] for entry in fingerprints.values()) == (
+                cache_stats.hits + cache_stats.misses
+            )
+            assert sum(entry["cache_hits"] for entry in fingerprints.values()) == (
+                cache_stats.hits
+            )
+            for entry in fingerprints.values():
+                assert entry["p50_seconds"] <= entry["p99_seconds"]
+                assert entry["computed"] == 1
+            # a computed request costs real time; its p99 reflects that
+            hottest = max(fingerprints.values(), key=lambda e: e["requests"])
+            assert hottest["p99_seconds"] > 0.0
+
+    def test_snapshot_covers_pool_graph_and_subscriptions(self, graph, patterns):
+        with QueryService(graph) as service:
+            subscription = service.subscribe(patterns[0])
+            snapshot = service.stats()
+            assert snapshot["subscriptions"] == 1
+            assert snapshot["graph"]["version"] == graph.version
+            assert snapshot["pool"]["worker_rebuilds"] == 0
+            subscription.cancel()
+            assert service.stats()["subscriptions"] == 0
+
+    def test_introspection_bound_by_capacity(self, graph, patterns):
+        with QueryService(graph, introspection_capacity=1) as service:
+            service.evaluate_many(patterns)
+            assert len(service.stats()["fingerprints"]) == 1
+
+
+class TestSlowQueryRegression:
+    def test_pathological_pattern_lands_in_log_with_counters(self, graph):
+        """Satellite regression: with the threshold at 0.0 every served
+
+        query is 'slow'; the pathological (most expensive) pattern must
+        appear with its fingerprint and non-zero verification counters."""
+        pathological = paper_pattern("Q3", p=2)
+        with QueryService(graph, slow_query_threshold=0.0) as service:
+            result = service.evaluate(pathological)
+            records = service.stats()["slow_queries"]
+        assert records, "threshold 0.0 must log every request"
+        entry = next(
+            record for record in records
+            if record["fingerprint"] == result.fingerprint
+        )
+        assert entry["pattern"] == pathological.name
+        assert not entry["cached"]
+        assert entry["verifications"] > 0
+        assert entry["elapsed_seconds"] >= 0.0
+
+    def test_log_off_by_default(self, graph):
+        with QueryService(graph) as service:
+            service.evaluate(paper_pattern("Q1"))
+            assert service.stats()["slow_queries"] == []
+
+    def test_subscription_maintenance_is_logged_with_aff_size(self, graph):
+        from repro.delta import GraphDelta
+
+        pattern = paper_pattern("Q1")
+        with QueryService(graph, slow_query_threshold=0.0) as service:
+            service.subscribe(pattern)
+            before = len(service.stats()["slow_queries"])
+            node = next(iter(graph.nodes()))
+            delta = GraphDelta(edge_inserts=(
+                (node, f"obs-probe-{graph.version}", "follow"),
+            ), node_inserts=((f"obs-probe-{graph.version}", "person", {}),))
+            service.apply_delta(delta)
+            records = service.stats()["slow_queries"][before:]
+        assert any(r["aff_size"] >= 0 and r["pattern"] == pattern.name
+                   for r in records)

@@ -1,0 +1,202 @@
+"""The metrics registry (:mod:`repro.obs.metrics`).
+
+Contracts under test: instruments are created on first use and keep their
+identity, dotted-name kind collisions raise, the null registry is falsy and
+allocation-free on the disabled hot path, enable/disable swap the process
+singleton, reset zeroes values without invalidating cached handles, and the
+Prometheus-style text exposition is a faithful wire format — a hypothesis
+property pins ``parse_exposition(registry.expose_text()) == registry.dump()``.
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    CORE,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    active_metrics,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+    parse_exposition,
+)
+
+
+class TestRegistrySemantics:
+    def test_instruments_keep_identity_and_accumulate(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("service.cache.hits")
+        counter.inc()
+        registry.counter("service.cache.hits").inc(2)
+        assert registry.counter("service.cache.hits") is counter
+        assert counter.value == 3
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("pool.workers")
+        gauge.set(4)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 3
+
+    def test_histogram_counts_and_quantiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("match.seconds")
+        for value in (0.0002, 0.002, 0.02, 0.2, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(2.2222)
+        assert 0.0 < histogram.quantile(0.5) <= histogram.quantile(0.99)
+        # the tail bucket clamps to the largest finite bound
+        histogram.observe(10_000.0)
+        assert histogram.quantile(1.0) == DEFAULT_LATENCY_BUCKETS[-1]
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("index.build")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("index.build")
+
+    def test_invalid_name_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("no spaces allowed")
+
+    def test_counters_are_monotone(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="monotone"):
+            registry.counter("x").inc(-1)
+
+    def test_reset_zeroes_but_keeps_handles(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a.b")
+        histogram = registry.histogram("a.c")
+        counter.inc(7)
+        histogram.observe(1.0)
+        registry.reset()
+        assert counter.value == 0 and histogram.count == 0
+        counter.inc()
+        assert registry.counter("a.b").value == 1
+
+
+class TestSingleton:
+    def test_default_is_falsy_null_registry(self):
+        registry = get_registry()
+        assert registry is NULL_REGISTRY
+        assert not registry
+        assert not metrics_enabled()
+
+    def test_null_registry_is_inert(self):
+        NULL_REGISTRY.counter("x").inc()
+        NULL_REGISTRY.histogram("y").observe(1.0)
+        assert NULL_REGISTRY.dump() == {}
+        assert NULL_REGISTRY.expose_text() == ""
+        # one shared instrument serves every name and kind
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.gauge("b")
+
+    def test_enable_disable_swap(self):
+        registry = enable_metrics()
+        try:
+            assert get_registry() is registry
+            assert metrics_enabled()
+            # idempotent: re-enabling returns the same live registry
+            assert enable_metrics() is registry
+        finally:
+            disable_metrics()
+        assert get_registry() is NULL_REGISTRY
+
+    def test_active_metrics_scopes_and_restores(self):
+        with active_metrics() as registry:
+            get_registry().counter("scoped").inc()
+            assert registry.counter("scoped").value == 1
+        assert not metrics_enabled()
+
+    def test_disabled_hot_loop_allocates_nothing(self):
+        """Satellite guard: the ``if registry:`` pattern on the disabled
+
+        path must not accumulate allocations — the instrumented enumeration
+        loop costs one global read and one falsy check per pass."""
+        iterations = range(10_000)
+        for _ in range(100):  # warm up any lazy caches
+            registry = get_registry()
+            if registry:
+                registry.counter("hot.loop").inc()
+        gc.collect()
+        before = sys.getallocatedblocks()
+        for _ in iterations:
+            registry = get_registry()
+            if registry:
+                registry.counter("hot.loop").inc()
+        after = sys.getallocatedblocks()
+        assert after - before <= 8  # no per-iteration allocation survives
+
+
+class TestCoreCounters:
+    def test_reset_and_slots(self):
+        CORE.index_builds += 3
+        CORE.index_refresh_rebuilds += 1
+        assert CORE.as_dict()["index_builds"] == 3
+        CORE.reset()
+        assert CORE.as_dict() == {
+            "index_builds": 0,
+            "index_refreshes": 0,
+            "index_refresh_rebuilds": 0,
+        }
+        with pytest.raises(AttributeError):
+            CORE.some_new_counter = 1  # slotted on purpose
+
+
+# ---------------------------------------------------------------------------
+# Exposition round-trip (hypothesis)
+# ---------------------------------------------------------------------------
+
+_SEGMENT = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True)
+_NAMES = st.builds(".".join, st.lists(_SEGMENT, min_size=1, max_size=3))
+_FINITE = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e9, max_value=1e9
+)
+
+
+@st.composite
+def populated_registries(draw) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    names = draw(st.lists(_NAMES, min_size=1, max_size=6, unique=True))
+    for position, name in enumerate(names):
+        kind = draw(st.sampled_from(["counter", "gauge", "histogram"]))
+        if kind == "counter":
+            registry.counter(name).inc(draw(st.integers(0, 10**6)))
+        elif kind == "gauge":
+            registry.gauge(name).set(draw(_FINITE))
+        else:
+            histogram = registry.histogram(name)
+            for value in draw(st.lists(_FINITE, max_size=8)):
+                histogram.observe(value)
+    return registry
+
+
+class TestExpositionRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(registry=populated_registries())
+    def test_parse_exposition_reconstructs_dump(self, registry):
+        assert parse_exposition(registry.expose_text()) == registry.dump()
+
+    def test_empty_registry_round_trips(self):
+        registry = MetricsRegistry()
+        assert registry.expose_text() == ""
+        assert parse_exposition("") == {}
+
+    def test_flat_dict_collapses_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.histogram("b").observe(0.5)
+        flat = registry.as_flat_dict()
+        assert flat == {"a": 2, "b.count": 1, "b.sum": 0.5}
