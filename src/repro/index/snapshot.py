@@ -79,6 +79,7 @@ class GraphIndex:
         "_label_members",
         "_neighborhoods",
         "_compiled_rows",
+        "_str_ranks",
     )
 
     def __init__(
@@ -112,6 +113,9 @@ class GraphIndex:
         # Per (incoming, edge label) compiled row stores, materialised on
         # first use by the enumeration (see :meth:`compiled_rows`).
         self._compiled_rows: Dict[Tuple[bool, int], Dict[NodeId, frozenset]] = {}
+        # node -> dense ``str``-order rank, materialised on first use by the
+        # plan-driven enumeration (see :meth:`str_ranks`).
+        self._str_ranks: Optional[Dict[NodeId, int]] = None
 
     # ------------------------------------------------------------------ build
 
@@ -355,6 +359,35 @@ class GraphIndex:
         already paid for (see :mod:`repro.index.serialize`).
         """
         return tuple(sorted(self._compiled_rows))
+
+    def str_ranks(self) -> Dict[NodeId, int]:
+        """``node -> dense rank`` in ``str``-sort order (built once, cached).
+
+        The enumeration's deterministic tie-break sorts candidate pools with
+        ``key=str``, which stringifies every pool member on every probe.  A
+        compiled plan replaces that with an integer rank lookup from this
+        map.  Nodes whose ``str`` forms are *equal* share a rank, so a stable
+        sort on the rank leaves them in pool order — exactly where
+        ``sorted(pool, key=str)`` leaves them — keeping plan-driven and
+        interpreted enumeration byte-identical.  The lazy build is idempotent
+        (same immutable-content map either way), preserving the snapshot's
+        share-freely contract.
+        """
+        ranks = self._str_ranks
+        if ranks is None:
+            value_of = self.nodes.value_of
+            texts = [str(value_of(index)) for index in range(self.num_nodes)]
+            ranks = {}
+            rank = -1
+            previous = None
+            for index in sorted(range(self.num_nodes), key=texts.__getitem__):
+                text = texts[index]
+                if text != previous:
+                    rank += 1
+                    previous = text
+                ranks[value_of(index)] = rank
+            self._str_ranks = ranks
+        return ranks
 
     # ---------------------------------------------------- d-hop neighbourhoods
 

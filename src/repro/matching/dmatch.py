@@ -46,6 +46,10 @@ __all__ = ["DMatchOptions", "dmatch", "DMatchOutcome"]
 
 NodeId = Hashable
 
+# Degree-row fallback for edge labels absent from the resolved snapshot: every
+# probe answers 0, matching ``graph.out_degree`` for a label with no edges.
+_EMPTY_ROWS: Dict[NodeId, frozenset] = {}
+
 
 @dataclass(frozen=True)
 class DMatchOptions:
@@ -130,6 +134,11 @@ def _verify_focus_candidate(
     ordering: Optional[Dict[NodeId, List[NodeId]]] = None,
     shared_context: Optional[MatchContext] = None,
     pattern_edges=None,
+    plan=None,
+    plan_binding=None,
+    edge_specs=None,
+    stratified_pattern=None,
+    plan_resolution=None,
 ) -> Tuple[bool, Dict[NodeId, Set[NodeId]]]:
     """Decide whether *focus_candidate* belongs to ``Π(Q)(xo, G)``.
 
@@ -143,7 +152,12 @@ def _verify_focus_candidate(
         # Optionally restrict every candidate set to the focus candidate's
         # radius-hop neighbourhood (costs one BFS per candidate) and search
         # with a per-candidate context.
-        local_nodes = nodes_within_hops(graph, focus_candidate, radius)
+        if plan_resolution is not None:
+            # Same ball, same membership — swept over the plan resolution's
+            # flat per-epoch neighbour table instead of per-node set unions.
+            local_nodes = plan_resolution.ball(focus_candidate, radius)
+        else:
+            local_nodes = nodes_within_hops(graph, focus_candidate, radius)
         local_candidates = {
             u: (index.candidate_set(u) & local_nodes) for u in pattern.nodes()
         }
@@ -153,12 +167,17 @@ def _verify_focus_candidate(
         if any(not members for members in local_candidates.values()):
             return False, {}
         context = MatchContext(
-            pattern.stratified(),
+            # The compiled path reuses the query's one stratified pattern so
+            # the plan's per-pattern memos hold across focus candidates; the
+            # interpreted path keeps its per-candidate construction.
+            stratified_pattern if stratified_pattern is not None else pattern.stratified(),
             graph,
             candidates=local_candidates,
             candidate_order=ordering if isinstance(ordering, dict) else None,
             anchored_nodes={focus},
             use_index=options.index_enumeration,
+            plan=plan,
+            plan_binding=plan_binding,
         )
     else:
         # The shared context already carries the filtered candidate pools.
@@ -168,15 +187,38 @@ def _verify_focus_candidate(
     matched_children: Dict[Tuple[int, NodeId], Set[NodeId]] = {}
     assignments: List[Dict[NodeId, NodeId]] = []
 
-    def assignment_satisfies(assignment: Dict[NodeId, NodeId]) -> bool:
-        for edge_index, edge in enumerate(edges):
-            counter.quantifier_checks += 1
-            bound_source = assignment[edge.source]
-            count = len(matched_children.get((edge_index, bound_source), ()))
-            total = graph.out_degree(bound_source, edge.label)
-            if not edge.quantifier.check(count, total):
-                return False
-        return True
+    if edge_specs is None:
+
+        def assignment_satisfies(assignment: Dict[NodeId, NodeId]) -> bool:
+            for edge_index, edge in enumerate(edges):
+                counter.quantifier_checks += 1
+                bound_source = assignment[edge.source]
+                count = len(matched_children.get((edge_index, bound_source), ()))
+                total = graph.out_degree(bound_source, edge.label)
+                if not edge.quantifier.check(count, total):
+                    return False
+            return True
+
+    else:
+        # Compiled plan: the per-edge attribute chain, quantifier dispatch
+        # and the ``out_degree`` method call are lowered to prebound locals,
+        # closed-over threshold closures and snapshot degree-row probes.
+        # Work accounting is unchanged — one quantifier check per edge until
+        # the first failure, exactly like the interpreted loop above.
+        children_get = matched_children.get
+
+        def assignment_satisfies(assignment: Dict[NodeId, NodeId]) -> bool:
+            edge_index = 0
+            for source, check, degree_get in edge_specs:
+                counter.quantifier_checks += 1
+                bound_source = assignment[source]
+                if not check(
+                    len(children_get((edge_index, bound_source), ())),
+                    len(degree_get(bound_source, ())),
+                ):
+                    return False
+                edge_index += 1
+            return True
 
     bindings: Dict[NodeId, Set[NodeId]] = {}
     matched = False
@@ -225,6 +267,8 @@ def dmatch(
     index: Optional[CandidateIndex] = None,
     counter: Optional[WorkCounter] = None,
     focus_restriction: Optional[Set[NodeId]] = None,
+    plan=None,
+    plan_binding=None,
 ) -> DMatchOutcome:
     """Evaluate a *positive* QGP and return its answer plus caches.
 
@@ -237,6 +281,12 @@ def dmatch(
     focus_restriction:
         Verify only these focus candidates (the incremental step passes the
         cached positive answer here).
+    plan, plan_binding:
+        An optional :class:`repro.plan.CompiledPlan` for this pattern's
+        fingerprint plus the pattern-node → canonical-position binding.
+        Lowers the quantifier checks and reuses the plan's pre-resolved row
+        stores / ``str`` ranks; answers and work counters stay byte-identical
+        to the plan-less evaluation.
     """
     if not pattern.is_positive:
         raise MatchingError("dmatch evaluates positive patterns; use QMatch for negation")
@@ -275,16 +325,45 @@ def dmatch(
         # One shared search context per query: pattern adjacency, matching
         # order and candidate pools are computed once and reused for every
         # focus candidate (only the anchor binding changes).
+        stratified = pattern.stratified()
         shared_context = MatchContext(
-            pattern.stratified(),
+            stratified,
             graph,
             candidates={u: index.candidate_set(u) for u in pattern.nodes()},
             candidate_order=ordering,
             anchored_nodes={pattern.focus},
             use_index=options.index_enumeration,
+            plan=plan,
+            plan_binding=plan_binding,
         )
         pattern_edges = pattern.edges()
-        for focus_candidate in sorted(focus_candidates, key=str):
+        edge_specs = None
+        focus_order = None
+        resolution = None
+        if plan is not None:
+            resolution = plan.resolution_for(graph)
+            # Lower each live edge to (source, check, degree-row get): the
+            # quantifier total ``out_degree(source, label)`` is the length of
+            # the snapshot's successor row, so the lowered loop pays one dict
+            # probe where the interpreted loop pays a graph method call.
+            degree_rows = resolution.out_degree_rows
+            edge_specs = tuple(
+                (source, check, degree_rows.get(label, _EMPTY_ROWS).get)
+                for source, label, check in plan.edge_specs(pattern_edges)
+            )
+            if options.index_enumeration:
+                # The plan's str-rank map orders the focus sweep without
+                # stringifying every candidate; equal-str candidates share a
+                # rank so the stable sort preserves the key=str order exactly.
+                try:
+                    focus_order = sorted(
+                        focus_candidates, key=resolution.str_ranks.__getitem__
+                    )
+                except KeyError:
+                    focus_order = None
+        if focus_order is None:
+            focus_order = sorted(focus_candidates, key=str)
+        for focus_candidate in focus_order:
             matched, bindings = _verify_focus_candidate(
                 pattern,
                 graph,
@@ -297,6 +376,11 @@ def dmatch(
                 ordering=ordering,
                 shared_context=shared_context,
                 pattern_edges=pattern_edges,
+                plan=plan,
+                plan_binding=plan_binding,
+                edge_specs=edge_specs,
+                stratified_pattern=stratified if plan is not None else None,
+                plan_resolution=resolution,
             )
             if matched:
                 outcome.answer.add(focus_candidate)

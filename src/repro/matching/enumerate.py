@@ -62,8 +62,11 @@ def evaluate_positive_by_enumeration(
 
     # Step 1: enumerate every isomorphism of the stratified pattern, grouped
     # by the binding of the query focus.  The oracle stays on the dict-backed
-    # enumeration (use_index=False) on purpose: it is the independent
-    # reference the compiled paths are tested against.
+    # enumeration (use_index=False) — and likewise plan-free — on purpose: it
+    # is the independent reference the compiled paths (the index rows of
+    # PR 1/2 and now the repro.plan straight-line plans) are tested against,
+    # so it must share none of their machinery.  The label_candidates pools
+    # it mutates below are defensively copied, never graph-owned views.
     by_focus: Dict[NodeId, list] = {}
     for assignment in find_isomorphisms(pattern.stratified(), graph, candidates=candidates,
                                         counter=counter, use_index=False):

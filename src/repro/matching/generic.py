@@ -45,9 +45,18 @@ Assignment = Dict[NodeId, NodeId]
 def label_candidates(
     pattern: QuantifiedGraphPattern, graph: PropertyGraph
 ) -> Dict[NodeId, Set[NodeId]]:
-    """The baseline candidate sets ``C(u)``: graph nodes with ``u``'s label."""
+    """The baseline candidate sets ``C(u)``: graph nodes with ``u``'s label.
+
+    Every value is a fresh, caller-owned mutable ``set``: callers (the Enum
+    oracle, the QGAR layer, :class:`MatchContext`) intersect and shrink these
+    pools in place, so the copy here guarantees that even a graph whose
+    ``nodes_with_label`` hands back a shared, memoised or immutable view —
+    the aliasing bug class that bit ``PropertyGraph.nodes_with_label`` in
+    PR 2 — never sees a mutation leak back, and that two pattern nodes with
+    the same label never alias one set.
+    """
     return {
-        u: graph.nodes_with_label(pattern.node_label(u))
+        u: set(graph.nodes_with_label(pattern.node_label(u)))
         for u in pattern.nodes()
     }
 
@@ -155,6 +164,13 @@ class MatchContext:
         ``graph.predecessors/successors`` sets per probe.  The two paths
         enumerate byte-identically (same assignments, same order, same work
         counts); only the speed differs.
+    plan, plan_binding:
+        An optional :class:`repro.plan.CompiledPlan` for this pattern's
+        fingerprint plus the pattern-node → canonical-position binding.
+        When given (and ``use_index`` is on), snapshot resolution reuses the
+        plan's pre-resolved row stores and ``str``-order ranks instead of
+        re-deriving them — a pure setup/ordering-cost shortcut with the same
+        byte-identical enumeration contract as ``use_index`` itself.
     """
 
     def __init__(
@@ -165,6 +181,8 @@ class MatchContext:
         candidate_order: Optional[Dict[NodeId, List[NodeId]]] = None,
         anchored_nodes: Optional[Set[NodeId]] = None,
         use_index: bool = True,
+        plan=None,
+        plan_binding: Optional[Dict[NodeId, int]] = None,
     ) -> None:
         if pattern.num_nodes == 0:
             raise MatchingError("cannot match an empty pattern")
@@ -174,26 +192,58 @@ class MatchContext:
         for pattern_node in pattern.nodes():
             self.candidates.setdefault(pattern_node, set())
         self.candidate_order = candidate_order
+        # A CompiledPlan (repro.plan) plus the pattern-node -> canonical
+        # position binding: pre-resolved row stores and str-order ranks for
+        # this exact fingerprint.  Purely an interpretation-cost shortcut —
+        # the enumeration below stays byte-identical with or without it.
+        self._plan = plan if use_index else None
+        self._plan_binding = plan_binding if plan is not None else None
         # Rank maps let the hot loop order a (small) dynamic pool without
         # scanning the full preference list of a pattern node.
         self._ranks: Dict[NodeId, Dict[NodeId, int]] = {}
         if candidate_order:
-            for pattern_node, preferred in candidate_order.items():
-                self._ranks[pattern_node] = {node: rank for rank, node in enumerate(preferred)}
+            if self._plan is not None:
+                # The preference lists span full candidate pools; building the
+                # rank maps per focus-candidate context would dominate the
+                # locality sweep, so the plan memoises them per ordering
+                # object (one ordering is computed per query).
+                self._ranks = self._plan.ordering_ranks(candidate_order)
+            else:
+                for pattern_node, preferred in candidate_order.items():
+                    self._ranks[pattern_node] = {
+                        node: rank for rank, node in enumerate(preferred)
+                    }
         self.anchored_nodes = set(anchored_nodes or ())
         for anchored in self.anchored_nodes:
             if anchored not in self.candidates:
                 raise MatchingError(f"anchored node {anchored!r} is not a pattern node")
-        self.adjacency = _build_adjacency(pattern)
+        if self._plan is not None:
+            # The locality search builds one context per focus candidate over
+            # the same pattern object; the adjacency and label map are
+            # read-only and graph-independent, so the plan memoises them per
+            # live pattern and every context after the first just borrows.
+            self.adjacency, self._pattern_labels = self._plan.pattern_view(
+                pattern,
+                lambda: (
+                    _build_adjacency(pattern),
+                    {
+                        pattern_node: pattern.node_label(pattern_node)
+                        for pattern_node in pattern.nodes()
+                    },
+                ),
+            )
+        else:
+            self.adjacency = _build_adjacency(pattern)
+            self._pattern_labels = {
+                pattern_node: pattern.node_label(pattern_node)
+                for pattern_node in pattern.nodes()
+            }
         self.order = _search_order(pattern, self.candidates, self.anchored_nodes)
         self.use_index = use_index
+        self._str_ranks: Optional[Dict[NodeId, int]] = None
         self._snapshot = None
         self._compiled_adjacency: Dict[NodeId, List[tuple]] = {}
         self._active_plan: Optional[tuple] = None
-        self._pattern_labels: Dict[NodeId, str] = {
-            pattern_node: pattern.node_label(pattern_node)
-            for pattern_node in pattern.nodes()
-        }
         if use_index:
             self._refresh_snapshot()
 
@@ -211,6 +261,10 @@ class MatchContext:
 
         self._snapshot = GraphIndex.for_graph(self.graph)
         snapshot = self._snapshot
+        self._str_ranks = None
+        if self._plan is not None and self._plan_from_resolution(snapshot):
+            self._active_plan = self._build_active_plan(self.order)
+            return
         encode_label = snapshot.edge_labels.encode
         self._compiled_adjacency = {}
         for pattern_node, constraints in self.adjacency.items():
@@ -228,6 +282,36 @@ class MatchContext:
                 )
             self._compiled_adjacency[pattern_node] = compiled
         self._active_plan = self._build_active_plan(self.order)
+
+    def _plan_from_resolution(self, snapshot) -> bool:
+        """Adopt the plan's pre-resolved row stores for *snapshot*, if valid.
+
+        Translates the pattern adjacency through the plan binding
+        (pattern node -> canonical position) into the resolution's
+        per-canonical-edge row-store pairs — the same ``(neighbor, rows)``
+        shape the generic resolve builds, just without re-encoding labels or
+        re-materialising stores.  Returns False (leaving the generic resolve
+        to run) when the plan cannot serve this context: resolution pinned to
+        a different snapshot, no binding shipped, or a pattern edge outside
+        the canonical shape.  Either way the search behaves identically;
+        only the setup cost differs.
+        """
+        plan = self._plan
+        resolution = plan.resolution_for(self.graph)
+        if resolution.snapshot is not snapshot:
+            return False
+        self._str_ranks = resolution.str_ranks
+        binding = self._plan_binding
+        if binding is None:
+            return False
+        # The translation loop is memoised on the resolution (pinned on this
+        # adjacency/binding pair), so the per-focus-candidate contexts of one
+        # locality sweep translate once and share the result.
+        compiled_adjacency = resolution.translated_adjacency(self.adjacency, binding)
+        if compiled_adjacency is None:
+            return False
+        self._compiled_adjacency = compiled_adjacency
+        return True
 
     def _build_active_plan(self, order: List[NodeId]) -> tuple:
         """Per pattern node, the constraints that are *active* when it extends.
@@ -314,17 +398,35 @@ class MatchContext:
         # re-sort it per partial assignment.
         static_ordered: Dict[NodeId, List[NodeId]] = {}
 
+        str_ranks = self._str_ranks
+
         def order_pool(pattern_node: NodeId, pool) -> List[NodeId]:
             """Order a pool of original ids: rank first, ``str`` tie-break.
 
             The deterministic tie-break makes the emission order independent
             of set iteration order, so the indexed and dict-backed paths
             enumerate identically — which keeps work counts byte-identical
-            even under early exit and ``limit``.  Pools are tiny (they are
-            intersections of matched-neighbour adjacency), so the per-element
-            ``str`` keys cost less than any precomputed order map would.
+            even under early exit and ``limit``.  A compiled plan supplies
+            the snapshot's precomputed ``str``-order rank map, replacing the
+            per-element stringification with an integer lookup; nodes with
+            equal ``str`` forms share a rank, so the stable sort leaves them
+            exactly where ``key=str`` would — same emission order, same work
+            counts.  Candidates unknown to the snapshot (legitimately
+            possible in static pools) fall back to string keys.
             """
             rank = ranks.get(pattern_node)
+            if str_ranks is not None:
+                try:
+                    if rank:
+                        unranked = len(rank)
+                        rank_get = rank.get
+                        return sorted(
+                            pool,
+                            key=lambda node: (rank_get(node, unranked), str_ranks[node]),
+                        )
+                    return sorted(pool, key=str_ranks.__getitem__)
+                except KeyError:
+                    pass
             if rank:
                 unranked = len(rank)
                 return sorted(

@@ -70,12 +70,22 @@ class QMatch:
         pattern: QuantifiedGraphPattern,
         graph: PropertyGraph,
         focus_restriction: Optional[Set] = None,
+        plan=None,
+        plan_binding=None,
     ) -> MatchResult:
         """Compute ``Q(xo, G)`` and return a full :class:`MatchResult`.
 
         ``focus_restriction`` limits the verified focus candidates to the given
         set — the intra-fragment parallelism of mQMatch relies on it to split
         the owned candidates across threads.
+
+        ``plan``/``plan_binding`` optionally pass a
+        :class:`repro.plan.CompiledPlan` for this pattern's fingerprint (plus
+        the pattern-node → canonical-position binding) down to the positive
+        DMatch evaluation.  The negation passes stay plan-less: they evaluate
+        *derived* patterns (``Q⁺ᵉ``) whose shapes are not the cached
+        fingerprint.  Answers and work counters are byte-identical either
+        way — the plan only removes interpretation overhead.
         """
         pattern.validate()
         counter = WorkCounter()
@@ -90,6 +100,8 @@ class QMatch:
                 options=self.options,
                 counter=counter,
                 focus_restriction=focus_restriction,
+                plan=plan,
+                plan_binding=plan_binding,
             )
             positive_answer: Set = set(cached.answer)
             answer: Set = set(cached.answer)

@@ -84,7 +84,13 @@ class FingerprintStats:
 
 @dataclass(frozen=True)
 class SlowQueryRecord:
-    """One logged slow query — fingerprint, timing, and its work counters."""
+    """One logged slow query — fingerprint, timing, and its work counters.
+
+    ``plan`` names the compiled plan that served the request (fingerprint
+    prefix + the plan's matching-order rendering), empty for cache hits and
+    plan-less engines — so a pathological order is diagnosable straight from
+    ``QueryService.stats()`` without re-running the query.
+    """
 
     fingerprint: str
     pattern_name: str
@@ -96,6 +102,7 @@ class SlowQueryRecord:
     quantifier_checks: int = 0
     aff_size: int = 0
     batch_size: int = 1
+    plan: str = ""
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -109,6 +116,7 @@ class SlowQueryRecord:
             "quantifier_checks": self.quantifier_checks,
             "aff_size": self.aff_size,
             "batch_size": self.batch_size,
+            "plan": self.plan,
         }
 
 
@@ -142,6 +150,7 @@ class SlowQueryLog:
         counter: Optional[WorkCounter] = None,
         aff_size: int = 0,
         batch_size: int = 1,
+        plan: str = "",
     ) -> Optional[SlowQueryRecord]:
         """File the request if it crossed the threshold; returns the record."""
         if self.threshold is None or elapsed < self.threshold:
@@ -157,6 +166,7 @@ class SlowQueryLog:
             quantifier_checks=counter.quantifier_checks if counter else 0,
             aff_size=aff_size,
             batch_size=batch_size,
+            plan=plan,
         )
         with self._lock:
             if len(self._records) == self.capacity:
@@ -211,6 +221,7 @@ class ServiceIntrospection:
         counter: Optional[WorkCounter] = None,
         aff_size: int = 0,
         batch_size: int = 1,
+        plan: str = "",
     ) -> None:
         """Account one served request (hit or computed) for *fingerprint*."""
         with self._lock:
@@ -243,6 +254,7 @@ class ServiceIntrospection:
             counter=counter,
             aff_size=aff_size,
             batch_size=batch_size,
+            plan=plan,
         )
 
     # -------------------------------------------------------------- snapshot

@@ -37,6 +37,7 @@ __all__ = [
     "FragmentPayload",
     "engine_to_spec",
     "engine_from_spec",
+    "options_key_from_spec",
 ]
 
 NodeId = Hashable
@@ -67,6 +68,21 @@ def engine_from_spec(spec: EngineSpec) -> object:
     return spec[1]
 
 
+def options_key_from_spec(spec: EngineSpec) -> Tuple:
+    """The plan/result-cache engine-options key for an engine spec.
+
+    The single source of truth for what "same engine options" means: QMatch
+    engines key on their evaluation options (the display name is cosmetic),
+    opaque engines on their type.  Both the service's caches and the worker
+    plan cache key plans with this, so a plan can never be reused across an
+    options change.
+    """
+    if spec[0] == "qmatch":
+        return ("qmatch", spec[1], spec[2])
+    engine = spec[1]
+    return ("opaque", type(engine).__module__, type(engine).__qualname__)
+
+
 class FragmentTask:
     """A picklable unit of work: evaluate *pattern* on one fragment graph.
 
@@ -74,6 +90,13 @@ class FragmentTask:
     graph is materialised before the task is shipped.  Pickling replaces the
     engine instance with its :func:`engine_to_spec` description — workers
     reconstruct the engine from options instead of unpickling engine state.
+
+    Compiled plans ship **by reference only**: the pickled form carries the
+    pattern's ``fingerprint`` and the ``plan_binding`` (pattern node →
+    canonical position), never the :class:`repro.plan.CompiledPlan` itself —
+    its closures and resolved row stores are process-local.  Workers
+    compile-or-reuse from their per-process plan cache; in-process executors
+    use the coordinator's ``plan`` object directly.
     """
 
     def __init__(
@@ -83,16 +106,28 @@ class FragmentTask:
         owned_nodes: Set[NodeId],
         pattern: QuantifiedGraphPattern,
         engine: QMatch,
+        fingerprint: Optional[str] = None,
+        plan=None,
+        plan_binding: Optional[Dict[NodeId, int]] = None,
     ) -> None:
         self.fragment_id = fragment_id
         self.fragment_graph = fragment_graph
         self.owned_nodes = owned_nodes
         self.pattern = pattern
         self.engine = engine
+        self.fingerprint = fingerprint
+        self.plan = plan
+        self.plan_binding = plan_binding
 
     def run(self) -> FragmentResult:
         return match_fragment(
-            self.pattern, self.fragment_graph, self.owned_nodes, self.engine, self.fragment_id
+            self.pattern,
+            self.fragment_graph,
+            self.owned_nodes,
+            self.engine,
+            self.fragment_id,
+            plan=self.plan,
+            plan_binding=self.plan_binding,
         )
 
     def __getstate__(self) -> Dict[str, object]:
@@ -102,10 +137,15 @@ class FragmentTask:
             "owned_nodes": self.owned_nodes,
             "pattern": self.pattern,
             "engine_spec": engine_to_spec(self.engine),
+            "fingerprint": self.fingerprint,
+            "plan_binding": self.plan_binding,
         }
 
     def __setstate__(self, state: Dict[str, object]) -> None:
         self.engine = engine_from_spec(state.pop("engine_spec"))
+        # The compiled plan never crosses the boundary; the receiving process
+        # recompiles-or-reuses from (fingerprint, plan_binding) if it wants one.
+        self.plan = None
         self.__dict__.update(state)
 
 
@@ -209,6 +249,8 @@ def match_fragment(
     owned_nodes: Set[NodeId],
     engine: Optional[QMatch] = None,
     fragment_id: int = 0,
+    plan=None,
+    plan_binding: Optional[Dict[NodeId, int]] = None,
 ) -> FragmentResult:
     """Evaluate *pattern* on one fragment, verifying only owned focus candidates.
 
@@ -217,13 +259,26 @@ def match_fragment(
     work across fragments equal to the sequential work: every candidate is
     verified by exactly one worker (its owner), inside the fragment that holds
     its whole d-hop neighbourhood.
+
+    A compiled ``plan`` is only handed to the standard :class:`QMatch` engine:
+    opaque engines would reject the keyword and land in the ``TypeError``
+    fallback below, silently dropping the focus restriction with it.
     """
     engine = engine or QMatch()
     with span(
         "worker.fragment", fragment=fragment_id, owned=len(owned_nodes)
     ), Timer() as timer:
         try:
-            result = engine.evaluate(pattern, fragment_graph, focus_restriction=owned_nodes)
+            if plan is not None and isinstance(engine, QMatch):
+                result = engine.evaluate(
+                    pattern,
+                    fragment_graph,
+                    focus_restriction=owned_nodes,
+                    plan=plan,
+                    plan_binding=plan_binding,
+                )
+            else:
+                result = engine.evaluate(pattern, fragment_graph, focus_restriction=owned_nodes)
         except TypeError:
             # Engines without per-candidate decomposition (e.g. the Enum
             # baseline) evaluate the whole fragment and filter afterwards.
@@ -256,6 +311,8 @@ def mqmatch_fragment(
     fragment_id: int = 0,
     threads: int = 1,
     thread_pool: Optional[Executor] = None,
+    plan=None,
+    plan_binding: Optional[Dict[NodeId, int]] = None,
 ) -> FragmentResult:
     """mQMatch: intra-fragment parallel evaluation over owned focus candidates.
 
@@ -267,7 +324,15 @@ def mqmatch_fragment(
     """
     engine = engine or QMatch()
     if threads <= 1:
-        return match_fragment(pattern, fragment_graph, owned_nodes, engine, fragment_id)
+        return match_fragment(
+            pattern,
+            fragment_graph,
+            owned_nodes,
+            engine,
+            fragment_id,
+            plan=plan,
+            plan_binding=plan_binding,
+        )
 
     focus_label = pattern.node_label(pattern.focus)
     owned_candidates = [
@@ -278,10 +343,20 @@ def mqmatch_fragment(
     if not chunks:
         return FragmentResult(fragment_id=fragment_id, answer=set(), counter=WorkCounter())
 
+    use_plan = plan is not None and isinstance(engine, QMatch)
+
     def run_chunk(chunk: List[NodeId]) -> MatchResult:
         # Each chunk restricts the verified focus candidates to its share of
         # the owned nodes, so the chunks partition the fragment's verification
         # work without overlapping.
+        if use_plan:
+            return engine.evaluate(
+                pattern,
+                fragment_graph,
+                focus_restriction=set(chunk),
+                plan=plan,
+                plan_binding=plan_binding,
+            )
         return engine.evaluate(pattern, fragment_graph, focus_restriction=set(chunk))
 
     counter = WorkCounter()

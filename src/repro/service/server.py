@@ -49,8 +49,9 @@ from repro.obs.introspect import ServiceIntrospection
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 from repro.parallel.coordinator import PQMatch
-from repro.parallel.worker import FragmentTask, engine_to_spec
+from repro.parallel.worker import FragmentTask, engine_to_spec, options_key_from_spec
 from repro.patterns.qgp import QuantifiedGraphPattern
+from repro.plan.cache import PlanCache
 from repro.service.cache import ResultCache
 from repro.service.patterns import CanonicalPattern, canonicalize
 from repro.utils.counters import WorkCounter
@@ -212,12 +213,7 @@ def _engine_options_key(engine: object) -> Hashable:
     (``DMatchOptions`` is a frozen, hashable dataclass); anything else maps to
     its type identity.
     """
-    spec = engine_to_spec(engine)
-    if spec[0] == "qmatch":
-        _, use_incremental, options, _name = spec
-        return ("qmatch", use_incremental, options)
-    other = spec[1]
-    return ("opaque", type(other).__module__, type(other).__qualname__)
+    return options_key_from_spec(engine_to_spec(engine))
 
 
 class QueryService:
@@ -237,6 +233,15 @@ class QueryService:
         owns it: :meth:`close` closes it.
     cache_capacity:
         Bound on the number of cached answers (LRU beyond it).
+    use_plans:
+        Compile each unique fingerprint once into a
+        :class:`repro.plan.CompiledPlan` (cached in a bounded
+        :class:`repro.plan.PlanCache` beside the result cache) and hand it to
+        the dispatch, so a result-cache miss still hits a warm plan.  Only
+        effective with the standard :class:`QMatch` engine; answers and work
+        counters are byte-identical either way.
+    plan_cache_capacity:
+        Bound on the plan cache (both epoch entries and compiled programs).
 
     >>> from repro.graph.generators import small_world_social_graph
     >>> from repro.datasets.workloads import workload_patterns
@@ -258,12 +263,15 @@ class QueryService:
         slow_query_threshold: Optional[float] = None,
         introspection_capacity: int = 512,
         slow_query_capacity: int = 64,
+        use_plans: bool = True,
+        plan_cache_capacity: int = 256,
     ) -> None:
         self.graph = graph
         self.coordinator = coordinator if coordinator is not None else PQMatch(
             num_workers=4, d=2, engine=QMatch()
         )
         self.cache = ResultCache(cache_capacity)
+        self.plans = PlanCache(plan_cache_capacity)
         self.name = name
         self.stats = ServiceStats()
         # Calling service.stats() (vs reading its counter attributes) yields
@@ -277,6 +285,10 @@ class QueryService:
             slow_query_capacity=slow_query_capacity,
         )
         self._options_key = _engine_options_key(self.coordinator.engine)
+        # Plans are only wired through for the standard QMatch engine: an
+        # opaque engine would reject the plan keyword inside match_fragment's
+        # TypeError fallback and silently lose its focus restriction with it.
+        self._plans_enabled = bool(use_plans) and self._options_key[0] == "qmatch"
         # Prepared-statement style canonicalization memo: repeat submissions
         # of the *same pattern object* skip the ~50µs canonicalize.  Weak keys
         # so the memo never pins a caller's pattern; callers must treat a
@@ -365,8 +377,10 @@ class QueryService:
         # must never let a pre-mutation answer masquerade as a fresh one.
         version = graph.version
         results: List[Optional[ServiceResult]] = [None] * len(patterns)
-        # fingerprint -> (representative pattern, positions awaiting it)
-        missing: Dict[str, Tuple[QuantifiedGraphPattern, List[int]]] = {}
+        # fingerprint -> (representative pattern, canonical form, positions
+        # awaiting it) — the form rides along so dispatch can attach the
+        # compiled plan without re-canonicalizing.
+        missing: Dict[str, Tuple[QuantifiedGraphPattern, CanonicalPattern, List[int]]] = {}
         # Per-request service time: a hit costs its lookup; a miss costs the
         # lookup plus its fingerprint's share of the dispatch round (the sum
         # of its fragments' evaluation times) — this is what feeds the
@@ -389,18 +403,19 @@ class QueryService:
                         cached=True,
                     )
                 else:
-                    entry = missing.setdefault(form.fingerprint, (pattern, []))
-                    entry[1].append(position)
+                    entry = missing.setdefault(form.fingerprint, (pattern, form, []))
+                    entry[2].append(position)
 
+            plan_labels: Dict[str, str] = {}
             if missing:
                 unique = [
-                    (fingerprint, pattern)
-                    for fingerprint, (pattern, _) in missing.items()
+                    (fingerprint, pattern, form)
+                    for fingerprint, (pattern, form, _) in missing.items()
                 ]
-                answers, timings, compute_counters = self._dispatch_batch(
+                answers, timings, compute_counters, plan_labels = self._dispatch_batch(
                     graph, unique
                 )
-                for fingerprint, (pattern, positions) in missing.items():
+                for fingerprint, (pattern, form, positions) in missing.items():
                     answer = self.cache.store(
                         graph,
                         fingerprint,
@@ -418,7 +433,7 @@ class QueryService:
                         )
                 self.stats.computed += len(missing)
                 self.stats.deduplicated += sum(
-                    len(positions) - 1 for _, positions in missing.values()
+                    len(positions) - 1 for _, _, positions in missing.values()
                 )
 
         self.stats.served += len(patterns)
@@ -433,6 +448,7 @@ class QueryService:
                 cached=result.cached,
                 counter=None if result.cached else compute_counters.get(result.fingerprint),
                 batch_size=batch_size,
+                plan="" if result.cached else plan_labels.get(result.fingerprint, ""),
             )
         registry = get_registry()
         if registry:
@@ -453,8 +469,10 @@ class QueryService:
     def _dispatch_batch(
         self,
         graph: PropertyGraph,
-        unique: List[Tuple[str, QuantifiedGraphPattern]],
-    ) -> Tuple[Dict[str, FrozenSet], Dict[str, float], Dict[str, WorkCounter]]:
+        unique: List[Tuple[str, QuantifiedGraphPattern, CanonicalPattern]],
+    ) -> Tuple[
+        Dict[str, FrozenSet], Dict[str, float], Dict[str, WorkCounter], Dict[str, str]
+    ]:
         """Evaluate the unique cache misses in one executor round.
 
         Composes :meth:`PQMatch.fragment_tasks` / ``run_fragment_tasks`` —
@@ -464,22 +482,46 @@ class QueryService:
         per-round fixed costs (pool round-trip, task scheduling) are paid once
         per batch instead of once per query.
 
-        Returns ``(answers, timings, counters)``: per fingerprint, the frozen
-        answer, the summed per-fragment evaluation seconds (its share of the
-        round — the introspection layer's compute-latency sample) and the
-        merged work counters.
+        With plans enabled, each unique fingerprint is first resolved through
+        the service's :class:`PlanCache` (compile once, reuse thereafter) and
+        its tasks are stamped with the plan + canonical binding before the
+        round runs.
+
+        Returns ``(answers, timings, counters, plan_labels)``: per
+        fingerprint, the frozen answer, the summed per-fragment evaluation
+        seconds (its share of the round — the introspection layer's
+        compute-latency sample), the merged work counters, and the serving
+        plan's compact label for the slow-query log.
         """
         coordinator = self.coordinator
         radius = 0
-        for _, pattern in unique:
+        for _, pattern, _ in unique:
             pattern.validate()
             radius = max(radius, pattern.radius())
         partition = coordinator.ensure_radius(graph, radius)
 
+        plans: Dict[str, object] = {}
+        plan_labels: Dict[str, str] = {}
+        if self._plans_enabled:
+            for fingerprint, pattern, form in unique:
+                plan = self.plans.plan_for(
+                    graph, fingerprint, self._options_key, pattern, form=form
+                )
+                plans[fingerprint] = plan
+                plan_labels[fingerprint] = (
+                    f"{fingerprint[:12]} {plan.order_label(graph)}"
+                )
+
         tasks: List[FragmentTask] = []
         owners: List[str] = []
-        for fingerprint, pattern in unique:
-            pattern_tasks = coordinator.fragment_tasks(pattern, partition)
+        for fingerprint, pattern, form in unique:
+            pattern_tasks = coordinator.fragment_tasks(
+                pattern,
+                partition,
+                fingerprint=fingerprint if self._plans_enabled else None,
+                plan=plans.get(fingerprint),
+                plan_binding=form.order if self._plans_enabled else None,
+            )
             tasks.extend(pattern_tasks)
             owners.extend([fingerprint] * len(pattern_tasks))
 
@@ -487,10 +529,10 @@ class QueryService:
         with span("service.dispatch", patterns=len(unique), tasks=len(tasks)):
             fragment_results = coordinator.run_fragment_tasks(tasks)
 
-        answers: Dict[str, set] = {fingerprint: set() for fingerprint, _ in unique}
-        timings: Dict[str, float] = {fingerprint: 0.0 for fingerprint, _ in unique}
+        answers: Dict[str, set] = {fingerprint: set() for fingerprint, _, _ in unique}
+        timings: Dict[str, float] = {fingerprint: 0.0 for fingerprint, _, _ in unique}
         counters: Dict[str, WorkCounter] = {
-            fingerprint: WorkCounter() for fingerprint, _ in unique
+            fingerprint: WorkCounter() for fingerprint, _, _ in unique
         }
         for fingerprint, fragment_result in zip(owners, fragment_results):
             answers[fingerprint] |= fragment_result.answer
@@ -500,6 +542,7 @@ class QueryService:
             {fingerprint: frozenset(nodes) for fingerprint, nodes in answers.items()},
             timings,
             counters,
+            plan_labels,
         )
 
     # -------------------------------------------------------- canonicalization
@@ -826,6 +869,9 @@ class QueryService:
     def stats_snapshot(self) -> Dict[str, float]:
         """Service + cache counters in one flat dict (bench/figure friendly)."""
         merged = {f"cache_{key}": value for key, value in self.cache.stats.as_dict().items()}
+        merged.update(
+            {f"plan_{key}": value for key, value in self.plans.stats.as_dict().items()}
+        )
         merged.update(self.stats.as_dict())
         merged["worker_rebuilds"] = float(self.worker_rebuilds)
         return merged
@@ -846,11 +892,16 @@ class QueryService:
         return {
             "service": self.stats.as_dict(),
             "cache": cache_stats,
+            "plans": self.plans.describe(),
             "pool": {
                 "backend": getattr(executor, "name", None),
                 "epoch_fragments": len(epoch) if epoch else 0,
                 "worker_rebuilds": self.worker_rebuilds,
                 "deltas_shipped": getattr(executor, "deltas_shipped", 0),
+                "worker_plan_hits": getattr(executor, "last_worker_plan_hits", 0),
+                "worker_plan_compiles": getattr(
+                    executor, "last_worker_plan_compiles", 0
+                ),
             },
             "graph": {"name": self.graph.name, "version": self.graph.version},
             "subscriptions": sum(1 for s in self._subscriptions if s.active),

@@ -162,3 +162,55 @@ class TestCandidatesAndCounters:
             iter(find_isomorphisms(pattern, small_social, candidate_order=ordering))
         )
         assert first["b"] == "u3"
+
+
+class TestLabelCandidateAliasing:
+    """Aliasing audit for ``label_candidates`` (the ``nodes_with_label`` bug
+    class from the index layer: handing out a set someone else also holds).
+    """
+
+    def test_clearing_returned_pools_leaves_graph_and_future_calls_intact(
+        self, small_social
+    ):
+        pattern = path_pattern()
+        for pool in label_candidates(pattern, small_social).values():
+            pool.clear()
+        assert small_social.nodes_with_label("person") == {"u1", "u2", "u3"}
+        fresh = label_candidates(pattern, small_social)
+        assert fresh["a"] == {"u1", "u2", "u3"}
+        assert fresh["p"] == {"prod"}
+        small_social.validate()
+
+    def test_same_label_pattern_nodes_get_independent_pools(self, small_social):
+        candidates = label_candidates(path_pattern(), small_social)
+        assert candidates["a"] == candidates["b"]
+        assert candidates["a"] is not candidates["b"]
+        candidates["a"].discard("u1")
+        assert "u1" in candidates["b"]
+
+    def test_memoizing_graph_cannot_leak_its_internal_set(self):
+        # A graph that memoises label lookups (or returns a frozenset) must
+        # still yield one independent *mutable* pool per pattern node.
+        class SharingGraph:
+            def __init__(self):
+                self.shared = {"u1", "u2", "u3", "prod"}
+
+            def nodes_with_label(self, label):
+                return self.shared  # the same object, every call
+
+        graph = SharingGraph()
+        candidates = label_candidates(path_pattern(), graph)
+        pools = list(candidates.values())
+        assert all(pools[0] is not pool for pool in pools[1:])
+        assert all(pool is not graph.shared for pool in pools)
+        candidates["a"].clear()
+        assert candidates["b"] == graph.shared
+        assert graph.shared == {"u1", "u2", "u3", "prod"}
+
+        class FrozenGraph:
+            def nodes_with_label(self, label):
+                return frozenset({"u1"})
+
+        frozen = label_candidates(path_pattern(), FrozenGraph())
+        frozen["a"].add("u2")  # pools must be mutable sets
+        assert frozen["b"] == {"u1"}
