@@ -38,6 +38,7 @@ from repro.matching.generic import MatchContext, find_isomorphisms
 from repro.matching.pruning import potential_ordering
 from repro.matching.result import MatchResult
 from repro.patterns.qgp import QuantifiedGraphPattern
+from repro.plan.vectorized import EMPTY_LOCALITY, DenseLocality
 from repro.utils.counters import WorkCounter
 from repro.utils.errors import MatchingError
 from repro.utils.timing import Timer
@@ -79,6 +80,17 @@ class DMatchOptions:
                            on is the ``QMatch-enum-noidx`` benchmark
                            ablation: indexed filtering, dict-backed
                            backtracking.
+    ``vectorized``       — enumerate over dense interned ids with the
+                           sorted-run merge kernels of
+                           :mod:`repro.plan.vectorized`: candidate pools
+                           become sorted ``array('i')`` runs intersected
+                           against raw CSR rows, the locality ball becomes a
+                           dense frontier BFS, and ids decode back only when
+                           a match is yielded.  Requires the indexed
+                           enumeration; answers and work counters are
+                           byte-identical to the frozenset path, which keeps
+                           serving whenever the dense state declines to
+                           build (e.g. under the potential ordering).
     """
 
     use_simulation: bool = True
@@ -87,6 +99,7 @@ class DMatchOptions:
     use_locality: bool = False
     use_index: bool = True
     use_index_enumeration: Optional[bool] = None
+    vectorized: bool = False
 
     @property
     def index_enumeration(self) -> bool:
@@ -122,6 +135,42 @@ def _pattern_is_monotone(pattern: QuantifiedGraphPattern) -> bool:
     return all(edge.quantifier.op in (">=", ">") for edge in pattern.edges())
 
 
+def _local_candidate_pools(
+    pattern: QuantifiedGraphPattern,
+    index: CandidateIndex,
+    local_nodes: Set[NodeId],
+    label_members: Dict[str, Tuple[Set[NodeId], int]],
+) -> Dict[NodeId, Set[NodeId]]:
+    """Candidate pools restricted to *local_nodes*, hoisted per label.
+
+    The naive restriction intersects every pattern node's candidate set with
+    the ball — one ``O(min(|pool|, |ball|))`` pass *per node*, where pools
+    with no quantifier pruning are full label-candidate sets and dominate the
+    ball.  Hoisting through the label makes it one pass per *label*
+    (``label members ∩ ball``), after which an unpruned pool — recognised by
+    size, sound because candidate sets only ever shrink from the label
+    members (the :class:`CandidateIndex` build invariant) — serves the
+    label-local set as-is, and a pruned pool intersects against the (small)
+    label-local set instead of the whole ball.  Pools may share set objects
+    (two unpruned nodes of one label); callers treat them as read-only, the
+    same contract :class:`MatchContext` already states for its candidates.
+    """
+    label_local: Dict[str, Set[NodeId]] = {}
+    pools: Dict[NodeId, Set[NodeId]] = {}
+    for pattern_node in pattern.nodes():
+        label = pattern.node_label(pattern_node)
+        members, full_size = label_members[label]
+        local_label = label_local.get(label)
+        if local_label is None:
+            local_label = members & local_nodes
+            label_local[label] = local_label
+        pool = index.candidate_set(pattern_node)
+        pools[pattern_node] = (
+            local_label if len(pool) == full_size else pool & local_label
+        )
+    return pools
+
+
 def _verify_focus_candidate(
     pattern: QuantifiedGraphPattern,
     graph: PropertyGraph,
@@ -139,6 +188,8 @@ def _verify_focus_candidate(
     edge_specs=None,
     stratified_pattern=None,
     plan_resolution=None,
+    label_members=None,
+    dense_locality=None,
 ) -> Tuple[bool, Dict[NodeId, Set[NodeId]]]:
     """Decide whether *focus_candidate* belongs to ``Π(Q)(xo, G)``.
 
@@ -149,36 +200,50 @@ def _verify_focus_candidate(
     counter.verifications += 1
 
     if options.use_locality:
-        # Optionally restrict every candidate set to the focus candidate's
-        # radius-hop neighbourhood (costs one BFS per candidate) and search
-        # with a per-candidate context.
-        if plan_resolution is not None:
-            # Same ball, same membership — swept over the plan resolution's
-            # flat per-epoch neighbour table instead of per-node set unions.
-            local_nodes = plan_resolution.ball(focus_candidate, radius)
-        else:
-            local_nodes = nodes_within_hops(graph, focus_candidate, radius)
-        local_candidates = {
-            u: (index.candidate_set(u) & local_nodes) for u in pattern.nodes()
-        }
-        local_candidates[focus] = (
-            {focus_candidate} if focus_candidate in index.candidate_set(focus) else set()
-        )
-        if any(not members for members in local_candidates.values()):
-            return False, {}
-        context = MatchContext(
-            # The compiled path reuses the query's one stratified pattern so
-            # the plan's per-pattern memos hold across focus candidates; the
-            # interpreted path keeps its per-candidate construction.
-            stratified_pattern if stratified_pattern is not None else pattern.stratified(),
-            graph,
-            candidates=local_candidates,
-            candidate_order=ordering if isinstance(ordering, dict) else None,
-            anchored_nodes={focus},
-            use_index=options.index_enumeration,
-            plan=plan,
-            plan_binding=plan_binding,
-        )
+        context = None
+        if dense_locality is not None:
+            # Vectorized sweep: ball, pool restriction and per-candidate
+            # ordering all in dense-id space (one kernel intersection per
+            # pool, no per-candidate MatchContext).  Emptiness of any local
+            # pool is a definite non-match, exactly like the frozenset check
+            # below; ``None`` means this candidate cannot be served densely
+            # and falls through to the generic restriction.
+            context = dense_locality.context_for(focus_candidate)
+            if context is EMPTY_LOCALITY:
+                return False, {}
+        if context is None:
+            # Restrict every candidate set to the focus candidate's
+            # radius-hop neighbourhood (costs one BFS per candidate) and
+            # search with a per-candidate context.
+            if plan_resolution is not None:
+                # Same ball, same membership — swept over the plan
+                # resolution's flat per-epoch neighbour table instead of
+                # per-node set unions.
+                local_nodes = plan_resolution.ball(focus_candidate, radius)
+            else:
+                local_nodes = nodes_within_hops(graph, focus_candidate, radius)
+            local_candidates = _local_candidate_pools(
+                pattern, index, local_nodes, label_members
+            )
+            local_candidates[focus] = (
+                {focus_candidate} if focus_candidate in index.candidate_set(focus) else set()
+            )
+            if any(not members for members in local_candidates.values()):
+                return False, {}
+            context = MatchContext(
+                # The compiled path reuses the query's one stratified pattern
+                # so the plan's per-pattern memos hold across focus
+                # candidates; the interpreted path keeps its per-candidate
+                # construction.
+                stratified_pattern if stratified_pattern is not None else pattern.stratified(),
+                graph,
+                candidates=local_candidates,
+                candidate_order=ordering if isinstance(ordering, dict) else None,
+                anchored_nodes={focus},
+                use_index=options.index_enumeration,
+                plan=plan,
+                plan_binding=plan_binding,
+            )
     else:
         # The shared context already carries the filtered candidate pools.
         context = shared_context
@@ -306,7 +371,9 @@ def dmatch(
         focus = pattern.focus
         focus_candidates = set(index.candidate_set(focus))
         if focus_restriction is not None:
-            focus_candidates &= set(focus_restriction)
+            # Intersect against the iterable directly — ``&= set(...)`` would
+            # materialise a throwaway copy of the restriction per call.
+            focus_candidates.intersection_update(focus_restriction)
 
         if index.is_empty() or not index.global_prune_check():
             outcome.elapsed = timer.elapsed
@@ -335,7 +402,26 @@ def dmatch(
             use_index=options.index_enumeration,
             plan=plan,
             plan_binding=plan_binding,
+            vectorized=options.vectorized,
         )
+        label_members = None
+        dense_locality = None
+        if options.use_locality:
+            # Per-query label -> (members, size) table for the hoisted local
+            # pool restriction (one ``nodes_with_label`` copy per label per
+            # query, instead of one pool-wide intersection per pattern node
+            # per focus candidate).
+            label_members = {}
+            for pattern_node in pattern.nodes():
+                label = pattern.node_label(pattern_node)
+                if label not in label_members:
+                    members = graph.nodes_with_label(label)
+                    label_members[label] = (members, len(members))
+            dense_state = shared_context._dense
+            if dense_state is not None:
+                # Vectorized locality sweep over the shared dense runs: one
+                # instance serves every focus candidate of this query.
+                dense_locality = DenseLocality(dense_state, focus, radius)
         pattern_edges = pattern.edges()
         edge_specs = None
         focus_order = None
@@ -381,10 +467,17 @@ def dmatch(
                 edge_specs=edge_specs,
                 stratified_pattern=stratified if plan is not None else None,
                 plan_resolution=resolution,
+                label_members=label_members,
+                dense_locality=dense_locality,
             )
             if matched:
                 outcome.answer.add(focus_candidate)
                 for pattern_node, graph_nodes in bindings.items():
                     outcome.node_matches[pattern_node].update(graph_nodes)
+        dense_state = shared_context._dense
+        if dense_state is not None:
+            # Kernel counters are accumulated in-query and flushed once here
+            # (query grain — never inside the probe loop).
+            dense_state.flush_stats()
     outcome.elapsed = timer.elapsed
     return outcome

@@ -58,7 +58,11 @@ def evaluate_positive_by_enumeration(
     focus = pattern.focus
     candidates = label_candidates(pattern, graph)
     if focus_restriction is not None:
-        candidates[focus] = candidates[focus] & set(focus_restriction)
+        # Intersect against the iterable directly — ``& set(...)`` would
+        # materialise a throwaway copy of the restriction per call.  The
+        # label_candidates pool is caller-owned, so the in-place shrink is
+        # safe (and alias-free, see the no-copy audit test).
+        candidates[focus].intersection_update(focus_restriction)
 
     # Step 1: enumerate every isomorphism of the stratified pattern, grouped
     # by the binding of the query focus.  The oracle stays on the dict-backed

@@ -74,15 +74,19 @@ def _search_order(
     pattern: QuantifiedGraphPattern,
     candidates: Dict[NodeId, Set[NodeId]],
     anchored: Set[NodeId],
+    adjacency: Optional[Dict[NodeId, List[tuple]]] = None,
 ) -> List[NodeId]:
     """A connected matching order: anchored nodes first, then most-constrained.
 
     Starting from the anchored nodes (or the focus when nothing is anchored),
     repeatedly pick the unmatched pattern node adjacent to the matched region
     with the smallest candidate set.  This is the ``SelectNext`` policy shared
-    by all engines.
+    by all engines.  *candidates* only needs ``len``-able values (sets, dense
+    runs or sized views all work); callers that already hold the pattern
+    adjacency pass it in to skip rebuilding it.
     """
-    adjacency = _build_adjacency(pattern)
+    if adjacency is None:
+        adjacency = _build_adjacency(pattern)
     all_nodes = list(pattern.nodes())
     order: List[NodeId] = [node for node in all_nodes if node in anchored]
     placed = set(order)
@@ -171,6 +175,17 @@ class MatchContext:
         plan's pre-resolved row stores and ``str``-order ranks instead of
         re-deriving them — a pure setup/ordering-cost shortcut with the same
         byte-identical enumeration contract as ``use_index`` itself.
+    vectorized:
+        Enumerate over dense interned ids: candidate pools become sorted
+        ``array('i')`` runs intersected with the merge kernels of
+        :mod:`repro.plan.vectorized` against the raw CSR rows, ordered by the
+        snapshot's precomputed dense rank array, decoded back to node ids
+        only when a match is yielded.  Byte-identical to the frozenset path
+        (same answers, same emission order, same ``WorkCounter`` fields);
+        the dense state silently declines — leaving the frozenset path to
+        serve — whenever identity cannot be proven (ghost or mislabeled
+        candidates, non-injective ``str`` ranks, per-node candidate
+        orderings, multi-node anchors).  Requires ``use_index``.
     """
 
     def __init__(
@@ -183,6 +198,7 @@ class MatchContext:
         use_index: bool = True,
         plan=None,
         plan_binding: Optional[Dict[NodeId, int]] = None,
+        vectorized: bool = False,
     ) -> None:
         if pattern.num_nodes == 0:
             raise MatchingError("cannot match an empty pattern")
@@ -238,8 +254,13 @@ class MatchContext:
                 pattern_node: pattern.node_label(pattern_node)
                 for pattern_node in pattern.nodes()
             }
-        self.order = _search_order(pattern, self.candidates, self.anchored_nodes)
+        self.order = _search_order(
+            pattern, self.candidates, self.anchored_nodes, adjacency=self.adjacency
+        )
         self.use_index = use_index
+        self._vectorized = vectorized and use_index
+        self._dense = None
+        self._plan_resolution = None
         self._str_ranks: Optional[Dict[NodeId, int]] = None
         self._snapshot = None
         self._compiled_adjacency: Dict[NodeId, List[tuple]] = {}
@@ -262,8 +283,10 @@ class MatchContext:
         self._snapshot = GraphIndex.for_graph(self.graph)
         snapshot = self._snapshot
         self._str_ranks = None
+        self._plan_resolution = None
         if self._plan is not None and self._plan_from_resolution(snapshot):
             self._active_plan = self._build_active_plan(self.order)
+            self._build_dense_state(snapshot)
             return
         encode_label = snapshot.edge_labels.encode
         self._compiled_adjacency = {}
@@ -282,6 +305,43 @@ class MatchContext:
                 )
             self._compiled_adjacency[pattern_node] = compiled
         self._active_plan = self._build_active_plan(self.order)
+        self._build_dense_state(snapshot)
+
+    def _build_dense_state(self, snapshot) -> None:
+        """Build (or decline) the dense-id enumeration state.
+
+        Per-node candidate orderings disqualify the dense path outright —
+        ``order_pool`` would consult the rank maps first, and dense pools
+        only carry the ``str``-rank order.  Every other disqualifier lives in
+        :func:`repro.plan.vectorized.build_dense_state`; a ``None`` simply
+        leaves the frozenset path serving, byte-identically.
+        """
+        self._dense = None
+        if not self._vectorized or self._ranks:
+            return
+        from repro.plan.vectorized import build_dense_state
+
+        rank_table = None
+        resolution = self._plan_resolution
+        if resolution is not None and resolution.snapshot is snapshot:
+            # Plan-driven contexts source the dense tables from the plan's
+            # per-(graph, version) resolution — same memoised snapshot
+            # arrays, threaded through the plan layer.
+            _, srank, unique = resolution.dense_runs()
+            rank_table = (srank, unique)
+            run_cache = resolution.dense_cache()
+        else:
+            run_cache = None
+        self._dense = build_dense_state(
+            snapshot,
+            self.pattern,
+            self.adjacency,
+            self._pattern_labels,
+            self.candidates,
+            self.order,
+            rank_table=rank_table,
+            cache=run_cache,
+        )
 
     def _plan_from_resolution(self, snapshot) -> bool:
         """Adopt the plan's pre-resolved row stores for *snapshot*, if valid.
@@ -300,6 +360,7 @@ class MatchContext:
         resolution = plan.resolution_for(self.graph)
         if resolution.snapshot is not snapshot:
             return False
+        self._plan_resolution = resolution
         self._str_ranks = resolution.str_ranks
         binding = self._plan_binding
         if binding is None:
@@ -377,7 +438,18 @@ class MatchContext:
         if set(anchor) != self.anchored_nodes:
             # The caller anchored a different node set than the context was
             # built for: fall back to a per-call matching order.
-            order = _search_order(pattern, candidates, set(anchor))
+            order = _search_order(pattern, candidates, set(anchor), adjacency=adjacency)
+
+        dense = self._dense
+        if dense is not None and order is self.order and len(anchor) <= 1:
+            # Dense-id path: anchor membership above already implies the
+            # anchor encodes and is label-pure (dense pools are ghost-free by
+            # construction), so the single-pair ``_consistent`` validation is
+            # a proven tautology and the enumeration runs entirely on sorted
+            # runs.  Multi-node anchors keep the frozenset path: their pairs
+            # need the mutual-edge validation below.
+            yield from dense.enumerate(anchor, counter, limit)
+            return
 
         assignment: Assignment = {}
         used: Set[NodeId] = set()
@@ -572,6 +644,7 @@ def find_isomorphisms(
     limit: Optional[int] = None,
     candidate_order: Optional[Dict[NodeId, List[NodeId]]] = None,
     use_index: bool = True,
+    vectorized: bool = False,
 ) -> Iterator[Assignment]:
     """Enumerate isomorphisms of the (stratified) *pattern* in *graph*.
 
@@ -599,6 +672,10 @@ def find_isomorphisms(
         Compute dynamic candidate pools from the compiled row stores of the
         graph snapshot (see :class:`MatchContext`); the dict fallback
         enumerates identically.
+    vectorized:
+        Enumerate over dense interned ids with the sorted-run merge kernels
+        (see :class:`MatchContext`); falls back to the frozenset path —
+        byte-identically — whenever the dense state declines to build.
     """
     context = MatchContext(
         pattern,
@@ -607,6 +684,7 @@ def find_isomorphisms(
         candidate_order=candidate_order,
         anchored_nodes=set(anchor or ()),
         use_index=use_index,
+        vectorized=vectorized,
     )
     yield from context.isomorphisms(anchor=anchor, counter=counter, limit=limit)
 

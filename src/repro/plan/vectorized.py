@@ -1,0 +1,871 @@
+"""Sorted-run merge-intersection kernels and the dense-id enumeration state.
+
+PR 7 compiled each fingerprint into a straight-line program, but the
+innermost enumeration still did frozenset algebra per extension probe —
+hashing node-id strings and allocating a fresh set per pool.  This module is
+the other half of ROADMAP open item 2: candidate pools become **sorted runs
+of dense interned ids** (the CSR rows of a :class:`~repro.index.GraphIndex`
+are already sorted ascending, so they *are* runs — no re-materialisation),
+and pool derivation becomes set-at-a-time merge-intersection over those runs,
+the same move worst-case-optimal join evaluation makes (leapfrog-style sorted
+intersection).  Nothing decodes back to an original node id until a match is
+actually yielded.
+
+Three layers live here:
+
+* **Kernels** — :func:`intersect2`, :func:`intersect_k` (smallest-first) and
+  :func:`intersect_into` (writes into a caller-owned scratch ``array``; no
+  allocation per probe).  Runs whose lengths are skewed by
+  :data:`GALLOP_FACTOR` or more switch from the linear merge to a
+  galloping/binary probe of the short run into the long one
+  (``bisect_left`` is C-level), so a huge hub row costs
+  ``O(small · log large)`` instead of ``O(large)``.
+  :func:`intersect_reference` is the pure-python oracle the kernels are
+  property-tested against.
+* **:class:`DenseState`** — the per-:class:`~repro.matching.generic.MatchContext`
+  dense mirror: static candidate pools encoded to sorted dense runs (with an
+  encode-time soundness check: every candidate must be known to the snapshot
+  and carry its pattern node's label, otherwise the state refuses to build
+  and the frozenset path runs unchanged), the pattern adjacency translated to
+  direct CSR ``indptr``/``indices`` references, and an anchored enumerator
+  that is byte-identical to the frozenset path — same assignments, same
+  emission order (pools are ordered by the snapshot's precomputed dense
+  ``str``-rank array), same ``WorkCounter`` increments.
+* **:class:`DenseLocality`** — the per-query locality sweep of DMatch in
+  dense-id space: the radius ball is one frontier-array BFS over the merged
+  CSR (reusable visited scratch), the ball becomes a sorted run, and every
+  local candidate pool is one kernel intersection of a static run with it —
+  replacing, per focus candidate, a dict-backed BFS, a per-node set
+  intersection sweep and a full ``MatchContext`` construction.
+
+Work accounting: the dense enumerator increments ``counter.extensions`` for
+exactly the candidates the frozenset path would visit, in the same order.
+The per-candidate label check of ``is_extendable`` is *elided*, not skipped:
+the encode-time purity check proves every pool member already carries the
+right label (pools only ever shrink from the verified static runs), and any
+input that could make the check fail — a ghost candidate, a mislabeled one —
+disqualifies the dense state entirely at build time, so the fallback raises
+or filters exactly as before.
+
+Observability: kernels take an optional :class:`VectorizedStats` accumulator
+(``None`` when the metrics registry is disabled — the disabled path costs one
+``is not None`` test per pool, allocation-free).  The accumulated
+``plan.vectorized.probes`` / ``plan.vectorized.galloping_steps`` are flushed
+into the registry once per query (never inside the probe loop), honouring the
+obs granularity invariant.
+"""
+
+from __future__ import annotations
+
+import threading
+from array import array
+from bisect import bisect_left
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "GALLOP_FACTOR",
+    "VectorizedStats",
+    "intersect2",
+    "intersect_into",
+    "intersect_k",
+    "intersect_reference",
+    "DenseRunCache",
+    "DenseState",
+    "DenseLocality",
+    "build_dense_state",
+    "EMPTY_LOCALITY",
+]
+
+NodeId = Hashable
+
+# Length skew at which the linear merge hands over to the galloping probe:
+# with the long run at least this many times the short one, ``len(short)``
+# C-level ``bisect_left`` probes beat walking the long run element-wise.
+GALLOP_FACTOR = 8
+
+_ITEMSIZE = array("i").itemsize
+
+
+def _int_run(length: int) -> array:
+    """A zeroed ``array('i')`` scratch of *length* slots."""
+    return array("i", bytes(length * _ITEMSIZE))
+
+
+class VectorizedStats:
+    """Per-query kernel counters, flushed to the registry at query grain.
+
+    ``probes`` counts pool intersections (one per kernel call from the
+    enumeration), ``galloping_steps`` counts binary probes taken on the
+    galloping path.  The instance is only created when the metrics registry
+    is enabled at state-build time; the disabled hot path carries ``None``
+    and pays one identity test per pool.
+    """
+
+    __slots__ = ("probes", "galloping_steps")
+
+    def __init__(self) -> None:
+        self.probes = 0
+        self.galloping_steps = 0
+
+    def flush(self) -> None:
+        """Add the accumulated counts to the live registry and reset."""
+        registry = get_registry()
+        if registry and (self.probes or self.galloping_steps):
+            registry.counter("plan.vectorized.probes").inc(self.probes)
+            registry.counter("plan.vectorized.galloping_steps").inc(
+                self.galloping_steps
+            )
+        self.probes = 0
+        self.galloping_steps = 0
+
+
+# ---------------------------------------------------------------------------
+# Kernels
+# ---------------------------------------------------------------------------
+
+
+def intersect_into(
+    a,
+    a_lo: int,
+    a_hi: int,
+    b,
+    b_lo: int,
+    b_hi: int,
+    out,
+    stats: Optional[VectorizedStats] = None,
+) -> int:
+    """Intersect two sorted runs into ``out[0:k]``; return ``k``.
+
+    *a* and *b* are sorted ascending, duplicate-free integer sequences
+    (``array('i')``, ``memoryview`` or any indexable), windowed by the
+    ``lo``/``hi`` bounds so CSR row slices intersect without copying.  *out*
+    must have capacity for ``min`` of the two window lengths; it may alias
+    *a* or *b* (the write cursor never overtakes either read cursor).  When
+    the longer window is at least :data:`GALLOP_FACTOR` times the shorter,
+    each element of the short run is binary-probed into the long one
+    (galloping), with the probe window shrinking after every hit.
+    """
+    la = a_hi - a_lo
+    lb = b_hi - b_lo
+    if la > lb:
+        a, a_lo, a_hi, b, b_lo, b_hi = b, b_lo, b_hi, a, a_lo, a_hi
+        la, lb = lb, la
+    if la == 0:
+        return 0
+    k = 0
+    if lb >= la * GALLOP_FACTOR:
+        if stats is not None:
+            stats.galloping_steps += la
+        for position in range(a_lo, a_hi):
+            value = a[position]
+            cursor = bisect_left(b, value, b_lo, b_hi)
+            if cursor >= b_hi:
+                break
+            if b[cursor] == value:
+                out[k] = value
+                k += 1
+                b_lo = cursor + 1
+                if b_lo >= b_hi:
+                    break
+            else:
+                b_lo = cursor
+        return k
+    i = a_lo
+    j = b_lo
+    while i < a_hi and j < b_hi:
+        x = a[i]
+        y = b[j]
+        if x < y:
+            i += 1
+        elif y < x:
+            j += 1
+        else:
+            out[k] = x
+            k += 1
+            i += 1
+            j += 1
+    return k
+
+
+def intersect2(a, b, stats: Optional[VectorizedStats] = None) -> array:
+    """The intersection of two sorted runs as a fresh ``array('i')``."""
+    out = _int_run(min(len(a), len(b)))
+    k = intersect_into(a, 0, len(a), b, 0, len(b), out, stats)
+    del out[k:]
+    return out
+
+
+def intersect_k(runs: Sequence, stats: Optional[VectorizedStats] = None) -> array:
+    """Intersect any number of sorted runs, smallest-first.
+
+    Ordering by length makes every intermediate result no longer than the
+    shortest run, so each later step intersects a tiny run against one more —
+    the smallest-first discipline the frozenset path applies with
+    ``rows.sort(key=len)``.  Raises ``ValueError`` on an empty run list (the
+    empty intersection is the universe, which a finite kernel cannot return).
+    """
+    ordered = sorted(runs, key=len)
+    if not ordered:
+        raise ValueError("intersect_k needs at least one run")
+    result = ordered[0]
+    for run in ordered[1:]:
+        if not len(result):
+            break
+        result = intersect2(result, run, stats)
+    if result is ordered[0]:
+        result = array("i", result)
+    return result
+
+
+def intersect_reference(runs: Sequence) -> List[int]:
+    """Pure-python oracle: ``reduce(frozenset.intersection)``, sorted.
+
+    Deliberately built on set algebra (the representation the kernels
+    replace) so the property tests pin the kernels against an independent
+    implementation.  Test/reference use only — never on a hot path.
+    """
+    sets = [frozenset(run) for run in runs]  # hotpath: ok (reference oracle)
+    if not sets:
+        raise ValueError("intersect_reference needs at least one run")
+    common = frozenset.intersection(*sets)  # hotpath: ok (reference oracle)
+    return sorted(common)
+
+
+# ---------------------------------------------------------------------------
+# Dense enumeration state
+# ---------------------------------------------------------------------------
+
+# Sentinel returned by DenseLocality.context_for when the focus candidate is
+# provably unmatchable (an empty local pool) — the caller answers False
+# without enumerating, exactly like the frozenset path's emptiness check.
+EMPTY_LOCALITY = object()
+
+
+class DenseRunCache:
+    """Per-epoch memo of locality runs: radius balls and label-local pools.
+
+    A radius ball is a pure function of ``(snapshot, source, radius)`` and a
+    label-restricted local pool of ``(label, source, radius)``, so both are
+    memoised per graph epoch — the same move the plan layer makes for
+    compiled row stores.  A Zipf stream keeps re-verifying the same focus
+    candidates, and with this cache each distinct candidate pays the frontier
+    BFS and the members-run intersection once per epoch instead of once per
+    request.  Nothing here ships across the pool boundary: workers derive
+    their own caches from their own cached snapshots.
+
+    Both memos are bounded; at capacity they clear and refill (entries are
+    idempotent derivations, so losing one only costs a recomputation).  Misses
+    serialise on a lock because the ball BFS shares one visited scratch; hits
+    are plain lock-free dict probes.
+    """
+
+    __slots__ = (
+        "snapshot",
+        "neighborhoods",
+        "visited",
+        "balls",
+        "label_balls",
+        "capacity",
+        "_lock",
+    )
+
+    def __init__(self, snapshot, capacity: int = 4096) -> None:
+        self.snapshot = snapshot
+        self.neighborhoods = snapshot.neighborhoods()
+        self.visited = bytearray(snapshot.num_nodes)
+        self.balls: Dict[Tuple[int, int], array] = {}
+        self.label_balls: Dict[Tuple[int, int, int], array] = {}
+        self.capacity = capacity
+        self._lock = threading.Lock()
+
+    def ball(self, source_id: int, radius: int) -> array:
+        """The sorted dense ball around *source_id* (shared, do not mutate)."""
+        key = (source_id, radius)
+        run = self.balls.get(key)
+        if run is None:
+            with self._lock:
+                run = self.balls.get(key)
+                if run is None:
+                    reached = self.neighborhoods.nodes_within_hops_ids(
+                        source_id, radius, self.visited
+                    )
+                    run = array("i", sorted(reached))
+                    if len(self.balls) >= self.capacity:
+                        self.balls.clear()
+                    self.balls[key] = run
+        return run
+
+    def label_ball(
+        self,
+        label_id: int,
+        source_id: int,
+        radius: int,
+        stats: Optional[VectorizedStats] = None,
+    ) -> array:
+        """``members(label) ∩ ball(source, radius)`` as a sorted shared run."""
+        key = (label_id, source_id, radius)
+        run = self.label_balls.get(key)
+        if run is None:
+            members = self.snapshot.members_ids(label_id)
+            ball = self.ball(source_id, radius)
+            if stats is not None:
+                stats.probes += 1
+            out = _int_run(min(len(members), len(ball)))
+            k = intersect_into(
+                members, 0, len(members), ball, 0, len(ball), out, stats
+            )
+            del out[k:]
+            with self._lock:
+                if len(self.label_balls) >= self.capacity * 2:
+                    self.label_balls.clear()
+                self.label_balls[key] = out
+            run = out
+        return run
+
+
+class DenseState:
+    """The dense-id mirror of one :class:`MatchContext`'s search state.
+
+    Built (or refused) once per context by :func:`build_dense_state`; holds
+    the encoded static candidate runs, the pattern adjacency translated onto
+    CSR ``(indptr, indices)`` pairs, the active-constraint plan for the
+    context's matching order, the snapshot's dense ``str``-rank array and the
+    reusable intersection scratch.  :meth:`enumerate` is the anchored
+    backtracking search over that state.
+    """
+
+    __slots__ = (
+        "snapshot",
+        "decode",
+        "encode",
+        "srank",
+        "pattern",
+        "adjacency",
+        "dense_adjacency",
+        "runs",
+        "run_lens",
+        "run_labels",
+        "cache",
+        "order",
+        "active",
+        "single",
+        "scratch_a",
+        "scratch_b",
+        "view_a",
+        "view_b",
+        "static_sorted",
+        "stats",
+        "capacity",
+    )
+
+    def __init__(
+        self,
+        snapshot,
+        pattern,
+        adjacency: Dict[NodeId, List[tuple]],
+        dense_adjacency: Dict[NodeId, List[tuple]],
+        runs: Dict[NodeId, array],
+        run_labels: Dict[NodeId, Optional[int]],
+        order: List[NodeId],
+        srank: array,
+        cache: Optional[DenseRunCache] = None,
+    ) -> None:
+        self.snapshot = snapshot
+        self.decode = snapshot.nodes.decode
+        self.encode = snapshot.nodes.encode
+        self.srank = srank
+        self.pattern = pattern
+        self.adjacency = adjacency
+        self.dense_adjacency = dense_adjacency
+        self.runs = runs
+        self.run_lens = {node: len(run) for node, run in runs.items()}
+        # pattern node -> node label id when its pool is the untouched
+        # label-wide member run (locality restrictions then come from the
+        # per-epoch cache), None when the pool was pruned (per-query run).
+        self.run_labels = run_labels
+        self.cache = cache if cache is not None else DenseRunCache(snapshot)
+        self.order = list(order)
+        self.active, self.single = dense_active_plan(order, dense_adjacency)
+        self.capacity = max([len(run) for run in runs.values()] or [0]) + 1
+        self.scratch_a = _int_run(self.capacity)
+        self.scratch_b = _int_run(self.capacity)
+        self.view_a = memoryview(self.scratch_a)
+        self.view_b = memoryview(self.scratch_b)
+        # Static pools ordered by srank, cached per pattern node: the pools
+        # are immutable for the life of the state, so the sort runs once.
+        self.static_sorted: Dict[NodeId, List[int]] = {}
+        self.stats: Optional[VectorizedStats] = (
+            VectorizedStats() if get_registry() else None
+        )
+
+    def flush_stats(self) -> None:
+        """Flush accumulated kernel counters to the registry (query grain)."""
+        if self.stats is not None:
+            self.stats.flush()
+
+    def enumerate(
+        self,
+        anchor: Dict[NodeId, NodeId],
+        counter,
+        limit: Optional[int] = None,
+    ) -> Iterator[Dict[NodeId, NodeId]]:
+        """Anchored enumeration over the static runs (original-id anchor).
+
+        The caller (``MatchContext.isomorphisms``) has already validated the
+        anchor against the candidate pools; membership there implies the
+        anchor encodes and carries the right label, so the per-pair
+        ``_consistent`` label check is a proven tautology here.
+        """
+        encode = self.encode
+        anchor_items = []
+        for pattern_node, graph_node in anchor.items():
+            dense_id = encode(graph_node)
+            if dense_id is None:  # pools are ghost-free; not a candidate
+                return
+            anchor_items.append((pattern_node, dense_id))
+        yield from dense_isomorphisms(
+            self,
+            self.runs,
+            self.run_lens,
+            self.order,
+            self.active,
+            self.single,
+            self.static_sorted,
+            anchor_items,
+            counter,
+            limit,
+        )
+
+
+def dense_active_plan(
+    order: Sequence[NodeId], dense_adjacency: Dict[NodeId, List[tuple]]
+) -> Tuple[Dict[NodeId, Optional[tuple]], Dict[NodeId, tuple]]:
+    """Per-node active constraints for *order*, in dense-row form.
+
+    Mirrors ``MatchContext._build_active_plan`` exactly — same placement
+    invariant, same ``None``-marks-impossible convention, same single-entry
+    fast map — with constraints carried as ``(neighbor, indptr, indices)``
+    CSR references instead of row-store dicts.
+    """
+    plan: Dict[NodeId, Optional[tuple]] = {}
+    single: Dict[NodeId, tuple] = {}
+    placed = set()
+    for pattern_node in order:
+        actives = []
+        impossible = False
+        for entry in dense_adjacency[pattern_node]:
+            if entry[0] not in placed:
+                continue
+            if entry[1] is None:
+                impossible = True
+                break
+            actives.append(entry)
+        plan[pattern_node] = None if impossible else tuple(actives)
+        if not impossible and len(actives) == 1:
+            single[pattern_node] = actives[0]
+        placed.add(pattern_node)
+    return plan, single
+
+
+def build_dense_state(
+    snapshot,
+    pattern,
+    adjacency: Dict[NodeId, List[tuple]],
+    pattern_labels: Dict[NodeId, str],
+    candidates: Dict[NodeId, set],
+    order: List[NodeId],
+    rank_table: Optional[Tuple[array, bool]] = None,
+    cache: Optional[DenseRunCache] = None,
+) -> Optional[DenseState]:
+    """Encode a context's candidate pools into a :class:`DenseState`.
+
+    Returns ``None`` — leaving the frozenset path to serve unchanged — when
+    the dense mirror cannot be byte-identical:
+
+    * the snapshot's ``str`` ranks are not injective (two distinct nodes
+      share a ``str`` form, so rank-sorting could tie-break differently than
+      the set-iteration order the frozenset path inherits);
+    * some candidate is unknown to the snapshot (a ghost — the frozenset path
+      surfaces it and lets ``is_extendable`` raise ``NodeNotFoundError``);
+    * some candidate does not carry its pattern node's label (the frozenset
+      path counts the extension, then filters it — eliding the label check
+      would diverge silently).
+
+    Both disqualifiers collapse into one C-level subset test per pool:
+    ``pool <= members_frozenset(label)`` holds exactly when every candidate
+    is a snapshot node carrying the pattern node's label.  An untouched
+    label-wide pool is recognised by size and becomes the snapshot's shared
+    member run — nothing encodes at all; a pruned pool encodes through the
+    interner (``dict.get`` + C sort, never a per-element Python check).
+    """
+    srank, unique = (
+        rank_table if rank_table is not None else snapshot.str_rank_array()
+    )
+    if not unique:
+        return None
+    encode = snapshot.nodes.encode
+    label_id_of = snapshot.node_labels.get
+    runs: Dict[NodeId, array] = {}
+    run_labels: Dict[NodeId, Optional[int]] = {}
+    for pattern_node, label in pattern_labels.items():
+        pool = candidates.get(pattern_node)
+        if pool is None:
+            pool = frozenset()
+        elif not isinstance(pool, (set, frozenset)):
+            pool = frozenset(pool)
+        label_id = label_id_of(label)
+        members = (
+            snapshot.members_frozenset(label_id)
+            if label_id is not None
+            else frozenset()
+        )
+        if not pool <= members:
+            return None  # a ghost or a mislabeled candidate
+        if label_id is not None and len(pool) == len(members):
+            runs[pattern_node] = snapshot.members_ids(label_id)
+            run_labels[pattern_node] = label_id
+        else:
+            runs[pattern_node] = array("i", sorted(map(encode, pool)))
+            run_labels[pattern_node] = None
+    encode_label = snapshot.edge_labels.encode
+    out_csr, inc_csr = snapshot.out, snapshot.inc
+    dense_adjacency: Dict[NodeId, List[tuple]] = {}
+    for pattern_node, constraints in adjacency.items():
+        entries = []
+        for neighbor, label, outgoing in constraints:
+            edge_label = encode_label(label)
+            if edge_label is None:
+                entries.append((neighbor, None, None))
+                continue
+            # Same orientation rule as the frozenset resolve: an outgoing
+            # pattern edge constrains the pool to predecessors of the bound
+            # neighbour — the incoming CSR — and vice versa.
+            csr = inc_csr if outgoing else out_csr
+            indptr, indices = csr.sorted_runs(edge_label)
+            entries.append((neighbor, indptr, indices))
+        dense_adjacency[pattern_node] = entries
+    return DenseState(
+        snapshot,
+        pattern,
+        adjacency,
+        dense_adjacency,
+        runs,
+        run_labels,
+        order,
+        srank,
+        cache=cache,
+    )
+
+
+def dense_isomorphisms(
+    state: DenseState,
+    pools: Dict[NodeId, array],
+    pool_lens: Dict[NodeId, int],
+    order: Sequence[NodeId],
+    active: Dict[NodeId, Optional[tuple]],
+    single: Dict[NodeId, tuple],
+    static_sorted: Dict[NodeId, List[int]],
+    anchor_items: Sequence[Tuple[NodeId, int]],
+    counter,
+    limit: Optional[int] = None,
+) -> Iterator[Dict[NodeId, NodeId]]:
+    """The dense-id anchored backtracking search.
+
+    Byte-identical to the frozenset branch of ``MatchContext.isomorphisms``:
+    pools are derived from the same active-constraint plan (single-constraint
+    fast case, smallest-first chains otherwise), ordered by the dense
+    ``str``-rank array (same keys as the ``str_ranks`` map, unique by the
+    build-time guard), and ``counter.extensions`` is incremented for exactly
+    the candidates the frozenset loop would visit.  Assignments live in dense
+    ids; decoding to original ids happens only when a full match is yielded.
+    """
+    srank_key = state.srank.__getitem__
+    decode = state.decode
+    stats = state.stats
+    scratch_a, scratch_b = state.scratch_a, state.scratch_b
+    view_a, view_b = state.view_a, state.view_b
+    single_get = single.get
+    count = counter is not None
+
+    assignment: Dict[NodeId, int] = dict(anchor_items)
+    used = set(assignment.values())
+    total = len(order)
+    yielded = 0
+
+    def ordered_candidates(pattern_node: NodeId):
+        entry = single_get(pattern_node)
+        run = pools[pattern_node]
+        run_len = pool_lens[pattern_node]
+        if entry is not None:
+            indptr = entry[1]
+            bound = assignment[entry[0]]
+            row_lo = indptr[bound]
+            row_hi = indptr[bound + 1]
+            if row_lo == row_hi:  # empty row: the pool is already empty
+                return ()
+            if stats is not None:
+                stats.probes += 1
+            k = intersect_into(
+                run, 0, run_len, entry[2], row_lo, row_hi, scratch_a, stats
+            )
+            if not k:
+                return ()
+            return sorted(view_a[:k], key=srank_key)
+        actives = active[pattern_node]
+        if actives is None:  # an active edge label is absent from the graph
+            return ()
+        if not actives:
+            # Constraint-free node: the (invariant) static pool, sorted once.
+            cached = static_sorted.get(pattern_node)
+            if cached is None:
+                cached = sorted(memoryview(run)[:run_len], key=srank_key)
+                static_sorted[pattern_node] = cached
+            return cached
+        rows = []
+        for neighbor, indptr, indices in actives:
+            bound = assignment[neighbor]
+            row_lo = indptr[bound]
+            row_hi = indptr[bound + 1]
+            if row_lo == row_hi:
+                return ()
+            rows.append((row_hi - row_lo, row_lo, row_hi, indices))
+        rows.sort(key=_row_length)  # smallest-first, stable on ties
+        source, source_hi = run, run_len
+        out_run, out_view, spare_run, spare_view = (
+            scratch_a,
+            view_a,
+            scratch_b,
+            view_b,
+        )
+        result_view = None
+        for _length, row_lo, row_hi, indices in rows:
+            if stats is not None:
+                stats.probes += 1
+            k = intersect_into(
+                source, 0, source_hi, indices, row_lo, row_hi, out_run, stats
+            )
+            if not k:
+                return ()
+            source, source_hi = out_run, k
+            result_view = out_view
+            out_run, out_view, spare_run, spare_view = (
+                spare_run,
+                spare_view,
+                out_run,
+                out_view,
+            )
+        return sorted(result_view[:source_hi], key=srank_key)
+
+    def extend(position: int) -> Iterator[Dict[NodeId, NodeId]]:
+        nonlocal yielded
+        if position == total:
+            yielded += 1
+            yield {node: decode(dense) for node, dense in assignment.items()}
+            return
+        pattern_node = order[position]
+        for dense_node in ordered_candidates(pattern_node):
+            if dense_node in used:
+                continue
+            if count:
+                counter.extensions += 1
+            # The frozenset path's is_extendable label check is a proven
+            # tautology here (see build_dense_state), so it is elided.
+            assignment[pattern_node] = dense_node
+            used.add(dense_node)
+            yield from extend(position + 1)
+            del assignment[pattern_node]
+            used.discard(dense_node)
+            if limit is not None and yielded >= limit:
+                return
+
+    yield from extend(len(anchor_items))
+
+
+def _row_length(row: tuple) -> int:
+    return row[0]
+
+
+# ---------------------------------------------------------------------------
+# The DMatch locality sweep, vectorized
+# ---------------------------------------------------------------------------
+
+
+class DenseLocality:
+    """Per-query dense state for DMatch's locality-restricted verification.
+
+    Shares the query's :class:`DenseState` (the encoded static runs are
+    exactly the pools the locality sweep restricts) and its per-epoch
+    :class:`DenseRunCache`: the radius ball and every label-wide local pool
+    are memoised runs, so a repeated focus candidate pays neither the BFS nor
+    the members-run intersection again.  Pruned (per-query) pools intersect
+    with the cached ball through the kernels into reusable buffers.  The
+    matching order still follows the local pool sizes per candidate (the same
+    per-candidate ``_search_order`` the frozenset path runs), memoised by the
+    size profile — two candidates with the same local pool sizes share one
+    order and one active-constraint plan.
+
+    :meth:`context_for` returns ``self`` primed for one candidate,
+    :data:`EMPTY_LOCALITY` when a local pool is empty (definite non-match),
+    or ``None`` when this candidate cannot be served densely (unknown focus
+    node — the caller falls back and fails exactly as before).  The sweep is
+    sequential, so one instance serves every candidate of the query.
+    """
+
+    __slots__ = (
+        "state",
+        "pattern",
+        "focus",
+        "radius",
+        "buffers",
+        "pools",
+        "lengths",
+        "order",
+        "active",
+        "single",
+        "static_sorted",
+        "focus_candidate",
+        "_focus_dense",
+        "_order_cache",
+        "_nodes",
+    )
+
+    def __init__(self, state: DenseState, focus: NodeId, radius: int) -> None:
+        self.state = state
+        self.pattern = state.pattern
+        self.focus = focus
+        self.radius = radius
+        # Scratch buffers only for pools the per-epoch cache cannot serve:
+        # the focus singleton and pruned (per-query) runs.
+        self.buffers = {
+            node: _int_run(max(len(run), 1))
+            for node, run in state.runs.items()
+            if node == focus or state.run_labels[node] is None
+        }
+        self.pools: Dict[NodeId, array] = dict(state.runs)
+        self.lengths: Dict[NodeId, int] = {}
+        self.order: List[NodeId] = []
+        self.active: Dict[NodeId, Optional[tuple]] = {}
+        self.single: Dict[NodeId, tuple] = {}
+        self.static_sorted: Dict[NodeId, List[int]] = {}
+        self.focus_candidate: Optional[NodeId] = None
+        self._focus_dense = -1
+        # size profile -> (order, active, single); per query, bounded.
+        self._order_cache: Dict[tuple, tuple] = {}
+        self._nodes = tuple(state.runs)
+
+    def context_for(self, focus_candidate: NodeId):
+        """Prime the local pools for one focus candidate.
+
+        Mirrors the frozenset locality restriction step for step: the ball,
+        the per-node intersections, the focus-pool override and the
+        emptiness check — in dense-id space, through the kernels and the
+        per-epoch run cache.
+        """
+        state = self.state
+        focus_dense = state.encode(focus_candidate)
+        if focus_dense is None:
+            # Unknown focus candidate: the generic path raises
+            # NodeNotFoundError from the ball BFS — fall back to it.
+            return None
+        focus = self.focus
+        focus_run = state.runs[focus]
+        focus_len = state.run_lens[focus]
+        cursor = bisect_left(focus_run, focus_dense, 0, focus_len)
+        if cursor >= focus_len or focus_run[cursor] != focus_dense:
+            # local_candidates[focus] would be empty: definite non-match.
+            return EMPTY_LOCALITY
+        cache = state.cache
+        radius = self.radius
+        stats = state.stats
+        lengths = self.lengths
+        buffers = self.buffers
+        pools = self.pools
+        run_labels = state.run_labels
+        ball: Optional[array] = None
+        ball_len = 0
+        for pattern_node, run in state.runs.items():
+            if pattern_node == focus:
+                focus_buffer = buffers[focus]
+                focus_buffer[0] = focus_dense
+                pools[focus] = focus_buffer
+                lengths[focus] = 1
+                continue
+            label_id = run_labels[pattern_node]
+            if label_id is not None:
+                # Label-wide pool: the restriction is a memoised per-epoch
+                # run — one kernel intersection per (label, candidate), ever.
+                local = cache.label_ball(label_id, focus_dense, radius, stats)
+                k = len(local)
+                if not k:
+                    return EMPTY_LOCALITY
+                pools[pattern_node] = local
+                lengths[pattern_node] = k
+                continue
+            if ball is None:
+                ball = cache.ball(focus_dense, radius)
+                ball_len = len(ball)
+            if stats is not None:
+                stats.probes += 1
+            k = intersect_into(
+                run,
+                0,
+                state.run_lens[pattern_node],
+                ball,
+                0,
+                ball_len,
+                buffers[pattern_node],
+                stats,
+            )
+            if not k:
+                return EMPTY_LOCALITY
+            pools[pattern_node] = buffers[pattern_node]
+            lengths[pattern_node] = k
+        # Per-candidate matching order from the local pool sizes — the same
+        # SelectNext policy (and tie-break) as the per-candidate context the
+        # frozenset path builds.  The policy reads pool *sizes* only, so the
+        # result is memoised on the size profile.
+        key = tuple(map(lengths.__getitem__, self._nodes))
+        cached = self._order_cache.get(key)
+        if cached is None:
+            from repro.matching.generic import _search_order
+
+            sized = {node: range(size) for node, size in lengths.items()}
+            order = _search_order(
+                self.pattern, sized, {focus}, adjacency=state.adjacency
+            )
+            cached = (order, *dense_active_plan(order, state.dense_adjacency))
+            if len(self._order_cache) >= 1024:
+                self._order_cache.clear()
+            self._order_cache[key] = cached
+        self.order, self.active, self.single = cached
+        self.static_sorted.clear()
+        self.focus_candidate = focus_candidate
+        self._focus_dense = focus_dense
+        return self
+
+    def isomorphisms(
+        self,
+        anchor: Optional[Dict[NodeId, NodeId]] = None,
+        counter=None,
+        limit: Optional[int] = None,
+    ) -> Iterator[Dict[NodeId, NodeId]]:
+        """Enumerate matches anchored at the primed focus candidate."""
+        anchor = anchor or {}
+        if list(anchor.items()) != [(self.focus, self.focus_candidate)]:
+            raise ValueError(
+                "DenseLocality serves exactly the primed focus anchor"
+            )
+        yield from dense_isomorphisms(
+            self.state,
+            self.pools,
+            self.lengths,
+            self.order,
+            self.active,
+            self.single,
+            self.static_sorted,
+            [(self.focus, self._focus_dense)],
+            counter,
+            limit,
+        )

@@ -1,0 +1,447 @@
+"""Vectorized execution equivalence: dense runs vs the frozenset path.
+
+The contract under test (the vectorized tentpole): ``vectorized=True`` is an
+execution-strategy switch, never a semantics switch — answers, node matches
+and every ``WorkCounter`` field are byte-identical to the frozenset path, the
+dense state declines (rather than guesses) on any input it cannot serve
+identically, and the satellite fixes (the no-copy focus restriction, the
+per-label locality hoist, the per-epoch run cache) change *work*, not
+results.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from array import array
+
+import pytest
+
+from repro.graph.digraph import PropertyGraph
+from repro.index.snapshot import GraphIndex
+from repro.matching import DMatchOptions, QMatch, build_candidate_index
+from repro.matching.dmatch import WorkCounter, _local_candidate_pools, dmatch
+from repro.matching.enumerate import evaluate_positive_by_enumeration
+from repro.matching.generic import MatchContext, find_isomorphisms
+from repro.obs.metrics import active_metrics
+from repro.parallel import PQMatch
+from repro.patterns import CountingQuantifier, QuantifiedGraphPattern
+from repro.plan.vectorized import (
+    EMPTY_LOCALITY,
+    DenseRunCache,
+    build_dense_state,
+    intersect_reference,
+)
+from repro.service import QueryService
+
+
+def social_graph(seed: int, nodes: int = 60, edges: int = 900) -> PropertyGraph:
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    for index in range(nodes):
+        graph.add_node(f"n{index}", label="person" if index % 3 else "product")
+    for _ in range(edges):
+        a, b = rng.randrange(nodes), rng.randrange(nodes)
+        if a != b:
+            try:
+                graph.add_edge(
+                    f"n{a}",
+                    f"n{b}",
+                    label=rng.choice(["follow", "like", "recom"]),
+                )
+            except Exception:
+                pass
+    return graph
+
+
+def quantified_patterns():
+    quantifier = CountingQuantifier
+    chain = QuantifiedGraphPattern(name="chain")
+    chain.add_node("x", "person")
+    chain.add_node("y", "person")
+    chain.add_node("p", "product")
+    chain.add_edge("x", "y", "follow", quantifier.at_least(2))
+    chain.add_edge("y", "p", "like", quantifier.existential())
+    chain.set_focus("x")
+
+    exact = QuantifiedGraphPattern(name="exact")
+    exact.add_node("x", "person")
+    exact.add_node("z", "person")
+    exact.add_edge("x", "z", "follow", quantifier.exactly(1))
+    exact.set_focus("x")
+
+    ratio = QuantifiedGraphPattern(name="ratio")
+    ratio.add_node("x", "person")
+    ratio.add_node("y", "person")
+    ratio.add_node("p", "product")
+    ratio.add_edge("x", "y", "follow", quantifier.at_least(1))
+    ratio.add_edge("x", "p", "recom", quantifier.ratio_at_least(20.0))
+    ratio.set_focus("x")
+    return [chain, exact, ratio]
+
+
+def counter_fields(counter: WorkCounter):
+    return (counter.verifications, counter.extensions, counter.quantifier_checks)
+
+
+# ---------------------------------------------------------------------------
+# DMatch-level byte identity
+# ---------------------------------------------------------------------------
+
+
+class TestDMatchByteIdentity:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_all_option_combinations_identical(self, seed):
+        """Answers, node matches and WorkCounter fields match the frozenset
+        path across every (simulation, potential, locality, early-exit)
+        combination — the hard acceptance bar of the vectorized mode."""
+        graph = social_graph(seed)
+        for pattern in quantified_patterns():
+            for sim, pot, loc, early in itertools.product((False, True), repeat=4):
+                base = DMatchOptions(
+                    use_simulation=sim,
+                    use_potential=pot,
+                    use_locality=loc,
+                    early_exit=early,
+                )
+                vectorized = DMatchOptions(
+                    use_simulation=sim,
+                    use_potential=pot,
+                    use_locality=loc,
+                    early_exit=early,
+                    vectorized=True,
+                )
+                plain_counter, dense_counter = WorkCounter(), WorkCounter()
+                plain = dmatch(pattern, graph, options=base, counter=plain_counter)
+                dense = dmatch(
+                    pattern, graph, options=vectorized, counter=dense_counter
+                )
+                label = (pattern.name, sim, pot, loc, early)
+                assert plain.answer == dense.answer, label
+                assert plain.node_matches == dense.node_matches, label
+                assert counter_fields(plain_counter) == counter_fields(
+                    dense_counter
+                ), label
+
+    def test_matches_enumeration_oracle(self):
+        """Both paths agree with the plan-free full-enumeration oracle."""
+        graph = social_graph(7)
+        for pattern in quantified_patterns():
+            oracle, _ = evaluate_positive_by_enumeration(pattern, graph)
+            for vectorized in (False, True):
+                options = DMatchOptions(vectorized=vectorized)
+                assert dmatch(pattern, graph, options=options).answer == oracle
+
+    def test_focus_restriction_shapes_identical(self):
+        """The no-copy ``intersection_update`` accepts any iterable
+        restriction — set, frozenset, tuple — with identical results (the
+        satellite-1 audit: no ``& set(...)`` throwaway copies)."""
+        graph = social_graph(11)
+        pattern = quantified_patterns()[0]
+        unrestricted = dmatch(pattern, graph).answer
+        some = sorted(unrestricted)[: max(1, len(unrestricted) // 2)]
+        expected = unrestricted & set(some)
+        for shape in (set(some), frozenset(some), tuple(some), list(some)):
+            for vectorized in (False, True):
+                options = DMatchOptions(vectorized=vectorized)
+                outcome = dmatch(
+                    pattern, graph, options=options, focus_restriction=shape
+                )
+                assert outcome.answer == expected
+
+
+# ---------------------------------------------------------------------------
+# find_isomorphisms-level byte identity
+# ---------------------------------------------------------------------------
+
+
+class TestIsomorphismByteIdentity:
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_streams_identical(self, seed):
+        graph = social_graph(seed)
+        for pattern in quantified_patterns():
+            stratified = pattern.stratified()
+            plain = list(find_isomorphisms(stratified, graph))
+            dense = list(find_isomorphisms(stratified, graph, vectorized=True))
+            assert plain == dense  # same matches, same emission order
+
+    def test_anchored_and_limited_identical(self):
+        graph = social_graph(6)
+        pattern = quantified_patterns()[0].stratified()
+        plain_context = MatchContext(pattern, graph)
+        dense_context = MatchContext(pattern, graph, vectorized=True)
+        assert dense_context._dense is not None
+        focus_pool = sorted(plain_context.candidates["x"])
+        for candidate in focus_pool[:10]:
+            anchor = {"x": candidate}
+            plain_counter, dense_counter = WorkCounter(), WorkCounter()
+            plain = list(
+                plain_context.isomorphisms(anchor=anchor, counter=plain_counter)
+            )
+            dense = list(
+                dense_context.isomorphisms(anchor=anchor, counter=dense_counter)
+            )
+            assert plain == dense
+            assert counter_fields(plain_counter) == counter_fields(dense_counter)
+            limited_plain = list(
+                plain_context.isomorphisms(anchor=anchor, limit=2)
+            )
+            limited_dense = list(
+                dense_context.isomorphisms(anchor=anchor, limit=2)
+            )
+            assert limited_plain == limited_dense
+
+
+# ---------------------------------------------------------------------------
+# Dense-state soundness guards
+# ---------------------------------------------------------------------------
+
+
+class TestDenseStateGuards:
+    def _state_inputs(self, graph, pattern):
+        stratified = pattern.stratified()
+        context = MatchContext(stratified, graph, vectorized=True)
+        snapshot = GraphIndex.for_graph(graph)
+        return context, snapshot, stratified
+
+    def test_ghost_candidate_declines(self):
+        graph = social_graph(8)
+        pattern = quantified_patterns()[1]
+        context, snapshot, stratified = self._state_inputs(graph, pattern)
+        candidates = {node: set(pool) for node, pool in context.candidates.items()}
+        candidates["x"].add("ghost-node")
+        state = build_dense_state(
+            snapshot,
+            stratified,
+            context.adjacency,
+            context._pattern_labels,
+            candidates,
+            context.order,
+        )
+        assert state is None
+
+    def test_mislabeled_candidate_declines(self):
+        graph = social_graph(8)
+        pattern = quantified_patterns()[1]
+        context, snapshot, stratified = self._state_inputs(graph, pattern)
+        product = next(iter(graph.nodes_with_label("product")))
+        candidates = {node: set(pool) for node, pool in context.candidates.items()}
+        candidates["x"].add(product)  # a product in a person pool
+        state = build_dense_state(
+            snapshot,
+            stratified,
+            context.adjacency,
+            context._pattern_labels,
+            candidates,
+            context.order,
+        )
+        assert state is None
+
+    def test_non_injective_str_ranks_decline(self):
+        """Two distinct nodes with one ``str`` form (``1`` and ``"1"``) make
+        rank-sorting ambiguous — the dense path must refuse, the frozenset
+        path must still serve."""
+        graph = PropertyGraph()
+        graph.add_node(1, label="person")
+        graph.add_node("1", label="person")
+        graph.add_node("p", label="product")
+        graph.add_edge(1, "p", label="like")
+        graph.add_edge("1", "p", label="like")
+        pattern = QuantifiedGraphPattern(name="tiny")
+        pattern.add_node("x", "person")
+        pattern.add_node("y", "product")
+        pattern.add_edge("x", "y", "like", CountingQuantifier.existential())
+        pattern.set_focus("x")
+        stratified = pattern.stratified()
+        context = MatchContext(stratified, graph, vectorized=True)
+        assert context._dense is None  # declined, not mis-served
+        plain = list(find_isomorphisms(stratified, graph))
+        dense = list(find_isomorphisms(stratified, graph, vectorized=True))
+        assert plain == dense
+
+    def test_unpruned_pool_shares_member_run(self):
+        """A label-wide pool is recognised without encoding: its run IS the
+        snapshot's shared member array (the per-epoch locality cache keys off
+        this)."""
+        graph = social_graph(9)
+        pattern = quantified_patterns()[1]
+        context, snapshot, stratified = self._state_inputs(graph, pattern)
+        label_id = snapshot.node_label_id("person")
+        candidates = {
+            node: set(snapshot.members_frozenset(label_id))
+            for node in stratified.nodes()
+        }
+        state = build_dense_state(
+            snapshot,
+            stratified,
+            context.adjacency,
+            context._pattern_labels,
+            candidates,
+            context.order,
+        )
+        assert state is not None
+        for node in stratified.nodes():
+            assert state.runs[node] is snapshot.members_ids(label_id)
+            assert state.run_labels[node] == label_id
+
+
+# ---------------------------------------------------------------------------
+# The per-epoch run cache
+# ---------------------------------------------------------------------------
+
+
+class TestDenseRunCache:
+    def test_ball_memoised_and_correct(self):
+        graph = social_graph(12)
+        snapshot = GraphIndex.for_graph(graph)
+        cache = DenseRunCache(snapshot)
+        source = snapshot.node_id("n1")
+        first = cache.ball(source, 2)
+        assert cache.ball(source, 2) is first  # memoised, shared
+        from repro.graph.traversal import nodes_within_hops
+
+        expected = sorted(
+            snapshot.node_id(node) for node in nodes_within_hops(graph, "n1", 2)
+        )
+        assert list(first) == expected
+
+    def test_label_ball_is_members_intersection(self):
+        graph = social_graph(12)
+        snapshot = GraphIndex.for_graph(graph)
+        cache = DenseRunCache(snapshot)
+        source = snapshot.node_id("n2")
+        label_id = snapshot.node_label_id("person")
+        local = cache.label_ball(label_id, source, 2)
+        members = snapshot.members_ids(label_id)
+        ball = cache.ball(source, 2)
+        assert list(local) == intersect_reference([members, ball])
+        assert cache.label_ball(label_id, source, 2) is local  # memoised
+
+    def test_capacity_bound_clears_not_grows(self):
+        graph = social_graph(12)
+        snapshot = GraphIndex.for_graph(graph)
+        cache = DenseRunCache(snapshot, capacity=4)
+        for index in range(12):
+            cache.ball(index, 1)
+        assert len(cache.balls) <= 4
+
+
+# ---------------------------------------------------------------------------
+# Satellite 2: the per-label locality hoist
+# ---------------------------------------------------------------------------
+
+
+class TestLocalCandidatePools:
+    def test_hoisted_pools_equal_naive_restriction(self):
+        graph = social_graph(13)
+        pattern = quantified_patterns()[0].stratified()
+        index = build_candidate_index(pattern, graph)
+        rng = random.Random(0)
+        all_nodes = list(graph.nodes())
+        label_members = {}
+        for node in pattern.nodes():
+            label = pattern.node_label(node)
+            if label not in label_members:
+                members = graph.nodes_with_label(label)
+                label_members[label] = (members, len(members))
+        for _ in range(20):
+            local_nodes = set(rng.sample(all_nodes, rng.randrange(1, len(all_nodes))))
+            hoisted = _local_candidate_pools(pattern, index, local_nodes, label_members)
+            naive = {
+                node: index.candidate_set(node) & local_nodes
+                for node in pattern.nodes()
+            }
+            assert hoisted == naive
+
+
+# ---------------------------------------------------------------------------
+# Observability integration
+# ---------------------------------------------------------------------------
+
+
+class TestVectorizedObservability:
+    def test_counters_move_when_enabled(self):
+        graph = social_graph(14)
+        pattern = quantified_patterns()[0]
+        with active_metrics() as registry:
+            # Potential ranks decline the dense path (per-node orderings),
+            # so the observed run uses the verification-bound configuration.
+            dmatch(
+                pattern,
+                graph,
+                options=DMatchOptions(
+                    use_simulation=False,
+                    use_potential=False,
+                    use_locality=True,
+                    vectorized=True,
+                ),
+            )
+            assert registry.counter("plan.vectorized.probes").value > 0
+
+    def test_stats_absent_when_disabled(self):
+        graph = social_graph(14)
+        pattern = quantified_patterns()[0].stratified()
+        context = MatchContext(pattern, graph, vectorized=True)
+        assert context._dense is not None
+        assert context._dense.stats is None  # allocation-free disabled path
+
+
+# ---------------------------------------------------------------------------
+# The locality sweep and the parallel/service paths
+# ---------------------------------------------------------------------------
+
+
+class TestLocalityAndDistribution:
+    def test_empty_locality_sentinel_is_definite_nonmatch(self):
+        graph = PropertyGraph()
+        graph.add_node("a", label="person")
+        graph.add_node("b", label="person")
+        graph.add_node("p", label="product")
+        graph.add_edge("a", "b", label="follow")
+        graph.add_edge("b", "p", label="like")
+        pattern = quantified_patterns()[0]
+        plain = dmatch(pattern, graph)
+        dense = dmatch(pattern, graph, options=DMatchOptions(vectorized=True))
+        assert plain.answer == dense.answer
+
+    def test_pqmatch_serial_and_process_identical(self):
+        from repro.datasets import benchmark_graph
+
+        graph = benchmark_graph("pokec", scale=0.2, seed=31)
+        patterns = quantified_patterns()
+        options = DMatchOptions(vectorized=True)
+        serial = PQMatch(num_workers=2, d=2, engine=QMatch(options=options))
+        baseline = PQMatch(num_workers=2, d=2, engine=QMatch())
+        with PQMatch(
+            num_workers=2, d=2, executor="process", engine=QMatch(options=options)
+        ) as process:
+            for pattern in patterns:
+                expected = baseline.evaluate_answer(pattern, graph)
+                assert serial.evaluate_answer(pattern, graph) == expected
+                assert process.evaluate_answer(pattern, graph) == expected
+            # The pool boundary ships nothing new for the dense runs: workers
+            # derive them from their cached snapshots, zero rebuilds.
+            assert process.executor.last_worker_rebuilds == 0
+
+    def test_service_plans_vectorized_identical(self):
+        from repro.datasets import benchmark_graph
+
+        graph = benchmark_graph("pokec", scale=0.2, seed=37)
+        patterns = quantified_patterns()
+
+        def service_for(options):
+            return QueryService(
+                graph,
+                PQMatch(num_workers=1, d=2, engine=QMatch(options=options)),
+                name=f"svc-{options.vectorized}",
+                use_plans=True,
+            )
+
+        plain = service_for(DMatchOptions(use_locality=True))
+        dense = service_for(DMatchOptions(use_locality=True, vectorized=True))
+        for pattern in patterns:
+            plain_answer = plain.evaluate(pattern).answer
+            plain.cache.clear()
+            dense_answer = dense.evaluate(pattern).answer
+            dense.cache.clear()
+            assert plain_answer == dense_answer

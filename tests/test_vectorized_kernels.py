@@ -1,0 +1,160 @@
+"""Satellite guards for the sorted-run merge-intersection kernels.
+
+Pins ``repro.plan.vectorized``'s kernels against the pure-python frozenset
+oracle over adversarial run shapes (empty, singleton, duplicate-free sorted,
+heavily skewed lengths — the galloping trigger), and asserts the scratch-
+buffer path (:func:`intersect_into`) allocates nothing per probe at steady
+state, the contract that makes it safe inside the enumeration loop.
+"""
+
+import gc
+import sys
+from array import array
+from functools import reduce
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import active_metrics
+from repro.plan.vectorized import (
+    GALLOP_FACTOR,
+    VectorizedStats,
+    intersect2,
+    intersect_into,
+    intersect_k,
+    intersect_reference,
+)
+
+
+def run_of(values) -> array:
+    """A sorted duplicate-free ``array('i')`` run from arbitrary ints."""
+    return array("i", sorted(set(values)))
+
+
+sorted_runs = st.lists(
+    st.lists(st.integers(min_value=0, max_value=500), max_size=60).map(run_of),
+    min_size=1,
+    max_size=5,
+)
+
+# Heavily skewed shapes: one short run probing one long run — the length
+# ratio clears GALLOP_FACTOR so the galloping/binary-probe path runs.
+skewed_pairs = st.tuples(
+    st.lists(st.integers(min_value=0, max_value=5000), max_size=6).map(run_of),
+    st.lists(
+        st.integers(min_value=0, max_value=5000), min_size=200, max_size=400
+    ).map(run_of),
+)
+
+
+class TestKernelsAgainstOracle:
+    @given(runs=sorted_runs)
+    @settings(max_examples=300, deadline=None)
+    def test_intersect_k_equals_frozenset_reduce(self, runs):
+        expected = sorted(reduce(frozenset.intersection, map(frozenset, runs)))
+        assert list(intersect_k(runs)) == expected
+        assert intersect_reference(runs) == expected
+
+    @given(pair=skewed_pairs)
+    @settings(max_examples=200, deadline=None)
+    def test_galloping_path_matches_oracle(self, pair):
+        short, long_run = pair
+        expected = intersect_reference([short, long_run])
+        # Both argument orders hit the same (swapped-shorter-first) kernel.
+        assert list(intersect2(short, long_run)) == expected
+        assert list(intersect2(long_run, short)) == expected
+
+    @given(runs=sorted_runs)
+    @settings(max_examples=200, deadline=None)
+    def test_intersect_into_windowed(self, runs):
+        a, b = runs[0], runs[-1]
+        a_lo, a_hi = len(a) // 3, len(a)
+        b_lo, b_hi = 0, (2 * len(b) + 2) // 3
+        out = array("i", bytes(max(len(a), len(b), 1) * a.itemsize))
+        k = intersect_into(a, a_lo, a_hi, b, b_lo, b_hi, out)
+        expected = intersect_reference([a[a_lo:a_hi], b[b_lo:b_hi]])
+        assert list(out[:k]) == expected
+
+    @given(runs=sorted_runs)
+    @settings(max_examples=200, deadline=None)
+    def test_intersect_into_may_alias_an_input(self, runs):
+        a, b = runs[0], runs[-1]
+        expected = intersect_reference([a, b])
+        for aliased_source in (a, b):
+            aliased = array("i", aliased_source)
+            other = b if aliased_source is a else a
+            k = intersect_into(
+                aliased, 0, len(aliased), other, 0, len(other), aliased
+            )
+            assert list(aliased[:k]) == expected
+
+    def test_empty_and_singleton_shapes(self):
+        empty = array("i")
+        one = array("i", [7])
+        assert list(intersect_k([empty, run_of(range(10))])) == []
+        assert list(intersect_k([one])) == [7]
+        assert list(intersect_k([one, run_of([5, 7, 9])])) == [7]
+        assert list(intersect2(empty, empty)) == []
+        with pytest.raises(ValueError):
+            intersect_k([])
+        with pytest.raises(ValueError):
+            intersect_reference([])
+
+    def test_result_never_aliases_an_input_run(self):
+        # intersect_k copies even the single-run fast case: callers may
+        # mutate the result without corrupting the (immutable) CSR runs.
+        run = run_of(range(5))
+        result = intersect_k([run])
+        assert result is not run
+        result[0] = 99
+        assert run[0] == 0
+
+
+class TestStats:
+    def test_galloping_steps_counted_on_skewed_runs(self):
+        stats = VectorizedStats()
+        short = run_of([3, 400])
+        long_run = run_of(range(GALLOP_FACTOR * 100))
+        intersect2(short, long_run, stats)
+        assert stats.galloping_steps == len(short)
+        stats_linear = VectorizedStats()
+        intersect2(run_of(range(8)), run_of(range(10)), stats_linear)
+        assert stats_linear.galloping_steps == 0
+
+    def test_flush_is_noop_without_registry_and_moves_counters_with(self):
+        stats = VectorizedStats()
+        stats.probes = 4
+        stats.galloping_steps = 9
+        stats.flush()  # disabled registry: swallowed, still reset
+        assert stats.probes == 0 and stats.galloping_steps == 0
+        with active_metrics() as registry:
+            stats.probes = 2
+            stats.galloping_steps = 5
+            stats.flush()
+            dump = registry.dump()
+            assert dump["plan.vectorized.probes"]["value"] == 2
+            assert dump["plan.vectorized.galloping_steps"]["value"] == 5
+
+
+class TestAllocationFreeProbes:
+    def test_intersect_into_allocates_nothing_at_steady_state(self):
+        """The per-probe contract: intersecting into a reusable scratch
+        array must not allocate — neither on the linear merge nor on the
+        galloping path — so the enumeration can probe millions of pools
+        without touching the allocator."""
+        a = run_of(range(0, 600, 3))
+        b = run_of(range(0, 600, 2))
+        short = run_of([30, 90, 270])
+        long_run = run_of(range(0, 4000, 2))
+        out = array("i", bytes(max(len(a), len(b)) * a.itemsize))
+        for _ in range(100):  # warm up lazy caches / specialisation
+            intersect_into(a, 0, len(a), b, 0, len(b), out)
+            intersect_into(short, 0, len(short), long_run, 0, len(long_run), out)
+        gc.collect()
+        before = sys.getallocatedblocks()
+        for _ in range(10_000):
+            intersect_into(a, 0, len(a), b, 0, len(b), out)
+            intersect_into(short, 0, len(short), long_run, 0, len(long_run), out)
+        after = sys.getallocatedblocks()
+        assert after - before <= 8  # no per-probe allocation survives

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Lint the matching/plan hot paths for throwaway set-copy idioms.
+
+The enumeration and plan layers sit inside per-candidate and per-probe loops,
+where ``pool & set(restriction)`` or ``candidates.copy()`` quietly
+materialise a full copy on every call — the exact regressions the vectorized
+sorted-run kernels exist to avoid (and that the no-copy satellite fixes
+removed from :mod:`repro.matching.enumerate` and
+:mod:`repro.matching.dmatch`).  This check keeps them from creeping back.
+
+Flagged in ``src/repro/matching/`` and ``src/repro/plan/``:
+
+* a binary set operator applied to a fresh materialisation —
+  ``& set(…)``, ``|= frozenset(…)``, ``- set(…)`` and friends
+  (use ``intersection_update(iterable)`` / ``intersection(iterable)`` or the
+  sorted-run kernels instead);
+* ``.copy()`` calls (hot-path structures are reused or rebuilt per epoch,
+  never defensively copied per probe).
+
+A line that is genuinely cold (a reference oracle, a one-off builder) opts
+out with a trailing ``# hotpath: ok`` comment.  Comments and docstrings are
+ignored via tokenization, so *mentioning* an idiom is fine.
+
+Exit status 0 when clean; 1 otherwise (one line per finding).  CI runs it in
+the docs job next to ``check_links.py``; run it locally with
+``python tools/check_hotpath.py``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import sys
+import tokenize
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+HOT_DIRS = ("src/repro/matching", "src/repro/plan")
+
+ESCAPE = "hotpath: ok"
+
+# A binary set operator against a fresh set/frozenset materialisation: the
+# right-hand side is built only to be thrown away after the operation.
+_SET_COPY = re.compile(r"[&|\-^]=?\s*(?:frozen)?set\(")
+_COPY_CALL = re.compile(r"\.copy\(\)")
+
+PATTERNS = (
+    (_SET_COPY, "binary set op against a fresh set() — intersect the iterable"),
+    (_COPY_CALL, ".copy() on a hot path — reuse or rebuild per epoch"),
+)
+
+
+def code_lines(path: Path) -> dict[int, str]:
+    """Line number -> source text with comments and docstrings blanked."""
+    text = path.read_text(encoding="utf-8")
+    lines = {number + 1: line for number, line in enumerate(text.splitlines())}
+    drop: list[tuple[int, int, int, int]] = []  # (row0, col0, row1, col1)
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except tokenize.TokenError:
+        return lines
+    previous_meaningful = None
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            drop.append((*token.start, *token.end))
+        elif token.type == tokenize.STRING:
+            # A string expression statement (docstring position): not code.
+            if previous_meaningful in (None, tokenize.NEWLINE, tokenize.INDENT,
+                                       tokenize.DEDENT):
+                drop.append((*token.start, *token.end))
+        if token.type not in (tokenize.NL, tokenize.COMMENT):
+            previous_meaningful = token.type
+    for row0, col0, row1, col1 in drop:
+        for row in range(row0, row1 + 1):
+            line = lines.get(row, "")
+            lo = col0 if row == row0 else 0
+            hi = col1 if row == row1 else len(line)
+            lines[row] = line[:lo] + " " * (hi - lo) + line[hi:]
+    return lines
+
+
+def findings() -> list[str]:
+    problems: list[str] = []
+    for directory in HOT_DIRS:
+        for path in sorted((REPO_ROOT / directory).rglob("*.py")):
+            raw = path.read_text(encoding="utf-8").splitlines()
+            for number, line in code_lines(path).items():
+                if ESCAPE in raw[number - 1]:
+                    continue
+                for pattern, message in PATTERNS:
+                    if pattern.search(line):
+                        problems.append(
+                            f"{path.relative_to(REPO_ROOT)}:{number}: "
+                            f"{message} [{raw[number - 1].strip()}]"
+                        )
+    return problems
+
+
+def main() -> int:
+    problems = findings()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} hot-path set-copy idiom(s)", file=sys.stderr)
+        return 1
+    print("hot paths clean: no throwaway set copies in matching/ or plan/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
