@@ -30,6 +30,10 @@ The package layers cleanly:
 * :mod:`repro.obs`      — unified observability: an opt-in metrics registry,
   span tracing with cross-process propagation, and the always-on service
   introspection behind ``QueryService.stats()``;
+* :mod:`repro.serve`    — the scale-out tier: a shard router
+  (``ShardedService``) over per-shard ``QueryService`` fleets, bounded
+  admission with backpressure, and a CRC-checked cross-process result cache
+  keyed on per-shard ``VersionVector``\\ s;
 * :mod:`repro.core`     — the stable public API re-exported in one namespace.
 """
 
@@ -67,7 +71,14 @@ from repro.core import (
     pattern_fingerprint,
     GraphDelta,
     apply_delta,
+    graph_diff,
     inc_qmatch_delta,
+    ShardedService,
+    VersionVector,
+    SharedResultCache,
+    AdmissionConfig,
+    AdmissionQueue,
+    build_shards,
     MetricsRegistry,
     ServiceIntrospection,
     SlowQueryLog,
@@ -120,7 +131,14 @@ __all__ = [
     "pattern_fingerprint",
     "GraphDelta",
     "apply_delta",
+    "graph_diff",
     "inc_qmatch_delta",
+    "ShardedService",
+    "VersionVector",
+    "SharedResultCache",
+    "AdmissionConfig",
+    "AdmissionQueue",
+    "build_shards",
     "MetricsRegistry",
     "ServiceIntrospection",
     "SlowQueryLog",

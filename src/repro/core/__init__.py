@@ -6,7 +6,7 @@ parallel matching engines, and the QGAR layer, without reaching into the
 internal module layout.
 """
 
-from repro.delta import GraphDelta, apply_delta, inc_qmatch_delta
+from repro.delta import GraphDelta, apply_delta, graph_diff, inc_qmatch_delta
 from repro.graph import PropertyGraph, small_world_social_graph
 from repro.index import GraphIndex
 from repro.matching import (
@@ -49,6 +49,14 @@ from repro.obs import (
     span,
 )
 from repro.rules import QGAR, dgar_match, gar_match, mine_qgars
+from repro.serve import (
+    AdmissionConfig,
+    AdmissionQueue,
+    ShardedService,
+    SharedResultCache,
+    VersionVector,
+    build_shards,
+)
 from repro.service import (
     QueryService,
     ResultCache,
@@ -63,6 +71,7 @@ __all__ = [
     "GraphIndex",
     "GraphDelta",
     "apply_delta",
+    "graph_diff",
     "inc_qmatch_delta",
     "small_world_social_graph",
     "CountingQuantifier",
@@ -93,6 +102,12 @@ __all__ = [
     "Subscription",
     "canonicalize",
     "pattern_fingerprint",
+    "ShardedService",
+    "VersionVector",
+    "SharedResultCache",
+    "AdmissionConfig",
+    "AdmissionQueue",
+    "build_shards",
     "MetricsRegistry",
     "ServiceIntrospection",
     "SlowQueryLog",

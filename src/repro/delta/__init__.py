@@ -21,7 +21,7 @@ See ``docs/UPDATES.md`` for the executable walkthrough and
 """
 
 from repro.delta.matching import DeltaMatchStats, affected_area, inc_qmatch_delta
-from repro.delta.ops import ABSENT, GraphDelta, apply_delta
+from repro.delta.ops import ABSENT, GraphDelta, apply_delta, graph_diff
 from repro.delta.partition import FragmentUpdate, apply_delta_to_partition
 from repro.delta.refresh import (
     refresh_call_count,
@@ -32,6 +32,7 @@ from repro.delta.refresh import (
 __all__ = [
     "GraphDelta",
     "apply_delta",
+    "graph_diff",
     "ABSENT",
     "refreshed_index",
     "refresh_call_count",

@@ -34,7 +34,7 @@ from typing import Iterable, List, Mapping, Optional, Set, Tuple
 from repro.graph.digraph import Edge, Label, NodeId, PropertyGraph
 from repro.utils.errors import DeltaError
 
-__all__ = ["GraphDelta", "apply_delta", "ABSENT"]
+__all__ = ["GraphDelta", "apply_delta", "graph_diff", "ABSENT"]
 
 # One node insert: (node id, node label, ((attr key, attr value), ...)).
 NodeInsert = Tuple[NodeId, Label, Tuple[Tuple[str, object], ...]]
@@ -241,6 +241,88 @@ def _validate(graph: PropertyGraph, delta: GraphDelta) -> None:
             raise DeltaError(f"attribute set on missing node {node!r}")
         if not isinstance(key, str):
             raise DeltaError(f"attribute key {key!r} is not a string")
+
+
+def graph_diff(old: PropertyGraph, new: PropertyGraph) -> GraphDelta:
+    """The batch that, applied to *old*, makes it equal to *new*.
+
+    Both graphs are read, neither is mutated.  The result satisfies the batch
+    validation rules of :func:`apply_delta` by construction: deleted nodes'
+    incident edges are left to the cascade (never listed explicitly), and
+    edges of *new* incident to inserted nodes ride as ordinary edge inserts
+    (the canonical application order puts node inserts first).
+
+    One shape of change is inexpressible as a single coherent batch — a node
+    present on both sides with **different labels** would need a delete and an
+    insert of the same id, which batch validation (rightly) rejects.  Such a
+    pair raises :class:`DeltaError`; callers that relabel must do it in two
+    batches.  The scale-out shard-maintenance path
+    (:func:`repro.serve.shards.shard_subdelta`) never produces one: induced
+    subgraphs of the same union graph agree on every shared node's label.
+
+    >>> from repro.graph.digraph import PropertyGraph
+    >>> a = PropertyGraph("a"); b = PropertyGraph("b")
+    >>> for g in (a, b):
+    ...     _ = g.add_node("x", "person"); _ = g.add_node("y", "person")
+    >>> _ = b.add_node("z", "person"); b.add_edge("x", "z", "follow")
+    >>> delta = graph_diff(a, b)
+    >>> _ = apply_delta(a, delta)
+    >>> a == b
+    True
+    """
+    old_nodes = set(old.nodes())
+    new_nodes = set(new.nodes())
+
+    node_inserts: List[NodeInsert] = []
+    for node in sorted(new_nodes - old_nodes, key=repr):
+        node_inserts.append(
+            (node, new.node_label(node), _freeze_attrs(new.node_attrs(node)))
+        )
+    node_deletes = tuple(sorted(old_nodes - new_nodes, key=repr))
+    deleted = set(node_deletes)
+
+    for node in old_nodes & new_nodes:
+        if old.node_label(node) != new.node_label(node):
+            raise DeltaError(
+                f"graph_diff cannot express the label change on node {node!r} "
+                f"({old.node_label(node)!r} -> {new.node_label(node)!r}) as one batch"
+            )
+
+    old_edges = set(old.edges())
+    new_edges = set(new.edges())
+    edge_inserts = tuple(sorted(new_edges - old_edges, key=repr))
+    # Deleted nodes cascade their incident edges; listing those explicitly
+    # would double-delete under the inverse's replay.
+    edge_deletes = tuple(
+        sorted(
+            (
+                edge
+                for edge in old_edges - new_edges
+                if edge[0] not in deleted and edge[1] not in deleted
+            ),
+            key=repr,
+        )
+    )
+
+    attr_sets: List[AttrSet] = []
+    for node in sorted(old_nodes & new_nodes, key=repr):
+        old_attrs = old.node_attrs(node)
+        new_attrs = new.node_attrs(node)
+        if old_attrs == new_attrs:
+            continue
+        for key in sorted(set(old_attrs) | set(new_attrs)):
+            if key not in new_attrs:
+                attr_sets.append((node, key, ABSENT))
+            elif old_attrs.get(key, ABSENT) != new_attrs[key]:
+                attr_sets.append((node, key, new_attrs[key]))
+
+    return GraphDelta(
+        node_inserts=tuple(node_inserts),
+        node_deletes=node_deletes,
+        edge_inserts=edge_inserts,
+        edge_deletes=edge_deletes,
+        attr_sets=tuple(attr_sets),
+    )
 
 
 def apply_delta(graph: PropertyGraph, delta: GraphDelta) -> GraphDelta:

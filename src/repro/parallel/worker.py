@@ -83,6 +83,18 @@ def options_key_from_spec(spec: EngineSpec) -> Tuple:
     return ("opaque", type(engine).__module__, type(engine).__qualname__)
 
 
+def options_key_text(options_key: Tuple) -> str:
+    """A stable text encoding of an engine-options key for shared stores.
+
+    In-process caches key on the tuple itself; the cross-process shared
+    result cache (:mod:`repro.serve.shared_cache`) needs a *textual* key two
+    processes agree on.  ``repr`` of the key is deterministic — it is built
+    from literals, frozen dataclasses (``DMatchOptions``) and qualified type
+    names, none of which embed object identities — so it is that encoding.
+    """
+    return repr(options_key)
+
+
 class FragmentTask:
     """A picklable unit of work: evaluate *pattern* on one fragment graph.
 

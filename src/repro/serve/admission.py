@@ -1,0 +1,218 @@
+"""Admission control: the bounded, prioritised front door of the fleet.
+
+A single :class:`~repro.service.server.QueryService` absorbs whatever its
+callers submit — its pending list is unbounded, which is fine for one process
+talking to itself and wrong for a serving tier fronting real traffic: under
+overload an unbounded queue converts excess load into unbounded latency for
+*everyone*.  :class:`AdmissionQueue` is the missing seam, placed exactly where
+the dispatcher already batches:
+
+* a **bound** on queued requests, with two overflow policies — ``"reject"``
+  raises :class:`~repro.utils.errors.Overloaded` immediately (callers retry
+  with backoff; the queue never lies about capacity), ``"block"`` parks the
+  submitting thread until space frees (with an optional timeout, after which
+  it too raises :class:`Overloaded`);
+* **priorities**: smaller values drain first (0 is the default), FIFO within
+  a priority class, so latency-sensitive traffic overtakes bulk traffic at
+  the batch boundary without starving it — a drain takes *everything*
+  admitted, ordered, not just the best class;
+* **graceful drain**: :meth:`close` stops admissions instantly but leaves
+  already-admitted requests for the dispatcher to finish — a promise made to
+  every caller that got past the front door.
+
+The queue is engine-agnostic (it holds opaque payloads); the router composes
+it with in-flight dedup, which lives above the queue because dedup needs the
+canonical fingerprint and the fleet's version vector — neither of which the
+queue should know about.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Generic, List, Optional, Tuple, TypeVar
+
+from repro.obs.metrics import get_registry
+from repro.utils.errors import Overloaded, ReproError, ServiceError
+
+__all__ = ["AdmissionConfig", "AdmissionStats", "AdmissionQueue"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs of one :class:`AdmissionQueue`.
+
+    ``max_pending`` bounds admitted-but-undrained requests.  ``policy`` is
+    ``"reject"`` (full queue ⇒ :class:`Overloaded` now) or ``"block"`` (full
+    queue ⇒ wait for space; ``block_timeout`` seconds at most when set, then
+    :class:`Overloaded`).  Validation is eager — a typo'd policy fails at
+    construction, not first overload.
+    """
+
+    max_pending: int = 256
+    policy: str = "reject"
+    block_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_pending <= 0:
+            raise ReproError("admission max_pending must be positive")
+        if self.policy not in ("reject", "block"):
+            raise ReproError(
+                f"admission policy must be 'reject' or 'block', got {self.policy!r}"
+            )
+        if self.block_timeout is not None and self.block_timeout < 0:
+            raise ReproError("admission block_timeout must be non-negative")
+
+
+@dataclass
+class AdmissionStats:
+    """Lifetime counters of one queue (mirrored to obs when enabled)."""
+
+    admitted: int = 0
+    rejected: int = 0
+    blocked: int = 0
+    drained: int = 0
+    high_water: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "blocked": self.blocked,
+            "drained": self.drained,
+            "high_water": self.high_water,
+        }
+
+
+class AdmissionQueue(Generic[T]):
+    """A bounded priority queue with backpressure and graceful drain.
+
+    Thread-safe.  Producers call :meth:`submit`; one consumer (the router's
+    dispatcher) alternates :meth:`wait_for_work` / :meth:`drain` — drain
+    empties the whole queue in priority order, which is what lets the
+    dispatcher coalesce everything admitted since its last round into one
+    batch.
+    """
+
+    def __init__(self, config: Optional[AdmissionConfig] = None) -> None:
+        self.config = config or AdmissionConfig()
+        self.stats = AdmissionStats()
+        self._heap: List[Tuple[int, int, T]] = []
+        self._seq = 0
+        self._lock = threading.Lock()
+        # Signals space freed (blocked producers) and work queued (consumer).
+        self._space = threading.Condition(self._lock)
+        self._work = threading.Condition(self._lock)
+        self._closed = False
+
+    # ------------------------------------------------------------- producers
+
+    def submit(self, payload: T, priority: int = 0) -> None:
+        """Admit *payload*, or raise :class:`Overloaded` per the policy.
+
+        Raises :class:`ServiceError` once the queue is closed — closing is a
+        hard stop for *new* work only.
+        """
+        registry = get_registry()
+        with self._lock:
+            if self._closed:
+                raise ServiceError("admission queue is closed")
+            if len(self._heap) >= self.config.max_pending:
+                if self.config.policy == "reject":
+                    self.stats.rejected += 1
+                    if registry:
+                        registry.counter("serve.admission.rejected").inc()
+                    raise Overloaded(
+                        f"admission queue full ({self.config.max_pending} pending)"
+                    )
+                self.stats.blocked += 1
+                if registry:
+                    registry.counter("serve.admission.blocked").inc()
+                if not self._space.wait_for(
+                    lambda: self._closed or len(self._heap) < self.config.max_pending,
+                    timeout=self.config.block_timeout,
+                ):
+                    self.stats.rejected += 1
+                    if registry:
+                        registry.counter("serve.admission.rejected").inc()
+                    raise Overloaded(
+                        f"admission queue full after {self.config.block_timeout}s wait"
+                    )
+                if self._closed:
+                    raise ServiceError("admission queue is closed")
+            heapq.heappush(self._heap, (priority, self._seq, payload))
+            self._seq += 1
+            self.stats.admitted += 1
+            depth = len(self._heap)
+            if depth > self.stats.high_water:
+                self.stats.high_water = depth
+            self._work.notify()
+        if registry:
+            registry.counter("serve.admission.admitted").inc()
+            registry.gauge("serve.admission.depth").set(depth)
+
+    # -------------------------------------------------------------- consumer
+
+    def wait_for_work(self, timeout: Optional[float] = None) -> bool:
+        """Block until something is queued or the queue is closed.
+
+        Returns ``True`` when there is (possibly residual post-close) work or
+        the queue closed — i.e. whenever the consumer should run another
+        drain-and-decide cycle — and ``False`` only on timeout.
+        """
+        with self._lock:
+            return self._work.wait_for(
+                lambda: self._closed or bool(self._heap), timeout=timeout
+            )
+
+    def drain(self) -> List[Tuple[int, T]]:
+        """Remove and return everything queued, as ``(priority, payload)``.
+
+        Ordered by priority then admission order.  Wakes every producer
+        blocked on space.
+        """
+        with self._lock:
+            batch: List[Tuple[int, T]] = []
+            while self._heap:
+                priority, _seq, payload = heapq.heappop(self._heap)
+                batch.append((priority, payload))
+            if batch:
+                self.stats.drained += len(batch)
+                self._space.notify_all()
+        if batch:
+            registry = get_registry()
+            if registry:
+                registry.gauge("serve.admission.depth").set(0)
+        return batch
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def close(self) -> None:
+        """Refuse new admissions; already-admitted payloads remain drainable.
+
+        Idempotent.  Wakes blocked producers (they raise
+        :class:`ServiceError`) and the consumer (so it can run its final
+        drain and exit).
+        """
+        with self._lock:
+            self._closed = True
+            self._space.notify_all()
+            self._work.notify_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionQueue(depth={len(self)}/{self.config.max_pending}, "
+            f"policy={self.config.policy!r}, closed={self.closed})"
+        )

@@ -1,0 +1,674 @@
+"""The shard router: one serving façade over a fleet of ``QueryService``\\ s.
+
+:class:`ShardedService` is layer 8's entry point.  It owns the **union
+graph** and N :class:`~repro.service.server.QueryService` instances, one per
+d-hop preserving shard (:mod:`repro.serve.shards`), and keeps three promises:
+
+**Byte-identity.**  For any pattern of radius ≤ d, the merged answer —
+the union over shards of (shard answer ∩ shard-owned nodes) — equals the
+answer a single ``QueryService`` computes on the union graph, byte for byte.
+Owned sets partition the node universe and each shard graph preserves every
+owned node's radius-d neighbourhood, so restriction-then-union is exact (the
+paper's fragment argument, one level up).  The hypothesis suite pins this
+against the single-service oracle, answers and summed work counters both.
+
+**Version-vector caching.**  The router's L1 :class:`ResultCache` and the
+optional cross-process L2 (:mod:`repro.serve.shared_cache`) key on the
+fleet's :class:`~repro.serve.versions.VersionVector` — never a collapse of
+it.  A delta bumps only the shards it reaches, the vector moves, and every
+pre-delta entry becomes unreachable; untouched shards keep their own warm
+caches and carried-forward entries, so the recompute after a local delta is
+mostly shard-local cache hits.
+
+**Bounded admission.**  :meth:`submit` goes through an
+:class:`~repro.serve.admission.AdmissionQueue` (reject-or-block backpressure,
+priorities, graceful drain) and deduplicates in-flight work by
+``(fingerprint, options key, version vector)`` — concurrent identical
+queries share one future and one fan-out.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.delta.ops import GraphDelta, apply_delta as apply_graph_delta
+from repro.graph.digraph import PropertyGraph
+from repro.matching.qmatch import QMatch
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
+from repro.parallel.coordinator import PQMatch
+from repro.parallel.worker import options_key_text
+from repro.patterns.qgp import QuantifiedGraphPattern
+from repro.serve.admission import AdmissionConfig, AdmissionQueue
+from repro.serve.shards import (
+    GraphShard,
+    affected_shards,
+    build_shards,
+    shard_subdelta,
+    undirected_ball,
+)
+from repro.serve.shared_cache import SharedResultCache
+from repro.serve.versions import VersionVector
+from repro.service.cache import ResultCache
+from repro.service.patterns import CanonicalPattern, canonicalize
+from repro.service.server import QueryService, ServiceResult
+from repro.utils.counters import WorkCounter
+from repro.utils.errors import ServiceError
+from repro.utils.timing import Timer
+
+__all__ = ["ShardedService", "RouterStats"]
+
+
+class _FleetToken:
+    """Stands in for "the graph" in the router's version-aware caches.
+
+    :class:`ResultCache` keys on ``id(graph)`` and compares stored version
+    slots against ``graph.version``; the router's "graph" is the whole fleet,
+    whose version is the :class:`VersionVector` of its shard graphs.  This
+    token gives the cache exactly the two things it reads — a stable identity
+    and a ``.version`` — without pretending to be a graph anywhere else.
+    """
+
+    __slots__ = ("_fleet",)
+
+    def __init__(self, fleet: "ShardedService") -> None:
+        self._fleet = fleet
+
+    @property
+    def version(self) -> VersionVector:
+        return self._fleet.version_vector
+
+    def __repr__(self) -> str:
+        return f"_FleetToken({self.version!r})"
+
+
+@dataclass
+class RouterStats:
+    """Lifetime counters of one :class:`ShardedService`."""
+
+    served: int = 0
+    batches: int = 0
+    fanout_rounds: int = 0
+    computed: int = 0
+    deduplicated: int = 0
+    submitted: int = 0
+    shared_hits: int = 0
+    deltas_applied: int = 0
+    shards_touched: int = 0
+    shards_skipped: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "served": self.served,
+            "batches": self.batches,
+            "fanout_rounds": self.fanout_rounds,
+            "computed": self.computed,
+            "deduplicated": self.deduplicated,
+            "submitted": self.submitted,
+            "shared_hits": self.shared_hits,
+            "deltas_applied": self.deltas_applied,
+            "shards_touched": self.shards_touched,
+            "shards_skipped": self.shards_skipped,
+        }
+
+
+# One queued request: (pattern, canonical form, dedup key, shared future).
+_Request = Tuple[QuantifiedGraphPattern, CanonicalPattern, Hashable, "Future[ServiceResult]"]
+
+
+class ShardedService:
+    """Route quantified-pattern queries across a fleet of graph shards.
+
+    Parameters
+    ----------
+    graph:
+        The union graph.  The router owns it for writes: mutate it only
+        through :meth:`apply_delta`, which keeps every shard graph equal to
+        its induced d-hop ball of the (updated) union.
+    num_shards / d / partition:
+        Forwarded to :func:`repro.serve.shards.build_shards`.  ``d`` bounds
+        the radius of every servable pattern.
+    coordinator_factory:
+        ``shard -> PQMatch`` for custom per-shard backends; defaults to a
+        serial 2-worker coordinator per shard.
+    shared_cache:
+        A :class:`SharedResultCache`, or a path (str) to open one — opened
+        handles are owned (closed by :meth:`close`), passed handles are
+        borrowed.  ``None`` disables the L2.
+    admission:
+        :class:`AdmissionConfig` for the :meth:`submit` front door.
+
+    >>> from repro.graph.generators import small_world_social_graph
+    >>> from repro.datasets.workloads import workload_patterns
+    >>> graph = small_world_social_graph(40, 90, seed=11)
+    >>> queries = workload_patterns(graph, count=2, seed=7)
+    >>> with ShardedService(graph, num_shards=3) as fleet:
+    ...     first = fleet.evaluate(queries[0])
+    ...     again = fleet.evaluate(queries[0])
+    >>> first.answer == again.answer, first.cached, again.cached
+    (True, False, True)
+    """
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        num_shards: int = 2,
+        d: int = 2,
+        partition: Optional[object] = None,
+        coordinator_factory: Optional[Callable[[GraphShard], PQMatch]] = None,
+        cache_capacity: int = 1024,
+        admission: Optional[AdmissionConfig] = None,
+        shared_cache: Optional[object] = None,
+        name: str = "ShardedService",
+        service_kwargs: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.graph = graph
+        self.name = name
+        self.d = d
+        self.stats = RouterStats()
+        self.shards, self._assign = build_shards(graph, num_shards, d, partition)
+        self.services: List[QueryService] = []
+        kwargs = dict(service_kwargs or {})
+        for shard in self.shards:
+            if coordinator_factory is not None:
+                coordinator = coordinator_factory(shard)
+            else:
+                coordinator = PQMatch(num_workers=2, d=d, engine=QMatch())
+            self.services.append(
+                QueryService(
+                    shard.graph,
+                    coordinator=coordinator,
+                    cache_capacity=cache_capacity,
+                    name=f"{name}-shard{shard.shard_id}",
+                    **kwargs,
+                )
+            )
+        options_keys = {service._options_key for service in self.services}
+        if len(options_keys) != 1:
+            raise ServiceError(
+                "all shard services must share one engine configuration; "
+                f"got {sorted(map(repr, options_keys))}"
+            )
+        self._options_key = next(iter(options_keys))
+        self._options_text = options_key_text(self._options_key)
+
+        self.cache = ResultCache(cache_capacity)
+        self._token = _FleetToken(self)
+        self._owns_shared = isinstance(shared_cache, str)
+        self.shared: Optional[SharedResultCache] = (
+            SharedResultCache(shared_cache) if self._owns_shared else shared_cache
+        )
+
+        self.admission = AdmissionQueue(admission or AdmissionConfig())
+        self._canonical_memo: "weakref.WeakKeyDictionary[QuantifiedGraphPattern, CanonicalPattern]" = (
+            weakref.WeakKeyDictionary()
+        )
+        # Serialises fan-out rounds and delta application: a served answer
+        # reflects the fleet strictly before or strictly after any batch.
+        self._evaluate_lock = threading.RLock()
+        # (fingerprint, options key, version vector) -> shared in-flight
+        # future.  Guarded by its own lock so submit() never blocks behind a
+        # running fan-out round.
+        self._inflight: Dict[Hashable, "Future[ServiceResult]"] = {}
+        self._inflight_lock = threading.Lock()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._dispatcher_lock = threading.Lock()
+        self._closed = False
+        # Per-shard WorkCounter of the most recent fan-out round, for the
+        # per-slot contribution accounting in bench/introspection.
+        self.last_round_counters: Dict[int, WorkCounter] = {}
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def version_vector(self) -> VersionVector:
+        """The fleet's current version: one component per shard graph."""
+        return VersionVector.from_graphs(shard.graph for shard in self.shards)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    # -------------------------------------------------------------- one query
+
+    def evaluate(self, pattern: QuantifiedGraphPattern) -> ServiceResult:
+        """Serve one pattern (L1 → L2 → coalesced fan-out merge)."""
+        return self.evaluate_many([pattern])[0]
+
+    def evaluate_many(
+        self, patterns: Sequence[QuantifiedGraphPattern]
+    ) -> List[ServiceResult]:
+        """Serve a batch, in input order; one fan-out round for all misses."""
+        with self._evaluate_lock:
+            if self._closed:
+                raise ServiceError(f"{self.name} is closed")
+            return self._evaluate_batch(list(patterns))
+
+    def _serve_batch(
+        self, patterns: Sequence[QuantifiedGraphPattern]
+    ) -> List[ServiceResult]:
+        """Closed-check-free batch path for the dispatcher's graceful drain."""
+        with self._evaluate_lock:
+            return self._evaluate_batch(list(patterns))
+
+    def _canonical(self, pattern: QuantifiedGraphPattern) -> CanonicalPattern:
+        form = self._canonical_memo.get(pattern)
+        if form is not None:
+            return form
+        form = canonicalize(pattern)
+        try:
+            self._canonical_memo[pattern] = form
+        except TypeError:
+            pass
+        return form
+
+    def _evaluate_batch(
+        self, patterns: List[QuantifiedGraphPattern]
+    ) -> List[ServiceResult]:
+        if not patterns:
+            return []
+        # Read ONCE per batch: answers computed below are filed under this
+        # vector even though nothing can move it mid-batch (apply_delta takes
+        # the same lock) — the single-service discipline, kept on principle.
+        vector = self.version_vector
+        version_text = vector.key_text()
+        results: List[Optional[ServiceResult]] = [None] * len(patterns)
+        missing: Dict[str, Tuple[QuantifiedGraphPattern, List[int]]] = {}
+        with span("serve.batch", size=len(patterns), shards=self.num_shards), Timer() as timer:
+            for position, pattern in enumerate(patterns):
+                form = self._canonical(pattern)
+                answer = self.cache.lookup(
+                    self._token, form.fingerprint, self._options_key, version=vector
+                )
+                if answer is None and self.shared is not None:
+                    answer = self.shared.lookup(
+                        form.fingerprint, self._options_text, version_text
+                    )
+                    if answer is not None:
+                        # Promote to L1 so the next hit skips sqlite.
+                        answer = self.cache.store(
+                            self._token,
+                            form.fingerprint,
+                            answer,
+                            self._options_key,
+                            version=vector,
+                        )
+                        self.stats.shared_hits += 1
+                if answer is not None:
+                    results[position] = ServiceResult(
+                        pattern=pattern.name,
+                        fingerprint=form.fingerprint,
+                        answer=answer,
+                        cached=True,
+                    )
+                else:
+                    entry = missing.setdefault(form.fingerprint, (pattern, []))
+                    entry[1].append(position)
+
+            if missing:
+                unique = [
+                    (fingerprint, pattern)
+                    for fingerprint, (pattern, _) in missing.items()
+                ]
+                answers, counters = self._fan_out(unique)
+                for fingerprint, (pattern, positions) in missing.items():
+                    answer = self.cache.store(
+                        self._token,
+                        fingerprint,
+                        answers[fingerprint],
+                        self._options_key,
+                        version=vector,
+                    )
+                    if self.shared is not None:
+                        self.shared.store(
+                            fingerprint, self._options_text, version_text, answer
+                        )
+                    for position in positions:
+                        results[position] = ServiceResult(
+                            pattern=patterns[position].name,
+                            fingerprint=fingerprint,
+                            answer=answer,
+                            cached=False,
+                            counter=counters[fingerprint],
+                        )
+                self.stats.computed += len(missing)
+
+        self.stats.served += len(patterns)
+        self.stats.batches += 1
+        elapsed = timer.elapsed
+        registry = get_registry()
+        if registry:
+            registry.counter("serve.batches").inc()
+            registry.counter("serve.served").inc(len(patterns))
+            registry.histogram("serve.batch_seconds").observe(elapsed)
+        return [
+            ServiceResult(
+                pattern=result.pattern,
+                fingerprint=result.fingerprint,
+                answer=result.answer,
+                cached=result.cached,
+                elapsed=elapsed,
+                counter=result.counter,
+            )
+            for result in results
+        ]
+
+    def _fan_out(
+        self, unique: List[Tuple[str, QuantifiedGraphPattern]]
+    ) -> Tuple[Dict[str, FrozenSet], Dict[str, WorkCounter]]:
+        """One coalesced round: every missing pattern to every shard, merged.
+
+        Each shard service receives the whole miss list as ONE batch (its own
+        dispatch coalescing and plan/result caches do the rest), so a router
+        round costs one executor round per shard, not per pattern.  Per
+        pattern, the merged answer is the union of each shard's answer
+        restricted to its owned nodes, and the merged counter is the sum of
+        the per-shard counters that actually computed (a shard serving its
+        slice from its local cache contributes no fresh work).
+        """
+        for _, pattern in unique:
+            radius = pattern.radius()
+            if radius > self.d:
+                raise ServiceError(
+                    f"pattern {pattern.name!r} has radius {radius} > shard halo "
+                    f"d={self.d}; rebuild the fleet with a larger d"
+                )
+        patterns = [pattern for _, pattern in unique]
+        self.stats.fanout_rounds += 1
+        round_counters: Dict[int, WorkCounter] = {}
+        with span("serve.fanout", patterns=len(unique), shards=self.num_shards):
+            per_shard = [service.evaluate_many(patterns) for service in self.services]
+
+        answers: Dict[str, FrozenSet] = {}
+        counters: Dict[str, WorkCounter] = {}
+        for index, (fingerprint, _pattern) in enumerate(unique):
+            merged: Set[Hashable] = set()
+            merged_counter = WorkCounter()
+            for shard, shard_results in zip(self.shards, per_shard):
+                shard_result = shard_results[index]
+                merged |= shard_result.answer & shard.owned
+                if shard_result.counter is not None:
+                    merged_counter.merge(shard_result.counter)
+                    round_counters.setdefault(shard.shard_id, WorkCounter()).merge(
+                        shard_result.counter
+                    )
+            answers[fingerprint] = frozenset(merged)
+            counters[fingerprint] = merged_counter
+        self.last_round_counters = round_counters
+        return answers, counters
+
+    # ------------------------------------------------------------- submission
+
+    def submit(
+        self, pattern: QuantifiedGraphPattern, priority: int = 0
+    ) -> "Future[ServiceResult]":
+        """Admit one query; returns a future (possibly a shared one).
+
+        The request passes admission control (:class:`Overloaded` under the
+        reject policy when the queue is full) and in-flight dedup: a query
+        whose ``(fingerprint, options, version vector)`` is already queued or
+        being fanned out rides the existing future — one computation, many
+        waiters.  Note the flip side: cancelling a deduplicated future
+        cancels it for every rider, exactly like coalesced cache fills.
+        Smaller ``priority`` values drain first.
+        """
+        if self.admission.closed:
+            raise ServiceError(f"{self.name} is closed")
+        form = self._canonical(pattern)
+        key = (form.fingerprint, self._options_key, self.version_vector)
+        future: "Future[ServiceResult]" = Future()
+        with self._inflight_lock:
+            existing = self._inflight.get(key)
+            if existing is not None and not existing.done():
+                self.stats.deduplicated += 1
+                registry = get_registry()
+                if registry:
+                    registry.counter("serve.inflight.deduplicated").inc()
+                return existing
+            self._inflight[key] = future
+        try:
+            self.admission.submit((pattern, form, key, future), priority)
+        except BaseException:
+            with self._inflight_lock:
+                if self._inflight.get(key) is future:
+                    del self._inflight[key]
+            raise
+        self._ensure_dispatcher()
+        self.stats.submitted += 1
+        return future
+
+    def _ensure_dispatcher(self) -> None:
+        with self._dispatcher_lock:
+            if self._dispatcher is None or not self._dispatcher.is_alive():
+                self._dispatcher = threading.Thread(
+                    target=self._dispatch_loop,
+                    name=f"{self.name}-dispatcher",
+                    daemon=True,
+                )
+                self._dispatcher.start()
+
+    def _release_inflight(self, key: Hashable, future: "Future[ServiceResult]") -> None:
+        with self._inflight_lock:
+            if self._inflight.get(key) is future:
+                del self._inflight[key]
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            self.admission.wait_for_work()
+            batch = self.admission.drain()
+            if not batch:
+                if self.admission.closed:
+                    return
+                continue
+            claimed: List[_Request] = []
+            for _priority, request in batch:
+                pattern, form, key, future = request
+                if future.set_running_or_notify_cancel():
+                    claimed.append(request)
+                else:
+                    self._release_inflight(key, future)
+            if not claimed:
+                continue
+            patterns = [pattern for pattern, _, _, _ in claimed]
+            try:
+                served = self._serve_batch(patterns)
+            except BaseException:
+                # Per-request isolation, same discipline as QueryService: one
+                # caller's invalid pattern must not fail coalesced strangers.
+                for pattern, _form, key, future in claimed:
+                    try:
+                        result = self._serve_batch([pattern])[0]
+                    except BaseException as error:
+                        if not future.done():
+                            future.set_exception(error)
+                    else:
+                        if not future.done():
+                            future.set_result(result)
+                    finally:
+                        self._release_inflight(key, future)
+            else:
+                for (_pattern, _form, key, future), result in zip(claimed, served):
+                    if not future.done():
+                        future.set_result(result)
+                    self._release_inflight(key, future)
+
+    # ----------------------------------------------------------------- updates
+
+    def apply_delta(self, delta: GraphDelta) -> GraphDelta:
+        """Apply one batch to the union graph, routed to the shards it reaches.
+
+        1. the union graph mutates once (one scalar bump there);
+        2. ownership absorbs node inserts/deletes (hash or partition
+           assignment — deterministic, so every process agrees);
+        3. the conservatively-affected shards
+           (:func:`repro.serve.shards.affected_shards`) each receive the
+           exact sub-delta that moves their graph to the new induced ball,
+           through their own :meth:`QueryService.apply_delta` — index
+           refresh, partition maintenance and shard-local cache
+           carry-forward all included.  **Unaffected shards do not bump**,
+           which is what keeps their component of the version vector — and
+           every cache entry keyed under it — warm;
+        4. attribute-only writes propagate to every shard graph holding the
+           node (no version bumps anywhere, matching semantics never read
+           attributes).
+
+        Serialises with the fan-out path, so every served answer is strictly
+        pre- or strictly post-batch.  Returns the union-graph inverse.
+        """
+        with self._evaluate_lock:
+            if self._closed:
+                raise ServiceError(f"{self.name} is closed")
+            inverse = apply_graph_delta(self.graph, delta)
+            affected_ids: Set[int] = set()
+            if delta.is_structural():
+                for node, _label, _attrs in delta.node_inserts:
+                    self.shards[self._assign(node)].owned.add(node)
+                for node in delta.node_deletes:
+                    for shard in self.shards:
+                        shard.owned.discard(node)
+                affected = affected_shards(self.graph, self.shards, delta, self.d)
+                affected_ids = {shard.shard_id for shard in affected}
+                for shard in affected:
+                    sub = shard_subdelta(self.graph, shard, self.d)
+                    if not sub.is_empty():
+                        self.services[shard.shard_id].apply_delta(sub)
+                self.stats.shards_touched += len(affected)
+                self.stats.shards_skipped += self.num_shards - len(affected)
+                registry = get_registry()
+                if registry:
+                    registry.counter("serve.delta.shards_touched").inc(len(affected))
+                    registry.counter("serve.delta.shards_skipped").inc(
+                        self.num_shards - len(affected)
+                    )
+            if delta.attr_sets:
+                for shard in self.shards:
+                    if shard.shard_id in affected_ids:
+                        continue  # graph_diff already carried the attr changes
+                    subset = tuple(
+                        (node, attr_key, value)
+                        for node, attr_key, value in delta.attr_sets
+                        if shard.graph.has_node(node)
+                    )
+                    if subset:
+                        self.services[shard.shard_id].apply_delta(
+                            GraphDelta(attr_sets=subset)
+                        )
+            self.stats.deltas_applied += 1
+            return inverse
+
+    def check_invariants(self) -> None:
+        """Assert the fleet's structural invariants (test/debug helper).
+
+        Ownership partitions the union's nodes; every shard graph equals the
+        union's induced subgraph on the d-hop ball of its owned set.  Raises
+        :class:`ServiceError` on any violation.
+        """
+        union_nodes = set(self.graph.nodes())
+        seen: Set[Hashable] = set()
+        for shard in self.shards:
+            overlap = seen & shard.owned
+            if overlap:
+                raise ServiceError(f"nodes owned twice: {sorted(map(repr, overlap))[:5]}")
+            seen |= shard.owned
+            ball = (
+                undirected_ball(self.graph, shard.owned, self.d)
+                if shard.owned
+                else set()
+            )
+            expected = self.graph.induced_subgraph(ball, name=shard.graph.name)
+            if shard.graph != expected:
+                raise ServiceError(
+                    f"shard {shard.shard_id} graph drifted from its induced ball"
+                )
+        if seen != union_nodes:
+            raise ServiceError("ownership does not cover the union graph")
+
+    # -------------------------------------------------------------- telemetry
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        """Router + admission + cache counters, flat (bench/figure friendly)."""
+        merged: Dict[str, float] = {
+            f"cache_{key}": value for key, value in self.cache.stats.as_dict().items()
+        }
+        merged.update(
+            {f"admission_{key}": value for key, value in self.admission.stats.as_dict().items()}
+        )
+        if self.shared is not None:
+            # "shared_cache_" (not "shared_"): RouterStats already owns
+            # "shared_hits" for L2-promote counts.
+            merged.update(
+                {
+                    f"shared_cache_{key}": value
+                    for key, value in self.shared.stats.as_dict().items()
+                }
+            )
+        merged.update(self.stats.as_dict())
+        merged["worker_rebuilds"] = float(
+            sum(service.worker_rebuilds for service in self.services)
+        )
+        return merged
+
+    def introspect(self) -> Dict[str, object]:
+        """The operator-facing snapshot: fleet, shards, admission, caches."""
+        with self._inflight_lock:
+            inflight = len(self._inflight)
+        return {
+            "router": self.stats.as_dict(),
+            "version_vector": list(self.version_vector),
+            "admission": self.admission.stats.as_dict(),
+            "inflight": inflight,
+            "cache": self.cache.stats.as_dict(),
+            "shared": self.shared.stats.as_dict() if self.shared is not None else None,
+            "shards": [
+                {
+                    "shard_id": shard.shard_id,
+                    "owned": len(shard.owned),
+                    "nodes": shard.graph.num_nodes,
+                    "version": shard.graph.version,
+                    "service": service.stats.as_dict(),
+                    "last_round_counter": (
+                        self.last_round_counters[shard.shard_id].as_dict()
+                        if shard.shard_id in self.last_round_counters
+                        else None
+                    ),
+                }
+                for shard, service in zip(self.shards, self.services)
+            ],
+        }
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Drain and stop: admitted work finishes, then the fleet shuts down.
+
+        Admission closes first (new submits raise), the dispatcher drains
+        what was already admitted, and only then do the shard services —
+        and an owned shared-cache handle — go down.
+        """
+        self.admission.close()
+        with self._dispatcher_lock:
+            dispatcher = self._dispatcher
+        if dispatcher is not None and dispatcher.is_alive():
+            dispatcher.join()
+        with self._evaluate_lock:
+            self._closed = True
+            for service in self.services:
+                service.close()
+            if self.shared is not None and self._owns_shared:
+                self.shared.close()
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedService(shards={self.num_shards}, d={self.d}, "
+            f"served={self.stats.served}, vector={self.version_vector.key_text()})"
+        )

@@ -1,0 +1,239 @@
+"""Graph shards: deterministic node-hash partitions with d-hop halos.
+
+The scale-out tier (:mod:`repro.serve.router`) owns one
+:class:`~repro.service.server.QueryService` per **shard**.  A shard is built
+the same way the paper's d-hop preserving fragments are
+(:mod:`repro.parallel.partition`), one level up the stack:
+
+* every node of the source graph is **owned** by exactly one shard — by
+  default via a deterministic content hash of the node id (stable across
+  processes and runs, unlike :func:`hash` under ``PYTHONHASHSEED``), or via a
+  caller-supplied partition;
+* each shard's graph is the subgraph **induced on the d-hop undirected ball**
+  of its owned nodes, so every owned focus candidate sees its complete
+  radius-``d`` neighbourhood locally (the halo).  A pattern of radius at most
+  ``d`` therefore matches an owned node on the shard graph iff it matches it
+  on the union graph — the Lemma 9 argument of the paper, applied to
+  graphs-within-a-fleet instead of fragments-within-a-graph.
+
+Because owned sets partition the node universe, per-shard answers restricted
+to owned nodes merge disjointly into exactly the union-graph answer — the
+byte-identity oracle the router's tests pin down.
+
+Delta routing lives here too: :func:`route_delta` decides which shards an
+applied :class:`~repro.delta.GraphDelta` can affect (conservatively, via the
+d-hop ball of the touched nodes) and produces, per affected shard, the exact
+:class:`~repro.delta.GraphDelta` that moves the shard graph to the new
+induced ball — computed with :func:`repro.delta.ops.graph_diff`, so each
+shard's :class:`QueryService` maintains itself through its ordinary
+``apply_delta`` path (index refresh, partition maintenance, cache migration)
+and bumps its *own* version exactly once.  Untouched shards do not bump —
+that is what makes the fleet's :class:`~repro.serve.versions.VersionVector`
+informative.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.delta.ops import GraphDelta, graph_diff
+from repro.graph.digraph import PropertyGraph
+from repro.utils.errors import ReproError
+
+__all__ = [
+    "GraphShard",
+    "hash_assign",
+    "build_shards",
+    "undirected_ball",
+    "affected_shards",
+    "shard_subdelta",
+]
+
+NodeId = Hashable
+
+
+def hash_assign(node: NodeId, num_shards: int) -> int:
+    """The deterministic default owner of *node* among *num_shards* shards.
+
+    Keys on a CRC of a typed repr of the node id, so the assignment is stable
+    across processes, interpreter restarts and ``PYTHONHASHSEED`` — two
+    fleets built from the same graph in different processes own identical
+    node sets, which is what makes the cross-process shared result cache
+    (keyed on the fleet's version vector) safe to share.
+    """
+    text = f"{type(node).__name__}:{node!r}"
+    return zlib.crc32(text.encode("utf-8")) % num_shards
+
+
+def undirected_ball(graph: PropertyGraph, sources: Iterable[NodeId], hops: int) -> Set[NodeId]:
+    """All nodes within *hops* undirected hops of any of *sources*.
+
+    A multi-source frontier BFS (each node expanded once), so building every
+    shard's halo costs O(|ball|) per shard, not O(|owned| · |ball|).
+    """
+    seen: Set[NodeId] = set(sources)
+    frontier: List[NodeId] = list(seen)
+    for _ in range(hops):
+        if not frontier:
+            break
+        next_frontier: List[NodeId] = []
+        for node in frontier:
+            for neighbor in graph.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return seen
+
+
+class GraphShard:
+    """One shard: its owned nodes and the ball-induced shard graph.
+
+    ``graph`` is an independent :class:`PropertyGraph` (its own adjacency,
+    its own mutation counter) — the shard's :class:`QueryService` owns it
+    outright and maintains its compiled indexes, partitions and caches
+    against it.  The invariant the delta-routing path preserves (and the
+    shard test suite asserts after arbitrary update streams):
+
+        ``shard.graph == induced(union, undirected_ball(shard.owned, d))``
+    """
+
+    __slots__ = ("shard_id", "owned", "graph", "d")
+
+    def __init__(self, shard_id: int, owned: Set[NodeId], graph: PropertyGraph, d: int) -> None:
+        self.shard_id = shard_id
+        self.owned = set(owned)
+        self.graph = graph
+        self.d = d
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphShard(id={self.shard_id}, owned={len(self.owned)}, "
+            f"nodes={self.graph.num_nodes}, d={self.d})"
+        )
+
+
+def _assignment_from_partition(
+    graph: PropertyGraph,
+    partition: object,
+    num_shards: int,
+) -> Dict[NodeId, int]:
+    """Normalise a supplied partition into a node → shard-index map."""
+    assignment: Dict[NodeId, int] = {}
+    if isinstance(partition, Mapping):
+        items = partition.items()
+        for node, shard_id in items:
+            if not isinstance(shard_id, int) or not 0 <= shard_id < num_shards:
+                raise ReproError(
+                    f"partition assigns node {node!r} to invalid shard {shard_id!r}"
+                )
+            assignment[node] = shard_id
+    else:
+        for shard_id, nodes in enumerate(partition):  # sequence of node sets
+            if shard_id >= num_shards:
+                raise ReproError("partition has more groups than num_shards")
+            for node in nodes:
+                if node in assignment:
+                    raise ReproError(f"node {node!r} appears in two partition groups")
+                assignment[node] = shard_id
+    for node in graph.nodes():
+        if node not in assignment:
+            raise ReproError(f"partition does not cover node {node!r}")
+    return assignment
+
+
+def build_shards(
+    graph: PropertyGraph,
+    num_shards: int,
+    d: int = 2,
+    partition: Optional[object] = None,
+) -> Tuple[List[GraphShard], Callable[[NodeId], int]]:
+    """Shard *graph* into *num_shards* d-hop preserving shards.
+
+    Returns ``(shards, assign)`` where ``assign`` maps any node id — present
+    or future — to its owning shard index (hash-based for nodes outside a
+    supplied partition, so inserted nodes always have a deterministic owner).
+    """
+    if num_shards <= 0:
+        raise ReproError("num_shards must be positive")
+    if d < 1:
+        raise ReproError("shard halo radius d must be at least 1")
+
+    if partition is None:
+        fixed: Dict[NodeId, int] = {}
+    else:
+        fixed = _assignment_from_partition(graph, partition, num_shards)
+
+    def assign(node: NodeId) -> int:
+        shard_id = fixed.get(node)
+        if shard_id is None:
+            return hash_assign(node, num_shards)
+        return shard_id
+
+    owned_sets: List[Set[NodeId]] = [set() for _ in range(num_shards)]
+    for node in graph.nodes():
+        owned_sets[assign(node)].add(node)
+
+    shards: List[GraphShard] = []
+    for shard_id, owned in enumerate(owned_sets):
+        ball = undirected_ball(graph, owned, d) if owned else set()
+        shard_graph = graph.induced_subgraph(ball, name=f"{graph.name}#shard{shard_id}")
+        shards.append(GraphShard(shard_id, owned, shard_graph, d))
+    return shards, assign
+
+
+# --------------------------------------------------------------------------
+# Delta routing
+# --------------------------------------------------------------------------
+
+
+def affected_shards(
+    union_graph: PropertyGraph,
+    shards: Sequence[GraphShard],
+    delta: GraphDelta,
+    d: int,
+) -> List[GraphShard]:
+    """The shards an already-applied structural *delta* may affect.
+
+    Conservative and sound: a shard's ball-induced graph can change only if
+    (a) the batch touched a node that was **inside** the shard graph (covers
+    every deletion and every ball shrink — a ball only shrinks when an edge
+    inside it disappears), or (b) a touched node now lies within ``d``
+    undirected hops of one of the shard's owned nodes in the post-delta
+    union graph (covers every insertion that grows the ball).  Shards
+    outside both sets keep their graph byte-identical and — crucially for
+    the version vector — never bump.
+    """
+    touched = delta.touched_nodes()
+    surviving = {node for node in touched if union_graph.has_node(node)}
+    reach = undirected_ball(union_graph, surviving, d) if surviving else set()
+    affected: List[GraphShard] = []
+    for shard in shards:
+        if not shard.owned and not any(node in shard.graph for node in touched):
+            continue
+        if (
+            any(node in shard.graph for node in touched)
+            or not reach.isdisjoint(shard.owned)
+        ):
+            affected.append(shard)
+    return affected
+
+
+def shard_subdelta(
+    union_graph: PropertyGraph,
+    shard: GraphShard,
+    d: int,
+) -> GraphDelta:
+    """The exact batch moving *shard*'s graph to the post-delta induced ball.
+
+    Call after the union graph mutated (and after the shard's ``owned`` set
+    absorbed node inserts/deletes).  The returned delta may be empty — the
+    conservative :func:`affected_shards` screen admits shards whose induced
+    graph turns out identical; an empty batch applied through
+    :meth:`QueryService.apply_delta` is a no-op that does not bump the shard
+    version.
+    """
+    ball = undirected_ball(union_graph, shard.owned, d) if shard.owned else set()
+    target = union_graph.induced_subgraph(ball, name=shard.graph.name)
+    return graph_diff(shard.graph, target)

@@ -1,0 +1,122 @@
+"""Per-shard graph versions as one immutable vector.
+
+Every cache in the library keys on :attr:`repro.graph.PropertyGraph.version`
+— a *scalar* mutation counter, which is exactly right while one service owns
+one graph.  A sharded fleet has **one counter per shard**, and collapsing
+them into a scalar (a sum, a max, a hash) aliases distinct fleet states:
+bumping shard A then rolling it back while shard B moves forward can land on
+the same scalar as never touching either, and a cache keyed on that scalar
+would happily serve a pre-delta answer for a post-delta fleet.  The
+regression test in ``tests/test_serve_versions.py`` demonstrates the stale
+read a collapsed key permits.
+
+:class:`VersionVector` is the fix: a frozen tuple of per-shard counters that
+is hashable (so it drops into :class:`repro.service.cache.ResultCache` keys
+unchanged — the cache's version slot is deliberately opaque), comparable
+component-wise, and stable to encode for the cross-process shared store
+(:meth:`VersionVector.key_text`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from repro.utils.errors import ReproError
+
+__all__ = ["VersionVector"]
+
+
+@dataclass(frozen=True)
+class VersionVector:
+    """An immutable vector of per-shard graph mutation counters.
+
+    The component order is the fleet's shard order (shard 0 first); two
+    vectors from fleets of different sizes never compare equal.
+
+    >>> v = VersionVector((3, 1, 4))
+    >>> v.bump(1)
+    VersionVector((3, 2, 4))
+    >>> v == VersionVector((3, 1, 4)), v.key_text()
+    (True, '3:1:4')
+    """
+
+    versions: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.versions, tuple):
+            object.__setattr__(self, "versions", tuple(self.versions))
+        for component in self.versions:
+            if not isinstance(component, int):
+                raise ReproError(
+                    f"version vector components must be ints, got {component!r}"
+                )
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def of(cls, *versions: int) -> "VersionVector":
+        return cls(tuple(versions))
+
+    @classmethod
+    def from_graphs(cls, graphs: Iterable) -> "VersionVector":
+        """One component per graph, in iteration order."""
+        return cls(tuple(graph.version for graph in graphs))
+
+    # -------------------------------------------------------------- operations
+
+    def bump(self, index: int, amount: int = 1) -> "VersionVector":
+        """A new vector with component *index* advanced by *amount*."""
+        if not 0 <= index < len(self.versions):
+            raise ReproError(
+                f"shard index {index} out of range for {len(self.versions)} shards"
+            )
+        return VersionVector(
+            self.versions[:index]
+            + (self.versions[index] + amount,)
+            + self.versions[index + 1:]
+        )
+
+    def replace(self, index: int, version: int) -> "VersionVector":
+        """A new vector with component *index* set to *version*."""
+        if not 0 <= index < len(self.versions):
+            raise ReproError(
+                f"shard index {index} out of range for {len(self.versions)} shards"
+            )
+        return VersionVector(
+            self.versions[:index] + (version,) + self.versions[index + 1:]
+        )
+
+    def dominates(self, other: "VersionVector") -> bool:
+        """Component-wise ``>=`` (only defined for equal-length vectors)."""
+        if len(self.versions) != len(other.versions):
+            raise ReproError("cannot compare version vectors of different fleets")
+        return all(a >= b for a, b in zip(self.versions, other.versions))
+
+    def collapsed(self) -> int:
+        """The scalar sum of the components.
+
+        **This aliases**: distinct fleet states share a sum (that is the
+        whole point of keeping the vector).  It exists for diagnostics and
+        for the regression test that pins down why caches must key on the
+        vector, never on a collapse of it.
+        """
+        return sum(self.versions)
+
+    def key_text(self) -> str:
+        """A stable, process-independent text encoding (shared-store keys)."""
+        return ":".join(str(component) for component in self.versions)
+
+    # --------------------------------------------------------------- protocols
+
+    def __len__(self) -> int:
+        return len(self.versions)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.versions)
+
+    def __getitem__(self, index: int) -> int:
+        return self.versions[index]
+
+    def __repr__(self) -> str:
+        return f"VersionVector({self.versions!r})"

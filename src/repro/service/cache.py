@@ -42,8 +42,16 @@ __all__ = ["CacheStats", "ResultCache"]
 
 NodeId = Hashable
 
-# (graph identity, graph version, pattern fingerprint, engine options key)
-CacheKey = Tuple[int, int, str, Hashable]
+# (graph identity, graph version, pattern fingerprint, engine options key).
+# The version slot is deliberately *opaque*: a single service files entries
+# under the graph's scalar mutation counter, while the scale-out router files
+# them under a per-shard :class:`repro.serve.VersionVector`.  The cache never
+# does arithmetic on the slot — it only compares it for equality against the
+# graph object's current ``.version`` — so any hashable, equality-comparable
+# version token works.  Collapsing a fleet's vector to a scalar here would
+# alias distinct fleet states (see ``tests/test_serve_versions.py`` for the
+# stale read that permits).
+CacheKey = Tuple[int, Hashable, str, Hashable]
 
 
 @dataclass
@@ -129,7 +137,7 @@ class ResultCache:
         graph: PropertyGraph,
         fingerprint: str,
         options_key: Hashable,
-        version: Optional[int],
+        version: Optional[Hashable],
     ) -> CacheKey:
         return (
             id(graph),
@@ -143,7 +151,7 @@ class ResultCache:
         graph: PropertyGraph,
         fingerprint: str,
         options_key: Hashable = None,
-        version: Optional[int] = None,
+        version: Optional[Hashable] = None,
     ) -> Optional[FrozenSet[NodeId]]:
         """The cached answer for *fingerprint* on *graph*'s current version.
 
@@ -179,7 +187,7 @@ class ResultCache:
         fingerprint: str,
         answer: Iterable[NodeId],
         options_key: Hashable = None,
-        version: Optional[int] = None,
+        version: Optional[Hashable] = None,
     ) -> FrozenSet[NodeId]:
         """Insert (or refresh) the answer for *fingerprint*.
 
@@ -217,7 +225,7 @@ class ResultCache:
         graph: PropertyGraph,
         fingerprint: str,
         options_key: Hashable = None,
-        version: Optional[int] = None,
+        version: Optional[Hashable] = None,
     ) -> Optional[FrozenSet[NodeId]]:
         """Like :meth:`lookup`, but invisible: no stats, no LRU refresh.
 
@@ -233,7 +241,7 @@ class ResultCache:
             return None
 
     def fingerprints_for(
-        self, graph: PropertyGraph, version: int
+        self, graph: PropertyGraph, version: Hashable
     ) -> Tuple[Tuple[str, Hashable], ...]:
         """The ``(fingerprint, options key)`` pairs cached for one graph version.
 
@@ -253,8 +261,8 @@ class ResultCache:
         self,
         graph: PropertyGraph,
         fingerprints: Iterable[Tuple[str, Hashable]],
-        old_version: int,
-        new_version: int,
+        old_version: Hashable,
+        new_version: Hashable,
     ) -> int:
         """Re-file cached answers from *old_version* under *new_version*.
 
@@ -263,6 +271,12 @@ class ResultCache:
         survives, atomically under its lock.  The old entries are dropped
         (they are unreachable anyway), the carried ones keep the answer
         object.  Returns the number of entries carried.
+
+        The versions are opaque tokens, not counters (see :data:`CacheKey`):
+        a sharded fleet carries entries between *vectors*, and this method
+        must never assume ``new_version == old_version + 1`` — there is no
+        ``+ 1`` on a vector, and inventing one by collapsing to a scalar is
+        exactly the aliasing bug ``tests/test_serve_versions.py`` pins.
         """
         carried = 0
         with self._lock:

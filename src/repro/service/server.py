@@ -74,6 +74,11 @@ class ServiceResult:
     ``answer`` is a frozenset — cached and freshly computed answers are the
     same immutable object family, so callers can compare them byte-for-byte
     with a cold :class:`~repro.parallel.coordinator.PQMatch` run.
+
+    ``counter`` carries the merged :class:`~repro.utils.counters.WorkCounter`
+    of the dispatch that computed the answer — ``None`` for cache hits (no
+    matching work ran).  The scale-out router sums these across shards and
+    the oracle tests assert the sum against the per-shard parts.
     """
 
     pattern: str
@@ -81,6 +86,7 @@ class ServiceResult:
     answer: FrozenSet
     cached: bool
     elapsed: float = 0.0
+    counter: Optional[WorkCounter] = None
 
     def __len__(self) -> int:
         return len(self.answer)
@@ -430,6 +436,7 @@ class QueryService:
                             fingerprint=fingerprint,
                             answer=answer,
                             cached=False,
+                            counter=compute_counters.get(fingerprint),
                         )
                 self.stats.computed += len(missing)
                 self.stats.deduplicated += sum(
@@ -462,6 +469,7 @@ class QueryService:
                 answer=result.answer,
                 cached=result.cached,
                 elapsed=elapsed,
+                counter=result.counter,
             )
             for result in results
         ]

@@ -22,6 +22,8 @@ __all__ = [
     "PatternValidationError",
     "MatchingError",
     "PartitionError",
+    "ServiceError",
+    "Overloaded",
     "RuleError",
     "ParseError",
 ]
@@ -104,6 +106,18 @@ class MatchingError(ReproError):
 
 class PartitionError(ReproError):
     """Raised by the d-hop preserving partition layer."""
+
+
+class ServiceError(ReproError):
+    """Raised by the serving tier (:mod:`repro.service`, :mod:`repro.serve`)
+    for invalid use of a service façade (submitting to a closed service,
+    malformed admission configuration, ...)."""
+
+
+class Overloaded(ServiceError):
+    """Raised by admission control when a bounded queue is full and the
+    configured policy is to reject rather than block.  Callers should treat
+    it as retryable backpressure, not a bug."""
 
 
 class RuleError(ReproError):

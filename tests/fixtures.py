@@ -15,6 +15,9 @@ Everything here is a plain function (no pytest dependency); the fixtures in
 
 from __future__ import annotations
 
+import threading
+from typing import Callable, List, Optional, Sequence
+
 from repro.graph import PropertyGraph
 from repro.patterns import CountingQuantifier, PatternBuilder
 
@@ -26,6 +29,9 @@ __all__ = [
     "build_q4",
     "build_triangle",
     "quantifier",
+    "FakeClock",
+    "ThreadHarness",
+    "run_threads",
 ]
 
 
@@ -160,3 +166,101 @@ def build_triangle() -> PropertyGraph:
 def quantifier(op: str, value, is_ratio: bool = False) -> CountingQuantifier:
     """Terse quantifier constructor used by a few parametrized tests."""
     return CountingQuantifier(op, value, is_ratio)
+
+
+# --------------------------------------------------------------------------
+# Deterministic concurrency helpers (the serve-tier stress/fault suites)
+# --------------------------------------------------------------------------
+
+
+class FakeClock:
+    """A manually advanced clock for deterministic time-dependent tests.
+
+    ``clock()`` returns the current fake time; :meth:`advance` moves it.
+    Thread-safe, monotone by construction — tests control exactly when time
+    passes instead of sleeping and hoping.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("a clock cannot go backwards")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+
+class ThreadHarness:
+    """Run worker callables in lockstep with a barrier, join with a deadline.
+
+    The stress suites need two properties no bare ``threading.Thread`` gives:
+
+    * a **start barrier** so every worker begins its hammering at the same
+      instant (maximising interleavings instead of accidentally serialising);
+    * a **deadline on join** — a worker deadlocking must fail the test with a
+      named culprit, never hang the whole pytest process.
+
+    Worker exceptions are captured and re-raised (first one wins) from
+    :meth:`join`, so assertion failures inside threads fail the test.
+    """
+
+    def __init__(self, workers: Sequence[Callable[[], None]], name: str = "stress") -> None:
+        self._barrier = threading.Barrier(len(workers))
+        self._errors: List[BaseException] = []
+        self._errors_lock = threading.Lock()
+        self._threads = [
+            threading.Thread(
+                target=self._run, args=(worker,), name=f"{name}-{index}", daemon=True
+            )
+            for index, worker in enumerate(workers)
+        ]
+
+    def _run(self, worker: Callable[[], None]) -> None:
+        try:
+            self._barrier.wait(timeout=30.0)
+            worker()
+        except BaseException as error:  # noqa: BLE001 — reported via join()
+            with self._errors_lock:
+                self._errors.append(error)
+
+    def start(self) -> "ThreadHarness":
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def join(self, timeout: float = 60.0) -> None:
+        """Join every worker within *timeout* total; raise on stragglers.
+
+        Raises ``AssertionError`` naming the stuck threads on deadline, and
+        re-raises the first captured worker exception otherwise.
+        """
+        import time
+
+        end = time.monotonic() + timeout
+        stuck = []
+        for thread in self._threads:
+            remaining = end - time.monotonic()
+            thread.join(timeout=max(0.0, remaining))
+            if thread.is_alive():
+                stuck.append(thread.name)
+        if stuck:
+            raise AssertionError(f"threads did not finish within {timeout}s: {stuck}")
+        with self._errors_lock:
+            if self._errors:
+                raise self._errors[0]
+
+
+def run_threads(
+    workers: Sequence[Callable[[], None]],
+    timeout: float = 60.0,
+    name: str = "stress",
+) -> None:
+    """Barrier-start *workers*, join them under *timeout*, re-raise failures."""
+    ThreadHarness(workers, name=name).start().join(timeout=timeout)

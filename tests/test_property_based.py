@@ -211,6 +211,69 @@ def test_answers_are_focus_label_nodes(graph, pattern):
 
 
 # ---------------------------------------------------------------------------
+# Scale-out tier: sharded fleet vs single-service oracle
+# ---------------------------------------------------------------------------
+
+
+@given(
+    graph=labeled_graphs(),
+    pattern=quantified_patterns(),
+    num_shards=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+def test_sharded_service_matches_union_oracle(graph, pattern, num_shards):
+    """ShardedService ≡ one QueryService on the union graph, byte for byte.
+
+    The answer must match exactly, and the router's merged WorkCounter must
+    equal the sum of the per-shard counters it reports — per-slot accounting
+    that cannot silently lose a shard's contribution.
+    """
+    from repro.serve import ShardedService
+    from repro.service import QueryService
+    from repro.utils.counters import WorkCounter
+
+    d = max(pattern.radius(), 1)
+    oracle_graph = graph.copy()
+    with QueryService(oracle_graph) as oracle, ShardedService(
+        graph, num_shards=num_shards, d=d
+    ) as fleet:
+        expected = oracle.evaluate(pattern)
+        served = fleet.evaluate(pattern)
+        assert served.answer == expected.answer
+        assert not served.cached
+        summed = WorkCounter()
+        for counter in fleet.last_round_counters.values():
+            summed.merge(counter)
+        assert served.counter is not None
+        assert served.counter.as_dict() == summed.as_dict()
+        # Serving again at the same version vector is a pure cache hit.
+        again = fleet.evaluate(pattern)
+        assert again.cached and again.answer == expected.answer
+        fleet.check_invariants()
+
+
+@given(graph=labeled_graphs(), num_shards=st.integers(min_value=1, max_value=4))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+def test_shard_build_is_deterministic_and_covering(graph, num_shards):
+    """Two independent builds agree exactly (cross-process determinism), the
+    owned sets partition the node universe, and every shard graph is the
+    induced ball of its owned set."""
+    from repro.serve import build_shards, undirected_ball
+
+    first, _ = build_shards(graph, num_shards, d=2)
+    second, _ = build_shards(graph.copy(), num_shards, d=2)
+    assert [s.owned for s in first] == [s.owned for s in second]
+    assert [s.graph for s in first] == [s.graph for s in second]
+    all_owned = [node for shard in first for node in shard.owned]
+    assert len(all_owned) == len(set(all_owned)) == graph.num_nodes
+    for shard in first:
+        ball = undirected_ball(graph, shard.owned, 2) if shard.owned else set()
+        assert set(shard.graph.nodes()) == ball
+
+
+# ---------------------------------------------------------------------------
 # Quantifier properties
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,188 @@
+"""AdmissionQueue: bounds, policies, priorities, drain and close semantics."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from fixtures import run_threads
+from repro.serve import AdmissionConfig, AdmissionQueue
+from repro.utils.errors import Overloaded, ReproError, ServiceError
+
+
+# ---------------------------------------------------------------------------
+# Configuration validation
+# ---------------------------------------------------------------------------
+
+
+def test_config_validates_eagerly():
+    with pytest.raises(ReproError):
+        AdmissionConfig(max_pending=0)
+    with pytest.raises(ReproError):
+        AdmissionConfig(policy="buffer")
+    with pytest.raises(ReproError):
+        AdmissionConfig(block_timeout=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Reject policy
+# ---------------------------------------------------------------------------
+
+
+def test_reject_policy_raises_overloaded_at_capacity():
+    queue = AdmissionQueue(AdmissionConfig(max_pending=2, policy="reject"))
+    queue.submit("a")
+    queue.submit("b")
+    with pytest.raises(Overloaded):
+        queue.submit("c")
+    assert queue.stats.admitted == 2 and queue.stats.rejected == 1
+    # A drain frees capacity again.
+    assert [payload for _, payload in queue.drain()] == ["a", "b"]
+    queue.submit("c")
+    assert len(queue) == 1
+
+
+def test_overloaded_is_a_repro_error():
+    assert issubclass(Overloaded, ReproError)
+    assert issubclass(Overloaded, ServiceError)
+
+
+# ---------------------------------------------------------------------------
+# Block policy
+# ---------------------------------------------------------------------------
+
+
+def test_block_policy_waits_for_space():
+    queue = AdmissionQueue(AdmissionConfig(max_pending=1, policy="block"))
+    queue.submit("first")
+    entered = threading.Event()
+
+    def producer():
+        entered.set()
+        queue.submit("second")  # blocks until the drain below
+
+    def consumer():
+        assert entered.wait(timeout=10.0)
+        while queue.stats.blocked == 0:  # wait until the producer is parked
+            pass
+        drained = queue.drain()
+        assert [payload for _, payload in drained] == ["first"]
+
+    run_threads([producer, consumer], timeout=30.0)
+    assert [payload for _, payload in queue.drain()] == ["second"]
+    assert queue.stats.blocked == 1 and queue.stats.rejected == 0
+
+
+def test_block_policy_times_out_to_overloaded():
+    queue = AdmissionQueue(
+        AdmissionConfig(max_pending=1, policy="block", block_timeout=0.05)
+    )
+    queue.submit("first")
+    with pytest.raises(Overloaded):
+        queue.submit("second")
+    assert queue.stats.rejected == 1
+
+
+# ---------------------------------------------------------------------------
+# Priorities and drain order
+# ---------------------------------------------------------------------------
+
+
+def test_drain_orders_by_priority_then_fifo():
+    queue = AdmissionQueue(AdmissionConfig(max_pending=16))
+    queue.submit("bulk-1", priority=5)
+    queue.submit("hot-1", priority=0)
+    queue.submit("bulk-2", priority=5)
+    queue.submit("hot-2", priority=0)
+    drained = queue.drain()
+    assert [payload for _, payload in drained] == ["hot-1", "hot-2", "bulk-1", "bulk-2"]
+    assert queue.stats.drained == 4 and queue.stats.high_water == 4
+
+
+def test_drain_takes_everything_not_just_the_best_class():
+    queue = AdmissionQueue()
+    queue.submit("low", priority=9)
+    queue.submit("high", priority=0)
+    assert len(queue.drain()) == 2
+    assert len(queue) == 0
+
+
+# ---------------------------------------------------------------------------
+# wait_for_work / close
+# ---------------------------------------------------------------------------
+
+
+def test_wait_for_work_times_out_and_wakes():
+    queue = AdmissionQueue()
+    assert not queue.wait_for_work(timeout=0.01)
+    queue.submit("x")
+    assert queue.wait_for_work(timeout=0.01)
+
+
+def test_close_stops_admissions_but_drains_admitted():
+    queue = AdmissionQueue()
+    queue.submit("survivor")
+    queue.close()
+    with pytest.raises(ServiceError):
+        queue.submit("late")
+    # Graceful drain: the admitted payload is still there for the consumer.
+    assert queue.wait_for_work(timeout=0.01)
+    assert [payload for _, payload in queue.drain()] == ["survivor"]
+    assert queue.drain() == []
+    assert queue.closed
+
+
+def test_close_wakes_blocked_producer():
+    queue = AdmissionQueue(AdmissionConfig(max_pending=1, policy="block"))
+    queue.submit("first")
+    failures = []
+
+    def producer():
+        try:
+            queue.submit("second")
+        except ServiceError:
+            failures.append("closed")
+
+    def closer():
+        while queue.stats.blocked == 0:
+            pass
+        queue.close()
+
+    run_threads([producer, closer], timeout=30.0)
+    assert failures == ["closed"]
+
+
+# ---------------------------------------------------------------------------
+# Concurrency smoke: many producers, one drainer, nothing lost
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_producers_lose_nothing():
+    queue = AdmissionQueue(AdmissionConfig(max_pending=10_000))
+    per_producer = 50
+    collected = []
+    done = threading.Event()
+
+    def make_producer(tag):
+        def producer():
+            for index in range(per_producer):
+                queue.submit((tag, index))
+
+        return producer
+
+    def drainer():
+        while not done.is_set() or len(queue):
+            queue.wait_for_work(timeout=0.01)
+            collected.extend(payload for _, payload in queue.drain())
+
+    producers = [make_producer(tag) for tag in range(8)]
+    drain_thread = threading.Thread(target=drainer, daemon=True)
+    drain_thread.start()
+    run_threads(producers, timeout=60.0)
+    done.set()
+    drain_thread.join(timeout=30.0)
+    assert not drain_thread.is_alive()
+    assert sorted(collected) == sorted(
+        (tag, index) for tag in range(8) for index in range(per_producer)
+    )

@@ -1,0 +1,297 @@
+"""ShardedService unit tests: byte-identity, caching, routing, lifecycle.
+
+The exhaustive randomized oracle check lives in ``test_property_based.py``;
+concurrency hammering in ``test_serve_stress.py``; storage faults in
+``test_serve_faults.py``.  This file pins the router's unit-level contract.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from fixtures import build_paper_g1, build_q2, build_q3
+from repro.delta import GraphDelta
+from repro.graph import PropertyGraph
+from repro.graph.generators import small_world_social_graph
+from repro.matching.qmatch import QMatch
+from repro.parallel import PQMatch
+from repro.patterns import PatternBuilder
+from repro.serve import AdmissionConfig, ShardedService, SharedResultCache
+from repro.service import QueryService
+from repro.utils.errors import Overloaded, ServiceError
+
+
+def _oracle_answer(graph, pattern):
+    with QueryService(graph.copy()) as oracle:
+        return oracle.evaluate(pattern).answer
+
+
+def _islands_fleet(num_per_island=6, **kwargs):
+    """Two disconnected chains, one shard each — delta isolation is exact."""
+    graph = PropertyGraph("two-islands")
+    for island in ("a", "b"):
+        prev = None
+        for index in range(num_per_island):
+            node = f"{island}{index}"
+            graph.add_node(node, "person")
+            if prev is not None:
+                graph.add_edge(prev, node, "follow")
+            prev = node
+    partition = {node: (0 if str(node).startswith("a") else 1) for node in graph.nodes()}
+    return ShardedService(graph, num_shards=2, d=2, partition=partition, **kwargs)
+
+
+def _follow_pattern(at_least=1):
+    return (
+        PatternBuilder("followers")
+        .focus("xo", "person")
+        .node("z", "person")
+        .edge("xo", "z", "follow", at_least=at_least)
+        .build()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Byte-identity with the single-service oracle
+# ---------------------------------------------------------------------------
+
+
+def test_paper_answers_survive_sharding():
+    graph = build_paper_g1()
+    expected_q2 = _oracle_answer(graph, build_q2())
+    expected_q3 = _oracle_answer(graph, build_q3(2))
+    for num_shards in (1, 2, 3):
+        with ShardedService(build_paper_g1(), num_shards=num_shards) as fleet:
+            assert fleet.evaluate(build_q2()).answer == expected_q2
+            assert fleet.evaluate(build_q3(2)).answer == expected_q3
+            fleet.check_invariants()
+
+
+def test_fresh_results_carry_summed_counters_cached_do_not():
+    with ShardedService(build_paper_g1(), num_shards=2) as fleet:
+        fresh = fleet.evaluate(build_q3(2))
+        assert not fresh.cached and fresh.counter is not None
+        total = {}
+        for counter in fleet.last_round_counters.values():
+            for key, value in counter.as_dict().items():
+                total[key] = total.get(key, 0) + value
+        assert fresh.counter.as_dict() == total
+        again = fleet.evaluate(build_q3(2))
+        assert again.cached and again.counter is None
+        assert again.answer == fresh.answer
+
+
+def test_evaluate_many_keeps_input_order_and_coalesces():
+    graph = small_world_social_graph(40, 90, seed=11)
+    from repro.datasets.workloads import workload_patterns
+
+    queries = workload_patterns(graph, count=3, seed=7)
+    with ShardedService(graph, num_shards=3) as fleet:
+        warm = fleet.evaluate(queries[0])  # pre-warm one of the three
+        results = fleet.evaluate_many(queries + [queries[0]])
+        assert [r.pattern for r in results] == [q.name for q in queries] + [queries[0].name]
+        assert results[0].cached and results[0].answer == warm.answer
+        assert results[-1].answer == warm.answer
+        # The two misses cost exactly one fan-out round, not one per pattern.
+        assert fleet.stats.fanout_rounds == 2
+
+
+# ---------------------------------------------------------------------------
+# Version-vector caching across deltas
+# ---------------------------------------------------------------------------
+
+
+def test_delta_bumps_only_reached_components_and_invalidates():
+    with _islands_fleet() as fleet:
+        pattern = _follow_pattern()
+        before = fleet.evaluate(pattern)
+        vector_before = fleet.version_vector
+        fleet.apply_delta(GraphDelta.insert_edge("a0", "a3", "follow"))
+        vector_after = fleet.version_vector
+        # Only shard 0 (island "a") absorbed the delta.
+        assert vector_after[0] == vector_before[0] + 1
+        assert vector_after[1] == vector_before[1]
+        assert fleet.stats.shards_touched == 1 and fleet.stats.shards_skipped == 1
+        # The pre-delta entry is unreachable under the new vector: recompute.
+        after = fleet.evaluate(pattern)
+        assert not after.cached
+        assert after.answer == _oracle_answer(fleet.graph, pattern)
+        fleet.check_invariants()
+
+
+def test_inverse_delta_restores_vector_and_answers():
+    with _islands_fleet() as fleet:
+        pattern = _follow_pattern(at_least=2)
+        original = fleet.evaluate(pattern).answer
+        inverse = fleet.apply_delta(
+            GraphDelta.build(
+                node_inserts=[("a-new", "person")],
+                edge_inserts=[("a0", "a-new", "follow")],
+            )
+        )
+        changed = fleet.evaluate(pattern).answer
+        assert changed != original  # a0 gained a second followee
+        fleet.apply_delta(inverse)
+        restored = fleet.evaluate(pattern)
+        assert restored.answer == original
+        fleet.check_invariants()
+
+
+def test_attr_only_delta_bumps_nothing():
+    with _islands_fleet() as fleet:
+        vector = fleet.version_vector
+        fleet.apply_delta(GraphDelta.build(attr_sets=[("a0", "mood", "curious")]))
+        assert fleet.version_vector == vector
+        for shard in fleet.shards:
+            if shard.graph.has_node("a0"):
+                assert dict(shard.graph.node_attrs("a0"))["mood"] == "curious"
+
+
+# ---------------------------------------------------------------------------
+# Guard rails
+# ---------------------------------------------------------------------------
+
+
+def test_pattern_radius_beyond_halo_is_refused():
+    with ShardedService(build_paper_g1(), num_shards=2, d=1) as fleet:
+        with pytest.raises(ServiceError, match="radius"):
+            fleet.evaluate(build_q3(2))  # radius 2 > d=1
+
+
+def test_mismatched_shard_engines_are_refused():
+    def factory(shard):
+        return PQMatch(
+            num_workers=2, d=2, engine=QMatch(use_incremental=shard.shard_id == 0)
+        )
+
+    with pytest.raises(ServiceError, match="engine configuration"):
+        ShardedService(build_paper_g1(), num_shards=2, coordinator_factory=factory)
+
+
+def test_closed_fleet_refuses_work():
+    fleet = ShardedService(build_paper_g1(), num_shards=2)
+    fleet.close()
+    fleet.close()  # idempotent
+    with pytest.raises(ServiceError):
+        fleet.evaluate(build_q2())
+    with pytest.raises(ServiceError):
+        fleet.submit(build_q2())
+
+
+# ---------------------------------------------------------------------------
+# Admission front door
+# ---------------------------------------------------------------------------
+
+
+def test_submit_resolves_to_the_evaluate_answer():
+    with ShardedService(build_paper_g1(), num_shards=2) as fleet:
+        expected = _oracle_answer(fleet.graph, build_q3(2))
+        future = fleet.submit(build_q3(2))
+        result = future.result(timeout=30.0)
+        assert result.answer == expected
+
+
+def test_submit_deduplicates_in_flight_identical_queries():
+    with ShardedService(build_paper_g1(), num_shards=2) as fleet:
+        with fleet._evaluate_lock:  # park the dispatcher before its fan-out
+            first = fleet.submit(build_q2())
+            second = fleet.submit(build_q2())
+            assert second is first
+            assert fleet.stats.deduplicated == 1
+        assert first.result(timeout=30.0).answer == second.result(timeout=30.0).answer
+        # The in-flight table is drained once the round resolves.
+        assert fleet.introspect()["inflight"] == 0
+
+
+def test_submit_overload_rejects_beyond_queue_capacity():
+    config = AdmissionConfig(max_pending=1, policy="reject")
+    with ShardedService(build_paper_g1(), num_shards=2, admission=config) as fleet:
+        with fleet._evaluate_lock:
+            running = fleet.submit(build_q2())
+            # Wait for the dispatcher to claim it (then it parks on the lock),
+            # so the queue is empty again and timing is deterministic.
+            deadline = time.monotonic() + 30.0
+            while not running.running():
+                assert time.monotonic() < deadline, "dispatcher never claimed"
+                time.sleep(0.001)
+            queued = fleet.submit(build_q3(2))  # fills the 1-slot queue
+            with pytest.raises(Overloaded):
+                fleet.submit(build_q3(3))
+        assert running.result(timeout=30.0) and queued.result(timeout=30.0)
+
+
+def test_close_drains_admitted_work():
+    fleet = ShardedService(build_paper_g1(), num_shards=2)
+    future = fleet.submit(build_q2())
+    fleet.close()  # joins the dispatcher: admitted work finished first
+    assert future.done()
+    assert future.result(timeout=0).answer == _oracle_answer(
+        build_paper_g1(), build_q2()
+    )
+
+
+# ---------------------------------------------------------------------------
+# L2 shared cache integration
+# ---------------------------------------------------------------------------
+
+
+def test_second_fleet_reads_first_fleets_shared_store(tmp_path):
+    path = str(tmp_path / "shared.sqlite")
+    graph_a = small_world_social_graph(30, 60, seed=21)
+    graph_b = small_world_social_graph(30, 60, seed=21)  # identical rebuild
+    from repro.datasets.workloads import workload_patterns
+
+    queries = workload_patterns(graph_a, count=2, seed=3)
+    with ShardedService(graph_a, num_shards=2, shared_cache=path) as producer:
+        cold = [producer.evaluate(q) for q in queries]
+        assert all(not r.cached for r in cold)
+    with ShardedService(graph_b, num_shards=2, shared_cache=path) as consumer:
+        warm = [consumer.evaluate(q) for q in queries]
+        assert all(r.cached for r in warm)
+        assert [r.answer for r in warm] == [r.answer for r in cold]
+        assert consumer.stats.shared_hits == 2
+        assert consumer.stats.fanout_rounds == 0
+
+
+def test_borrowed_shared_handle_survives_fleet_close(tmp_path):
+    store = SharedResultCache(str(tmp_path / "shared.sqlite"))
+    with ShardedService(build_paper_g1(), num_shards=2, shared_cache=store) as fleet:
+        fleet.evaluate(build_q2())
+    # Borrowed, not owned: the fleet's close must not close our handle.
+    assert store.entry_count() == 1
+    store.close()
+
+
+# ---------------------------------------------------------------------------
+# Telemetry
+# ---------------------------------------------------------------------------
+
+
+def test_stats_snapshot_and_introspect_shapes():
+    with ShardedService(
+        build_paper_g1(), num_shards=2, shared_cache=None
+    ) as fleet:
+        fleet.evaluate(build_q2())
+        snapshot = fleet.stats_snapshot()
+        for key in ("served", "cache_hits", "admission_admitted", "worker_rebuilds"):
+            assert key in snapshot
+        view = fleet.introspect()
+        assert view["version_vector"] == list(fleet.version_vector)
+        assert view["shared"] is None and view["inflight"] == 0
+        assert len(view["shards"]) == 2
+        assert all(entry["service"]["served"] >= 1 for entry in view["shards"])
+
+
+def test_shared_cache_stats_do_not_collide_with_router_stats(tmp_path):
+    path = str(tmp_path / "shared.sqlite")
+    graph_a = build_paper_g1()
+    with ShardedService(graph_a, num_shards=2, shared_cache=path) as fleet:
+        fleet.evaluate(build_q2())
+        snapshot = fleet.stats_snapshot()
+        # Router's L2-promote count and the handle's own hit count are
+        # distinct keys: a fresh store has 0 hits but the key must exist.
+        assert snapshot["shared_hits"] == 0
+        assert snapshot["shared_cache_stores"] == 1
+        assert snapshot["shared_cache_hits"] == 0

@@ -1,0 +1,259 @@
+"""Sharding, delta routing and graph_diff: the structural substrate of serve.
+
+The oracle for everything here is the invariant the router maintains:
+
+    ``shard.graph == union.induced_subgraph(undirected_ball(shard.owned, d))``
+
+on a disjoint ownership partition — the d-hop preservation argument of the
+paper, one level up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from fixtures import build_paper_g1, build_paper_g2
+from repro.delta import ABSENT, GraphDelta, apply_delta, graph_diff
+from repro.graph import PropertyGraph
+from repro.graph.generators import small_world_social_graph
+from repro.serve import (
+    affected_shards,
+    build_shards,
+    hash_assign,
+    shard_subdelta,
+    undirected_ball,
+)
+from repro.utils.errors import DeltaError, ReproError
+
+
+# ---------------------------------------------------------------------------
+# hash_assign / undirected_ball
+# ---------------------------------------------------------------------------
+
+
+def test_hash_assign_is_deterministic_and_in_range():
+    for node in ("alice", 42, ("t", 1)):
+        first = hash_assign(node, 4)
+        assert first == hash_assign(node, 4)
+        assert 0 <= first < 4
+
+
+def test_hash_assign_distinguishes_types():
+    # "1" and 1 must not be forced onto one shard by a sloppy str() collapse.
+    assert isinstance(hash_assign("1", 64), int)
+    assert hash_assign("1", 1 << 30) != hash_assign(1, 1 << 30)
+
+
+def test_undirected_ball_matches_per_source_bfs():
+    from repro.graph import nodes_within_hops
+
+    graph = small_world_social_graph(40, 90, seed=1)
+    sources = list(graph.nodes())[:5]
+    for hops in (0, 1, 2):
+        expected = set()
+        for source in sources:
+            expected |= nodes_within_hops(graph, source, hops)
+        assert undirected_ball(graph, sources, hops) == expected
+
+
+# ---------------------------------------------------------------------------
+# build_shards
+# ---------------------------------------------------------------------------
+
+
+def test_build_shards_partitions_and_halos():
+    graph = build_paper_g1()
+    shards, assign = build_shards(graph, 3, d=2)
+    owned_union = set()
+    for shard in shards:
+        assert owned_union.isdisjoint(shard.owned)
+        owned_union |= shard.owned
+        assert set(shard.graph.nodes()) == (
+            undirected_ball(graph, shard.owned, 2) if shard.owned else set()
+        )
+        for node in shard.owned:
+            assert assign(node) == shard.shard_id
+    assert owned_union == set(graph.nodes())
+
+
+def test_build_shards_with_supplied_partition():
+    graph = build_paper_g2()
+    nodes = sorted(graph.nodes(), key=repr)
+    mapping = {node: index % 2 for index, node in enumerate(nodes)}
+    shards, assign = build_shards(graph, 2, d=1, partition=mapping)
+    for node, shard_id in mapping.items():
+        assert assign(node) == shard_id
+        assert node in shards[shard_id].owned
+    # Unseen (future) nodes still get a deterministic hash owner.
+    assert 0 <= assign("brand-new-node") < 2
+
+
+def test_build_shards_partition_validation():
+    graph = build_paper_g1()
+    with pytest.raises(ReproError):
+        build_shards(graph, 2, d=2, partition={"x1": 5})  # out of range
+    with pytest.raises(ReproError):
+        build_shards(graph, 2, d=2, partition={"x1": 0})  # does not cover
+    with pytest.raises(ReproError):
+        build_shards(graph, 0, d=2)
+    with pytest.raises(ReproError):
+        build_shards(graph, 2, d=0)
+
+
+# ---------------------------------------------------------------------------
+# graph_diff
+# ---------------------------------------------------------------------------
+
+
+def test_graph_diff_round_trips_structures():
+    old = build_paper_g1()
+    new = build_paper_g1()
+    new.add_node("extra", "person", mood="new")
+    new.add_edge("x1", "extra", "follow")
+    new.remove_edge("x2", "v1", "follow")
+    new.remove_node("v4")
+    delta = graph_diff(old, new)
+    apply_delta(old, delta)
+    assert old == new
+
+
+def test_graph_diff_attrs_and_empty():
+    old = PropertyGraph("o")
+    old.add_node("a", "person", keep="x", drop="y", change=1)
+    new = PropertyGraph("n")
+    new.add_node("a", "person", keep="x", change=2, added=3)
+    delta = graph_diff(old, new)
+    assert not delta.is_structural()
+    assert ("a", "drop", ABSENT) in delta.attr_sets
+    apply_delta(old, delta)
+    assert dict(old.node_attrs("a")) == {"keep": "x", "change": 2, "added": 3}
+    assert graph_diff(new, new.copy()).is_empty()
+
+
+def test_graph_diff_rejects_label_change():
+    old = PropertyGraph("o")
+    old.add_node("a", "person")
+    new = PropertyGraph("n")
+    new.add_node("a", "product")
+    with pytest.raises(DeltaError):
+        graph_diff(old, new)
+
+
+def test_graph_diff_excludes_cascaded_edges():
+    old = PropertyGraph("o")
+    old.add_node("a", "person")
+    old.add_node("b", "person")
+    old.add_edge("a", "b", "follow")
+    new = PropertyGraph("n")
+    new.add_node("a", "person")
+    delta = graph_diff(old, new)
+    assert delta.node_deletes == ("b",)
+    assert delta.edge_deletes == ()  # the cascade owns (a, b, follow)
+    apply_delta(old, delta)
+    assert old == new
+
+
+# ---------------------------------------------------------------------------
+# Delta routing: affected_shards + shard_subdelta
+# ---------------------------------------------------------------------------
+
+
+def _fleet(graph, num_shards=3, d=2):
+    shards, assign = build_shards(graph, num_shards, d=d)
+    return shards, assign
+
+
+def _route(graph, shards, assign, delta, d=2):
+    """Reference routing loop: what ShardedService.apply_delta does."""
+    inverse = apply_delta(graph, delta)
+    for node, _label, _attrs in delta.node_inserts:
+        shards[assign(node)].owned.add(node)
+    for node in delta.node_deletes:
+        for shard in shards:
+            shard.owned.discard(node)
+    affected = affected_shards(graph, shards, delta, d)
+    for shard in affected:
+        sub = shard_subdelta(graph, shard, d)
+        if not sub.is_empty():
+            apply_delta(shard.graph, sub)
+    return inverse, affected
+
+
+def _assert_invariant(graph, shards, d=2):
+    for shard in shards:
+        ball = undirected_ball(graph, shard.owned, d) if shard.owned else set()
+        assert shard.graph == graph.induced_subgraph(ball, name=shard.graph.name)
+
+
+@pytest.mark.parametrize("seed", [3, 7, 11])
+def test_routing_maintains_invariant_over_update_stream(seed):
+    import random
+
+    rng = random.Random(seed)
+    graph = small_world_social_graph(30, 60, seed=seed)
+    shards, assign = _fleet(graph)
+    _assert_invariant(graph, shards)
+    nodes = sorted(graph.nodes(), key=repr)
+    inserted = 0
+    for step in range(12):
+        choice = rng.random()
+        if choice < 0.4:
+            source, target = rng.sample(nodes, 2)
+            if graph.has_edge(source, target, "follow"):
+                delta = GraphDelta.delete_edge(source, target, "follow")
+            else:
+                delta = GraphDelta.insert_edge(source, target, "follow")
+        elif choice < 0.7:
+            new = f"new{inserted}"
+            inserted += 1
+            anchor = rng.choice(nodes)
+            delta = GraphDelta.build(
+                node_inserts=[(new, "person")],
+                edge_inserts=[(anchor, new, "follow")],
+            )
+            nodes.append(new)
+        else:
+            victim = rng.choice(nodes)
+            nodes.remove(victim)
+            delta = GraphDelta.build(node_deletes=[victim])
+        _route(graph, shards, assign, delta)
+        _assert_invariant(graph, shards)
+
+
+def test_unreachable_shard_is_skipped_and_does_not_bump():
+    # Two far-apart components so a delta in one cannot reach the other.
+    graph = PropertyGraph("two-islands")
+    for island in ("a", "b"):
+        prev = None
+        for index in range(6):
+            node = f"{island}{index}"
+            graph.add_node(node, "person")
+            if prev is not None:
+                graph.add_edge(prev, node, "follow")
+            prev = node
+    partition = {node: (0 if str(node).startswith("a") else 1) for node in graph.nodes()}
+    shards, assign = build_shards(graph, 2, d=2, partition=partition)
+    versions_before = [shard.graph.version for shard in shards]
+
+    delta = GraphDelta.insert_edge("a0", "a3", "follow")
+    _inverse, affected = _route(graph, shards, assign, delta)
+    assert [shard.shard_id for shard in affected] == [0]
+    _assert_invariant(graph, shards)
+    assert shards[1].graph.version == versions_before[1]  # untouched: no bump
+    assert shards[0].graph.version == versions_before[0] + 1
+
+
+def test_inverse_routing_restores_every_shard():
+    graph = small_world_social_graph(24, 50, seed=5)
+    shards, assign = _fleet(graph)
+    snapshots = [shard.graph.copy() for shard in shards]
+    nodes = sorted(graph.nodes(), key=repr)
+    delta = GraphDelta.build(
+        node_inserts=[("fresh", "person")],
+        edge_inserts=[(nodes[0], "fresh", "follow"), ("fresh", nodes[1], "follow")],
+    )
+    inverse, _ = _route(graph, shards, assign, delta)
+    _route(graph, shards, assign, inverse)
+    _assert_invariant(graph, shards)
+    for shard, snapshot in zip(shards, snapshots):
+        assert shard.graph == snapshot

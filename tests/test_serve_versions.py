@@ -1,0 +1,143 @@
+"""VersionVector semantics and the scalar-collapse stale-read regression.
+
+The regression test at the bottom is the reason the class exists: it builds
+the exact fleet history under which keying a cache on any scalar collapse of
+the per-shard versions serves a **stale answer**, and shows the vector key
+refusing it.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.graph import PropertyGraph
+from repro.serve import VersionVector
+from repro.service import ResultCache
+from repro.utils.errors import ReproError
+
+
+# ---------------------------------------------------------------------------
+# Value-type basics
+# ---------------------------------------------------------------------------
+
+
+def test_construction_and_equality():
+    v = VersionVector((3, 1, 4))
+    assert v == VersionVector.of(3, 1, 4)
+    assert v != VersionVector.of(3, 1)
+    assert len(v) == 3 and v[1] == 1 and list(v) == [3, 1, 4]
+    assert hash(v) == hash(VersionVector.of(3, 1, 4))
+
+
+def test_coercion_and_validation():
+    assert VersionVector([1, 2]).versions == (1, 2)
+    with pytest.raises(ReproError):
+        VersionVector(("a", 1))
+
+
+def test_from_graphs_reads_mutation_counters():
+    a, b = PropertyGraph("a"), PropertyGraph("b")
+    a.add_node("x", "person")
+    base = VersionVector.from_graphs([a, b])
+    a.add_node("y", "person")
+    bumped = VersionVector.from_graphs([a, b])
+    assert bumped[0] == base[0] + 1 and bumped[1] == base[1]
+
+
+def test_bump_and_replace_are_pure():
+    v = VersionVector.of(1, 1)
+    assert v.bump(0) == VersionVector.of(2, 1)
+    assert v.replace(1, 9) == VersionVector.of(1, 9)
+    assert v == VersionVector.of(1, 1)  # unchanged
+    with pytest.raises(ReproError):
+        v.bump(2)
+    with pytest.raises(ReproError):
+        v.replace(-1, 0)
+
+
+def test_dominates_is_componentwise():
+    assert VersionVector.of(2, 3).dominates(VersionVector.of(2, 2))
+    assert not VersionVector.of(2, 1).dominates(VersionVector.of(1, 2))
+    with pytest.raises(ReproError):
+        VersionVector.of(1).dominates(VersionVector.of(1, 2))
+
+
+def test_key_text_is_stable_and_distinct():
+    assert VersionVector.of(3, 1, 4).key_text() == "3:1:4"
+    assert VersionVector.of(31, 4).key_text() != VersionVector.of(3, 14).key_text()
+
+
+def test_pickle_round_trip():
+    v = VersionVector.of(7, 0, 2)
+    assert pickle.loads(pickle.dumps(v)) == v
+
+
+# ---------------------------------------------------------------------------
+# The regression: a collapsed scalar aliases distinct fleet states
+# ---------------------------------------------------------------------------
+
+
+class _Token:
+    """A fleet stand-in whose ``.version`` the test moves by hand."""
+
+    def __init__(self, version):
+        self.version = version
+
+
+def test_collapsed_scalar_aliases_distinct_fleet_states():
+    """The arithmetic core of the bug: two different fleet histories, one sum."""
+    start = VersionVector.of(1, 1)
+    # History A: shard 0 bumps (delta), then un-bumps are impossible — but a
+    # *different* fleet where shard 1 bumped instead lands on the same sum.
+    via_shard_0 = start.bump(0)
+    via_shard_1 = start.bump(1)
+    assert via_shard_0 != via_shard_1
+    assert via_shard_0.collapsed() == via_shard_1.collapsed()
+
+
+def test_scalar_version_key_serves_stale_answer_vector_key_refuses():
+    """The stale read itself, played out against the real ResultCache.
+
+    A fleet at vector (2, 1) caches an answer.  A delta stream then moves the
+    fleet to (1, 2) — e.g. shard 0 rolled back one batch via its inverse
+    while shard 1 absorbed one.  The graph state is **different**, so the
+    cached answer is stale.  A cache keyed on the collapsed scalar (sum = 3
+    both times) happily serves it; the vector key makes it unreachable.
+    """
+    fingerprint = "f" * 64
+    stale_answer = frozenset({"pre-delta-match"})
+
+    # --- broken: scalar collapse as the version slot ----------------------
+    scalar_cache = ResultCache(capacity=8)
+    before, after = VersionVector.of(2, 1), VersionVector.of(1, 2)
+    token = _Token(before.collapsed())
+    scalar_cache.store(token, fingerprint, stale_answer, version=before.collapsed())
+    token.version = after.collapsed()  # the fleet moved...
+    served = scalar_cache.lookup(token, fingerprint, version=after.collapsed())
+    assert served == stale_answer  # ...and the scalar key serves stale data.
+
+    # --- fixed: the vector is the version slot ----------------------------
+    vector_cache = ResultCache(capacity=8)
+    token = _Token(before)
+    vector_cache.store(token, fingerprint, stale_answer, version=before)
+    token.version = after
+    assert vector_cache.lookup(token, fingerprint, version=after) is None
+    # And purge_stale reclaims the unreachable entry via the token's version.
+    assert vector_cache.purge_stale() == 1
+    assert len(vector_cache) == 0
+
+
+def test_carry_forward_accepts_vector_versions():
+    """carry_forward is version-type agnostic: vectors carry like scalars."""
+    cache = ResultCache(capacity=8)
+    old, new = VersionVector.of(1, 1), VersionVector.of(1, 2)
+    token = _Token(old)
+    fingerprint = "a" * 64
+    cache.store(token, fingerprint, {"n"}, options_key=("k",), version=old)
+    token.version = new
+    carried = cache.carry_forward(token, [(fingerprint, ("k",))], old, new)
+    assert carried == 1
+    assert cache.lookup(token, fingerprint, options_key=("k",), version=new) == {"n"}
+    assert cache.lookup(token, fingerprint, options_key=("k",), version=old) is None
