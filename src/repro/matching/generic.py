@@ -412,8 +412,17 @@ class MatchContext:
         anchor: Optional[Assignment] = None,
         counter: Optional[WorkCounter] = None,
         limit: Optional[int] = None,
+        probe_profile: Optional[Dict[int, int]] = None,
     ) -> Iterator[Assignment]:
-        """Enumerate isomorphisms extending *anchor* (keys ⊆ ``anchored_nodes``)."""
+        """Enumerate isomorphisms extending *anchor* (keys ⊆ ``anchored_nodes``).
+
+        *probe_profile*, when given, is filled with per-depth extension-probe
+        tallies (``order position -> probes``) — the observed-cardinality side
+        of ``EXPLAIN ANALYZE``.  Profiling runs on the frozenset path (the
+        dense kernels batch probes and cannot attribute them per depth), which
+        enumerates byte-identically, and swaps in a separate extension closure
+        so the unprofiled hot loop carries no extra conditional.
+        """
         pattern, graph = self.pattern, self.graph
         adjacency, candidates = self.adjacency, self.candidates
         candidate_order = self.candidate_order
@@ -441,6 +450,8 @@ class MatchContext:
             order = _search_order(pattern, candidates, set(anchor), adjacency=adjacency)
 
         dense = self._dense
+        if probe_profile is not None:
+            dense = None  # per-depth attribution needs the frozenset path
         if dense is not None and order is self.order and len(anchor) <= 1:
             # Dense-id path: anchor membership above already implies the
             # anchor encodes and is label-pure (dense pools are ghost-free by
@@ -610,27 +621,58 @@ class MatchContext:
                     return []
                 return order_pool(pattern_node, pool)
 
-        def extend(position: int) -> Iterator[Assignment]:
-            nonlocal yielded
-            if position == len(order):
-                yielded += 1
-                yield dict(assignment)
-                return
-            pattern_node = order[position]
-            for graph_node in ordered_candidates(pattern_node):
-                if graph_node in used:
-                    continue
-                if counter is not None:
-                    counter.extensions += 1
-                if not is_extendable(pattern_node, graph_node):
-                    continue
-                assignment[pattern_node] = graph_node
-                used.add(graph_node)
-                yield from extend(position + 1)
-                del assignment[pattern_node]
-                used.discard(graph_node)
-                if limit is not None and yielded >= limit:
+        if probe_profile is None:
+
+            def extend(position: int) -> Iterator[Assignment]:
+                nonlocal yielded
+                if position == len(order):
+                    yielded += 1
+                    yield dict(assignment)
                     return
+                pattern_node = order[position]
+                for graph_node in ordered_candidates(pattern_node):
+                    if graph_node in used:
+                        continue
+                    if counter is not None:
+                        counter.extensions += 1
+                    if not is_extendable(pattern_node, graph_node):
+                        continue
+                    assignment[pattern_node] = graph_node
+                    used.add(graph_node)
+                    yield from extend(position + 1)
+                    del assignment[pattern_node]
+                    used.discard(graph_node)
+                    if limit is not None and yielded >= limit:
+                        return
+
+        else:
+            # EXPLAIN ANALYZE variant: identical control flow plus a
+            # per-depth probe tally.  Duplicated rather than branched so the
+            # production closure above stays conditional-free per probe.
+            profile_get = probe_profile.get
+
+            def extend(position: int) -> Iterator[Assignment]:
+                nonlocal yielded
+                if position == len(order):
+                    yielded += 1
+                    yield dict(assignment)
+                    return
+                pattern_node = order[position]
+                for graph_node in ordered_candidates(pattern_node):
+                    if graph_node in used:
+                        continue
+                    probe_profile[position] = profile_get(position, 0) + 1
+                    if counter is not None:
+                        counter.extensions += 1
+                    if not is_extendable(pattern_node, graph_node):
+                        continue
+                    assignment[pattern_node] = graph_node
+                    used.add(graph_node)
+                    yield from extend(position + 1)
+                    del assignment[pattern_node]
+                    used.discard(graph_node)
+                    if limit is not None and yielded >= limit:
+                        return
 
         yield from extend(len(anchor))
 

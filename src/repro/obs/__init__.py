@@ -17,6 +17,7 @@ isolation fixture clears — and are mirrored into the optional registry when
 one is active.  See ``docs/OBSERVABILITY.md`` for the executable walkthrough.
 """
 
+from repro.obs.flight import FlightEvent, FlightRecorder
 from repro.obs.introspect import (
     FingerprintStats,
     ServiceIntrospection,
@@ -46,14 +47,27 @@ from repro.obs.trace import (
     TraceContext,
     Tracer,
     active_tracing,
+    attach,
     build_span_tree,
     current_context,
     disable_tracing,
     enable_tracing,
     format_span_tree,
     get_tracer,
+    record_span,
     span,
     tracing_enabled,
+)
+
+# Imported last: explain leans on the plan/matching layers, which themselves
+# import repro.obs.metrics — the late import keeps the package acyclic.
+from repro.obs.explain import (
+    ExplainReport,
+    ExplainStep,
+    StatsRegistry,
+    build_report,
+    estimate_steps,
+    q_error,
 )
 
 __all__ = [
@@ -84,6 +98,8 @@ __all__ = [
     "tracing_enabled",
     "active_tracing",
     "span",
+    "attach",
+    "record_span",
     "current_context",
     "build_span_tree",
     "format_span_tree",
@@ -92,6 +108,16 @@ __all__ = [
     "FingerprintStats",
     "SlowQueryLog",
     "SlowQueryRecord",
+    # explain
+    "ExplainStep",
+    "ExplainReport",
+    "StatsRegistry",
+    "estimate_steps",
+    "build_report",
+    "q_error",
+    # flight recorder
+    "FlightEvent",
+    "FlightRecorder",
     "reset_observability",
 ]
 

@@ -1,0 +1,488 @@
+"""`repro.obs.explain` — EXPLAIN ANALYZE for served pattern queries.
+
+A compiled plan (:mod:`repro.plan`) already knows *what* will run: the
+canonical fingerprint, the stats-derived matching order, the quantifier
+closures.  This module adds the two numbers an operator (and ROADMAP open
+item 3's adaptive planner) actually needs per step of that order:
+
+* **estimated** cardinality, from the
+  :class:`~repro.graph.statistics.CardinalityModel` (label populations and
+  typed-triple degree means — what a cost-based optimiser would predict
+  *before* running anything), and
+* **observed** cardinality, from the probe counts the matching layer already
+  tallies — per-depth when :func:`build_report` re-runs the enumeration
+  (``analyze=True``, the EXPLAIN ANALYZE of the title), and as per-query
+  averages from served traffic via the :class:`StatsRegistry` either way.
+
+The :class:`StatsRegistry` is the **explicit feed for the adaptive planner**
+(querytorque-style Q-Error routing): per fingerprint and per graph epoch it
+accumulates the served work counters and answer sizes, so
+``estimate vs observed`` — :func:`q_error` — is computable for every
+fingerprint the service ever computed.  It is bounded two ways (fingerprints
+LRU, epochs per fingerprint keep-latest) and always on, observing at query
+grain only.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.utils.counters import WorkCounter
+
+__all__ = [
+    "ExplainStep",
+    "ExplainReport",
+    "StatsRegistry",
+    "estimate_steps",
+    "build_report",
+    "q_error",
+]
+
+NodeId = Hashable
+
+
+def q_error(estimated: float, observed: float) -> float:
+    """The symmetric ratio error ``max(est/obs, obs/est)`` (1.0 is perfect).
+
+    Zero-on-one-side disagreements are infinite by convention — an estimator
+    that predicts nothing for real work (or work for nothing) is maximally
+    wrong, and the planning literature treats it that way.
+    """
+    if estimated <= 0.0 and observed <= 0.0:
+        return 1.0
+    if estimated <= 0.0 or observed <= 0.0:
+        return float("inf")
+    ratio = estimated / observed
+    return ratio if ratio >= 1.0 else 1.0 / ratio
+
+
+@dataclass(frozen=True)
+class ExplainStep:
+    """One step of a matching order, estimated and (optionally) observed.
+
+    ``estimated`` is the expected candidate-pool size when this step extends
+    one partial embedding; ``cumulative`` is the expected number of partial
+    embeddings alive *after* the step (the product of the pool sizes so
+    far).  ``observed`` is the number of extension probes actually performed
+    at this depth when the report was built with ``analyze=True``, else
+    ``None`` — per-depth observation requires running the search.
+    """
+
+    index: int
+    node: str
+    role: str  # "focus" | "extend"
+    estimated: float
+    cumulative: float
+    observed: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "node": self.node,
+            "role": self.role,
+            "estimated": self.estimated,
+            "cumulative": self.cumulative,
+            "observed": self.observed,
+        }
+
+
+def estimate_steps(
+    order: Sequence[NodeId],
+    labels: Mapping[NodeId, str],
+    edges: Sequence[Tuple[NodeId, NodeId, str]],
+    model,
+    focus: Optional[NodeId] = None,
+    render=None,
+) -> List[ExplainStep]:
+    """Per-step cardinality estimates for *order* under *model*.
+
+    Generic over the node key space — canonical positions (plan previews)
+    and live pattern nodes (ANALYZE runs) both work; *edges* are
+    ``(source, target, edge label)`` triples in the same key space.  Each
+    step's estimate is the tightest single-constraint bound: the minimum,
+    over pattern edges into the already-placed region, of the expected typed
+    pool (:meth:`CardinalityModel.expected_pool`); a step with no active
+    constraint falls back to its label population — exactly the information
+    order the backtracking search itself exploits.
+    """
+    if render is None:
+        render = lambda key: f"{key}:{labels[key]}"
+    steps: List[ExplainStep] = []
+    placed: set = set()
+    cumulative = 1.0
+    for index, key in enumerate(order):
+        label = labels[key]
+        bounds: List[float] = []
+        for source, target, edge_label in edges:
+            if source == key and target in placed:
+                bounds.append(
+                    model.expected_pool(label, edge_label, labels[target], outgoing=True)
+                )
+            elif target == key and source in placed:
+                bounds.append(
+                    model.expected_pool(label, edge_label, labels[source], outgoing=False)
+                )
+        if bounds:
+            estimated = min(bounds)
+        else:
+            estimated = float(model.label_count(label))
+        cumulative *= estimated
+        steps.append(
+            ExplainStep(
+                index=index,
+                node=render(key),
+                role="focus" if key == focus else "extend",
+                estimated=estimated,
+                cumulative=cumulative,
+            )
+        )
+        placed.add(key)
+    return steps
+
+
+# --------------------------------------------------------------------------
+# The per-fingerprint observation registry (the adaptive planner's feed)
+# --------------------------------------------------------------------------
+
+
+class _EpochStats:
+    """Accumulated observations of one fingerprint in one graph epoch."""
+
+    __slots__ = ("queries", "verifications", "extensions", "quantifier_checks",
+                 "answers", "seconds")
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.verifications = 0
+        self.extensions = 0
+        self.quantifier_checks = 0
+        self.answers = 0
+        self.seconds = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        queries = self.queries or 1
+        return {
+            "queries": self.queries,
+            "verifications_per_query": self.verifications / queries,
+            "extensions_per_query": self.extensions / queries,
+            "quantifier_checks_per_query": self.quantifier_checks / queries,
+            "answers_per_query": self.answers / queries,
+            "mean_seconds": self.seconds / queries,
+        }
+
+
+class _FingerprintEntry:
+    __slots__ = ("pattern_name", "epochs")
+
+    def __init__(self) -> None:
+        self.pattern_name = ""
+        self.epochs: "OrderedDict[Hashable, _EpochStats]" = OrderedDict()
+
+
+class StatsRegistry:
+    """Bounded, epoch-aware estimated-vs-observed accounting per fingerprint.
+
+    ``record`` files the work counters and answer size of one *computed*
+    query (cache hits carry no fresh observations) under the graph epoch it
+    ran against — a scalar version for one service, a version-vector text for
+    a fleet.  Fingerprints are LRU-bounded; each fingerprint keeps its most
+    recent ``epoch_capacity`` epochs, so a delta stream cannot grow the
+    registry and the planner always sees current-epoch behaviour first.
+    ``capacity=0`` disables recording (overhead baselines).
+    """
+
+    def __init__(self, capacity: int = 256, epoch_capacity: int = 4) -> None:
+        if capacity < 0:
+            raise ValueError("stats registry capacity must be non-negative")
+        if epoch_capacity <= 0:
+            raise ValueError("stats registry epoch capacity must be positive")
+        self.capacity = capacity
+        self.epoch_capacity = epoch_capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, _FingerprintEntry]" = OrderedDict()
+
+    def __bool__(self) -> bool:
+        return self.capacity > 0
+
+    def record(
+        self,
+        fingerprint: str,
+        pattern_name: str,
+        epoch: Hashable,
+        counter: Optional[WorkCounter] = None,
+        answer_size: int = 0,
+        elapsed: float = 0.0,
+    ) -> None:
+        """Account one computed query for *fingerprint* at *epoch*."""
+        if not self.capacity:
+            return
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                entry = _FingerprintEntry()
+                self._entries[fingerprint] = entry
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+            else:
+                self._entries.move_to_end(fingerprint)
+            entry.pattern_name = pattern_name
+            stats = entry.epochs.get(epoch)
+            if stats is None:
+                stats = _EpochStats()
+                entry.epochs[epoch] = stats
+                while len(entry.epochs) > self.epoch_capacity:
+                    entry.epochs.popitem(last=False)
+            else:
+                entry.epochs.move_to_end(epoch)
+            stats.queries += 1
+            stats.answers += answer_size
+            stats.seconds += elapsed
+            if counter is not None:
+                stats.verifications += counter.verifications
+                stats.extensions += counter.extensions
+                stats.quantifier_checks += counter.quantifier_checks
+
+    def observed(
+        self, fingerprint: str, epoch: Optional[Hashable] = None
+    ) -> Optional[Dict[str, object]]:
+        """Per-query observation averages (latest epoch unless one is named)."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None or not entry.epochs:
+                return None
+            if epoch is None:
+                epoch = next(reversed(entry.epochs))
+            stats = entry.epochs.get(epoch)
+            if stats is None:
+                return None
+            payload = stats.as_dict()
+            payload["epoch"] = epoch
+            payload["pattern"] = entry.pattern_name
+            return payload
+
+    def fingerprints(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._entries)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Every fingerprint's per-epoch averages (introspection payload)."""
+        with self._lock:
+            return {
+                fingerprint: {
+                    "pattern": entry.pattern_name,
+                    "epochs": {
+                        str(epoch): stats.as_dict()
+                        for epoch, stats in entry.epochs.items()
+                    },
+                }
+                for fingerprint, entry in self._entries.items()
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+# --------------------------------------------------------------------------
+# The report
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExplainReport:
+    """The EXPLAIN (ANALYZE) payload for one fingerprint on one graph.
+
+    ``steps`` follow the matching order the report was built for: the
+    per-epoch stats-derived preview for plain EXPLAIN, the live search order
+    when ``analyzed`` (the ANALYZE run uses the same per-query ordering rule
+    the real search does).  ``traffic`` carries the :class:`StatsRegistry`
+    per-query averages of served traffic (empty dict when the fingerprint
+    was never computed), and the volume/q-error fields compare the model's
+    predicted probe volume against whichever observation is available —
+    the ANALYZE run's exact probe count, else the traffic average.
+    """
+
+    fingerprint: str
+    pattern_name: str
+    graph_name: str
+    graph_version: object
+    quantifiers: Tuple[str, ...]
+    steps: Tuple[ExplainStep, ...]
+    analyzed: bool
+    analyze_matches: Optional[int] = None
+    analyze_probes: Optional[int] = None
+    traffic: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def estimated_volume(self) -> float:
+        """Predicted total extension probes: one per expected live embedding."""
+        return sum(step.cumulative for step in self.steps)
+
+    @property
+    def observed_volume(self) -> Optional[float]:
+        if self.analyze_probes is not None:
+            return float(self.analyze_probes)
+        per_query = self.traffic.get("extensions_per_query")
+        if per_query:
+            return float(per_query)
+        return None
+
+    @property
+    def volume_q_error(self) -> Optional[float]:
+        observed = self.observed_volume
+        if observed is None:
+            return None
+        return q_error(self.estimated_volume, observed)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "fingerprint": self.fingerprint,
+            "pattern": self.pattern_name,
+            "graph": self.graph_name,
+            "version": self.graph_version,
+            "quantifiers": list(self.quantifiers),
+            "steps": [step.as_dict() for step in self.steps],
+            "analyzed": self.analyzed,
+            "analyze_matches": self.analyze_matches,
+            "analyze_probes": self.analyze_probes,
+            "estimated_volume": self.estimated_volume,
+            "observed_volume": self.observed_volume,
+            "volume_q_error": self.volume_q_error,
+            "traffic": dict(self.traffic),
+        }
+
+    def render(self) -> str:
+        """The operator-facing text rendering (EXPLAIN ANALYZE style)."""
+        mode = "EXPLAIN ANALYZE" if self.analyzed else "EXPLAIN"
+        lines = [
+            f"{mode} {self.fingerprint[:12]} ({self.pattern_name or 'unnamed'}) "
+            f"on {self.graph_name}@{self.graph_version}"
+        ]
+        if self.quantifiers:
+            lines.append(f"  quantifiers: {', '.join(self.quantifiers)}")
+        lines.append(f"  order: {' > '.join(step.node for step in self.steps)}")
+        for step in self.steps:
+            observed = "" if step.observed is None else f"  obs_probes={step.observed}"
+            lines.append(
+                f"  step {step.index}  {step.node:<24} {step.role:<6} "
+                f"est={step.estimated:.1f}  cum={step.cumulative:.1f}{observed}"
+            )
+        observed_volume = self.observed_volume
+        if observed_volume is not None:
+            lines.append(
+                f"  probe volume: estimated {self.estimated_volume:.1f}, "
+                f"observed {observed_volume:.1f}, q-error {self.volume_q_error:.2f}"
+            )
+        else:
+            lines.append(
+                f"  probe volume: estimated {self.estimated_volume:.1f}, never observed"
+            )
+        if self.analyzed:
+            lines.append(
+                f"  analyze: {self.analyze_matches} embeddings, "
+                f"{self.analyze_probes} probes"
+            )
+        traffic = self.traffic
+        if traffic.get("queries"):
+            lines.append(
+                f"  traffic@{traffic.get('epoch')}: {traffic['queries']} computed, "
+                f"{traffic['verifications_per_query']:.1f} verifications/query, "
+                f"{traffic['extensions_per_query']:.1f} extensions/query, "
+                f"{traffic['answers_per_query']:.1f} answers/query"
+            )
+        return "\n".join(lines)
+
+
+def build_report(
+    plan,
+    graph,
+    pattern=None,
+    traffic: Optional[Dict[str, object]] = None,
+    analyze: bool = False,
+    analyze_limit: Optional[int] = None,
+    use_index: bool = True,
+) -> ExplainReport:
+    """Assemble an :class:`ExplainReport` for *plan* against *graph*.
+
+    *plan* is a :class:`repro.plan.CompiledPlan` (duck-typed: the canonical
+    shape plus ``order_preview_for``).  With ``analyze=True`` a live
+    *pattern* object is required: the topological enumeration re-runs with a
+    per-depth probe profile (:meth:`MatchContext.isomorphisms`'s
+    ``probe_profile``), giving exact observed cardinalities under the same
+    ordering rule production queries use — quantifier counting is layered
+    above this search, so the profile covers the probe volume the work
+    counters count as ``extensions``.  ``analyze_limit`` bounds the number
+    of embeddings enumerated (the profile then covers the truncated run).
+    """
+    from repro.graph.statistics import cardinality_model
+
+    model = cardinality_model(graph)
+    quantifiers = tuple(
+        sorted({quantifier.describe() for _, _, _, quantifier in plan.edges})
+    )
+    analyzed = False
+    analyze_matches: Optional[int] = None
+    analyze_probes: Optional[int] = None
+    if analyze and pattern is not None:
+        from repro.matching.generic import MatchContext
+
+        context = MatchContext(pattern, graph, use_index=use_index)
+        profile: Dict[int, int] = {}
+        matches = 0
+        for _ in context.isomorphisms(probe_profile=profile, limit=analyze_limit):
+            matches += 1
+        labels = {node: pattern.node_label(node) for node in pattern.nodes()}
+        triples = [
+            (edge.source, edge.target, edge.label) for edge in pattern.edges()
+        ]
+        steps = [
+            ExplainStep(
+                index=step.index,
+                node=step.node,
+                role=step.role,
+                estimated=step.estimated,
+                cumulative=step.cumulative,
+                observed=profile.get(step.index, 0),
+            )
+            for step in estimate_steps(
+                context.order,
+                labels,
+                triples,
+                model,
+                focus=pattern.focus if pattern.has_focus() else None,
+            )
+        ]
+        analyzed = True
+        analyze_matches = matches
+        analyze_probes = sum(profile.values())
+    else:
+        order = plan.order_preview_for(graph)
+        labels = {position: plan.node_labels[position] for position in order}
+        triples = [(source, target, label) for source, target, label, _ in plan.edges]
+        steps = estimate_steps(
+            order,
+            labels,
+            triples,
+            model,
+            focus=plan.focus_position,
+            render=lambda position: f"x{position}:{labels[position]}",
+        )
+    return ExplainReport(
+        fingerprint=plan.fingerprint,
+        pattern_name=(pattern.name if pattern is not None else ""),
+        graph_name=graph.name,
+        graph_version=graph.version,
+        quantifiers=quantifiers,
+        steps=tuple(steps),
+        analyzed=analyzed,
+        analyze_matches=analyze_matches,
+        analyze_probes=analyze_probes,
+        traffic=dict(traffic or {}),
+    )

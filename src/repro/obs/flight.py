@@ -1,0 +1,165 @@
+"""`repro.obs.flight` — a flight recorder for post-mortem serving debugging.
+
+The concurrency suites fail the way aircraft do: by the time the assertion
+fires, the interesting part — which queries were in flight, which delta
+landed between them, which shared-cache read degraded — already happened, on
+another thread, with no record.  A :class:`FlightRecorder` is the black box:
+a set of **bounded ring buffers** (one :class:`collections.deque` per event
+kind) holding the most recent query / delta / degraded-read / slow-query
+events, each stamped with a process-monotonic sequence number so events from
+different buffers interleave into one global order after the fact.
+
+Design constraints, in priority order:
+
+* **always cheap** — recording is one lock, one dict, one deque append; no
+  I/O, no stringification, no unbounded growth.  It is always on (like
+  :class:`~repro.obs.introspect.ServiceIntrospection`) and observes at
+  query/delta grain, never per probe.  ``capacity=0`` disables recording
+  entirely (the constructor knob for overhead baselines);
+* **bounded by construction** — each kind keeps its last ``capacity`` events
+  and silently drops the oldest; ``dropped`` counts what aged out;
+* **dumpable** — :meth:`snapshot` is plain dicts and :meth:`dump_json`
+  writes them to disk, which is what the CI instrumented run archives.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = ["FlightEvent", "FlightRecorder"]
+
+# The canonical event kinds pre-created by every recorder; ad-hoc kinds are
+# accepted too (a deque appears on first use) so layers can add event types
+# without touching this module.
+KINDS = ("query", "delta", "degraded", "slow_query")
+
+
+@dataclass(frozen=True)
+class FlightEvent:
+    """One recorded event.
+
+    ``seq`` is monotone across *all* kinds of one recorder — sorting any
+    selection of events by it reconstructs the recording order exactly, which
+    is the property post-mortems need (a wall-clock ``timestamp`` alone can
+    tie or run backwards under NTP).
+    """
+
+    seq: int
+    kind: str
+    timestamp: float
+    data: Dict[str, object]
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "seq": self.seq,
+            "kind": self.kind,
+            "timestamp": self.timestamp,
+        }
+        payload.update(self.data)
+        return payload
+
+
+class FlightRecorder:
+    """Bounded per-kind ring buffers of recent serving events.
+
+    Thread-safe: one lock guards the sequence counter and every buffer, so a
+    snapshot is a consistent cut (no torn seq order).  ``capacity`` bounds
+    each kind independently — a delta storm cannot evict the query history.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError("flight recorder capacity must be non-negative")
+        self.capacity = capacity
+        self.dropped = 0
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._buffers: Dict[str, Deque[FlightEvent]] = {}
+        if capacity:
+            for kind in KINDS:
+                self._buffers[kind] = deque(maxlen=capacity)
+
+    def __bool__(self) -> bool:
+        return self.capacity > 0
+
+    # -------------------------------------------------------------- recording
+
+    def record(self, kind: str, **data: object) -> Optional[FlightEvent]:
+        """File one event of *kind*; returns it (``None`` when disabled)."""
+        if not self.capacity:
+            return None
+        timestamp = time.time()
+        with self._lock:
+            buffer = self._buffers.get(kind)
+            if buffer is None:
+                buffer = deque(maxlen=self.capacity)
+                self._buffers[kind] = buffer
+            self._seq += 1
+            event = FlightEvent(seq=self._seq, kind=kind, timestamp=timestamp, data=data)
+            if len(buffer) == self.capacity:
+                self.dropped += 1
+            buffer.append(event)
+        return event
+
+    # --------------------------------------------------------------- reading
+
+    def events(self, kind: Optional[str] = None) -> Tuple[FlightEvent, ...]:
+        """Events of one *kind* (recording order), or of all kinds merged by seq."""
+        with self._lock:
+            if kind is not None:
+                return tuple(self._buffers.get(kind, ()))
+            merged: List[FlightEvent] = []
+            for buffer in self._buffers.values():
+                merged.extend(buffer)
+        merged.sort(key=lambda event: event.seq)
+        return tuple(merged)
+
+    def snapshot(self) -> Dict[str, object]:
+        """The introspection payload: per-kind event dicts plus bookkeeping."""
+        with self._lock:
+            buffers = {
+                kind: [event.as_dict() for event in buffer]
+                for kind, buffer in self._buffers.items()
+            }
+            return {
+                "capacity": self.capacity,
+                "recorded": self._seq,
+                "dropped": self.dropped,
+                "events": buffers,
+            }
+
+    def dump_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        """The snapshot as JSON text; also written to *path* when given.
+
+        Non-JSON-native values (frozensets, node ids) are stringified rather
+        than refused — a black box that crashes the post-mortem is worse
+        than one with lossy strings.
+        """
+        text = json.dumps(self.snapshot(), indent=indent, sort_keys=True, default=str)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
+
+    # ------------------------------------------------------------- lifecycle
+
+    def clear(self) -> None:
+        with self._lock:
+            for buffer in self._buffers.values():
+                buffer.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(buffer) for buffer in self._buffers.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"FlightRecorder(capacity={self.capacity}, events={len(self)}, "
+            f"dropped={self.dropped})"
+        )

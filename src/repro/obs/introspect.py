@@ -90,6 +90,13 @@ class SlowQueryRecord:
     prefix + the plan's matching-order rendering), empty for cache hits and
     plan-less engines — so a pathological order is diagnosable straight from
     ``QueryService.stats()`` without re-running the query.
+
+    The serve-tier fields make a slow *fleet* query diagnosable from the log
+    alone: ``shard_fanout`` counts the shards the request actually touched
+    (0 for a single service), ``cache_route`` names the level that answered
+    (``"l1"``/``"l2"``/``"fanout"`` at the router, ``"l1"``/``"compute"``
+    inside one service, empty when unknown), and ``admission_wait`` is the
+    seconds the request sat queued before a dispatcher claimed it.
     """
 
     fingerprint: str
@@ -103,6 +110,9 @@ class SlowQueryRecord:
     aff_size: int = 0
     batch_size: int = 1
     plan: str = ""
+    shard_fanout: int = 0
+    cache_route: str = ""
+    admission_wait: float = 0.0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -117,6 +127,9 @@ class SlowQueryRecord:
             "aff_size": self.aff_size,
             "batch_size": self.batch_size,
             "plan": self.plan,
+            "shard_fanout": self.shard_fanout,
+            "cache_route": self.cache_route,
+            "admission_wait_seconds": self.admission_wait,
         }
 
 
@@ -151,6 +164,9 @@ class SlowQueryLog:
         aff_size: int = 0,
         batch_size: int = 1,
         plan: str = "",
+        shard_fanout: int = 0,
+        cache_route: str = "",
+        admission_wait: float = 0.0,
     ) -> Optional[SlowQueryRecord]:
         """File the request if it crossed the threshold; returns the record."""
         if self.threshold is None or elapsed < self.threshold:
@@ -167,6 +183,9 @@ class SlowQueryLog:
             aff_size=aff_size,
             batch_size=batch_size,
             plan=plan,
+            shard_fanout=shard_fanout,
+            cache_route=cache_route,
+            admission_wait=admission_wait,
         )
         with self._lock:
             if len(self._records) == self.capacity:
@@ -222,8 +241,16 @@ class ServiceIntrospection:
         aff_size: int = 0,
         batch_size: int = 1,
         plan: str = "",
-    ) -> None:
-        """Account one served request (hit or computed) for *fingerprint*."""
+        shard_fanout: int = 0,
+        cache_route: str = "",
+        admission_wait: float = 0.0,
+    ) -> Optional[SlowQueryRecord]:
+        """Account one served request (hit or computed) for *fingerprint*.
+
+        Returns the :class:`SlowQueryRecord` when the request also crossed
+        the slow-query threshold (callers feed it to the flight recorder),
+        else ``None``.
+        """
         with self._lock:
             stats = self._fingerprints.get(fingerprint)
             if stats is None:
@@ -246,7 +273,7 @@ class ServiceIntrospection:
         # and observe() re-acquires it — so file the sample outside the
         # with-block above.
         stats._histogram.observe(elapsed)
-        self.slow_queries.record(
+        return self.slow_queries.record(
             fingerprint,
             pattern_name,
             elapsed,
@@ -255,6 +282,9 @@ class ServiceIntrospection:
             aff_size=aff_size,
             batch_size=batch_size,
             plan=plan,
+            shard_fanout=shard_fanout,
+            cache_route=cache_route,
+            admission_wait=admission_wait,
         )
 
     # -------------------------------------------------------------- snapshot

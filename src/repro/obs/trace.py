@@ -49,6 +49,8 @@ __all__ = [
     "tracing_enabled",
     "active_tracing",
     "span",
+    "attach",
+    "record_span",
     "current_context",
     "build_span_tree",
     "format_span_tree",
@@ -90,6 +92,16 @@ class TraceContext(NamedTuple):
     enabled: bool
 
 
+# The disabled triple is immutable and identical for every caller, so the
+# disabled ``current_context()`` path hands out one shared instance instead of
+# allocating a tuple per request.
+_DISABLED_CONTEXT = TraceContext("", None, False)
+
+
+def _freeze_tags(tags: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
+    return tuple((key, str(value)) for key, value in sorted(tags.items()))
+
+
 class _NullSpan:
     """Shared no-op context manager returned while tracing is disabled."""
 
@@ -102,6 +114,9 @@ class _NullSpan:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         return False
+
+    def annotate(self, **tags: object) -> "_NullSpan":
+        return self
 
 
 _NULL_SPAN = _NullSpan()
@@ -118,6 +133,13 @@ class _ActiveSpan:
         self.name = name
         self.tags = tags
         self.record: Optional[SpanRecord] = None
+
+    def annotate(self, **tags: object) -> "_ActiveSpan":
+        """Append tags discovered mid-span (e.g. outcomes known only at the
+        end of the batch).  Appended after the constructor tags, each group
+        sorted within itself."""
+        self.tags = self.tags + _freeze_tags(tags)
+        return self
 
     def __enter__(self) -> "_ActiveSpan":
         tracer = self._tracer
@@ -193,18 +215,85 @@ class Tracer:
         """
         if not self.enabled:
             return _NULL_SPAN
-        frozen = tuple((key, str(value)) for key, value in sorted(tags.items()))
-        return _ActiveSpan(self, name, frozen)
+        return _ActiveSpan(self, name, _freeze_tags(tags))
 
     def current_context(self) -> TraceContext:
         """The propagation triple for the innermost active span (picklable)."""
         if not self.enabled:
-            return TraceContext("", None, False)
+            return _DISABLED_CONTEXT
         stack = self._stack()
         if stack:
             trace_id, span_id = stack[-1]
             return TraceContext(trace_id, span_id, True)
         return TraceContext(self._new_trace_id(), None, True)
+
+    @contextmanager
+    def attach(self, context: TraceContext) -> Iterator[None]:
+        """Parent this thread's spans under *context* (coordinator side).
+
+        The complement of :meth:`adopt` for work that stays **in process**
+        but hops threads: a dispatcher thread serving a request submitted on
+        another thread attaches the submitter's context, so the spans it
+        records nest under the submitter's ``*.submit`` span instead of
+        starting a disconnected tree.  Unlike ``adopt``, records are filed
+        locally and stay here — this tracer already owns the tree — and the
+        tracer's enabled state is left alone (a context captured while
+        tracing was on does not resurrect tracing that was turned off since).
+        """
+        if not context.enabled or not self.enabled:
+            yield
+            return
+        stack = self._stack()
+        frame = (context.trace_id, context.parent_id)
+        stack.append(frame)
+        try:
+            yield
+        finally:
+            if stack and stack[-1] == frame:
+                stack.pop()
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        wall: float,
+        cpu: float = 0.0,
+        context: Optional[TraceContext] = None,
+        **tags: object,
+    ) -> Optional[SpanRecord]:
+        """File an already-measured span (no ``with`` body timed it).
+
+        This is how waits that end before the tracer sees them — time spent
+        queued in the admission queue, measured by enqueue/claim timestamps —
+        appear in the tree.  Parents under *context* when given (and
+        enabled), else under the innermost active span of this thread.
+        Returns the filed record, or ``None`` while disabled.
+        """
+        if not self.enabled:
+            return None
+        if context is not None:
+            if not context.enabled:
+                return None
+            trace_id, parent_id = context.trace_id, context.parent_id
+        else:
+            stack = self._stack()
+            if stack:
+                trace_id, parent_id = stack[-1]
+            else:
+                trace_id, parent_id = self._new_trace_id(), None
+        record = SpanRecord(
+            trace_id=trace_id,
+            span_id=self._new_span_id(),
+            parent_id=parent_id,
+            name=name,
+            start=start,
+            wall=wall,
+            cpu=cpu,
+            pid=os.getpid(),
+            tags=_freeze_tags(tags),
+        )
+        self._file(record)
+        return record
 
     @contextmanager
     def adopt(self, context: TraceContext) -> Iterator[List[SpanRecord]]:
@@ -298,6 +387,23 @@ def active_tracing() -> Iterator[Tracer]:
 def span(name: str, **tags: object):
     """``with span("qmatch.enumerate", fingerprint=fp): ...`` on the global tracer."""
     return _TRACER.span(name, **tags)
+
+
+def attach(context: TraceContext):
+    """``with attach(ctx): ...`` on the global tracer (see :meth:`Tracer.attach`)."""
+    return _TRACER.attach(context)
+
+
+def record_span(
+    name: str,
+    start: float,
+    wall: float,
+    cpu: float = 0.0,
+    context: Optional[TraceContext] = None,
+    **tags: object,
+) -> Optional[SpanRecord]:
+    """File a pre-measured span on the global tracer (see :meth:`Tracer.record_span`)."""
+    return _TRACER.record_span(name, start, wall, cpu=cpu, context=context, **tags)
 
 
 def current_context() -> TraceContext:

@@ -467,6 +467,11 @@ class CompiledPlan:
 
     # ---------------------------------------------------------- diagnostics
 
+    def order_preview_for(self, graph: PropertyGraph) -> Tuple[int, ...]:
+        """This epoch's stats-derived matching-order preview (canonical
+        positions, focus first) — the order ``EXPLAIN`` estimates along."""
+        return self.resolution_for(graph).order_preview
+
     def order_label(self, graph: Optional[PropertyGraph] = None) -> str:
         """Compact ``x0:label>x2:label`` rendering of the stats order.
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 import heapq
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Generic, List, Optional, Tuple, TypeVar
 
 from repro.obs.metrics import get_registry
@@ -69,21 +70,30 @@ class AdmissionConfig:
 
 @dataclass
 class AdmissionStats:
-    """Lifetime counters of one queue (mirrored to obs when enabled)."""
+    """Lifetime counters of one queue (mirrored to obs when enabled).
+
+    ``wait_seconds_total`` / ``wait_seconds_max`` accumulate the time
+    payloads sat admitted-but-undrained (measured enqueue → drain), which is
+    the queueing delay the serve tier adds before any matching work starts.
+    """
 
     admitted: int = 0
     rejected: int = 0
     blocked: int = 0
     drained: int = 0
     high_water: int = 0
+    wait_seconds_total: float = 0.0
+    wait_seconds_max: float = 0.0
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, float]:
         return {
             "admitted": self.admitted,
             "rejected": self.rejected,
             "blocked": self.blocked,
             "drained": self.drained,
             "high_water": self.high_water,
+            "wait_seconds_total": self.wait_seconds_total,
+            "wait_seconds_max": self.wait_seconds_max,
         }
 
 
@@ -100,12 +110,15 @@ class AdmissionQueue(Generic[T]):
     def __init__(self, config: Optional[AdmissionConfig] = None) -> None:
         self.config = config or AdmissionConfig()
         self.stats = AdmissionStats()
-        self._heap: List[Tuple[int, int, T]] = []
+        # Heap entries carry their enqueue perf-counter timestamp so drain
+        # can account the queueing wait; the public drain shape is unchanged.
+        self._heap: List[Tuple[int, int, float, T]] = []
         self._seq = 0
         self._lock = threading.Lock()
         # Signals space freed (blocked producers) and work queued (consumer).
         self._space = threading.Condition(self._lock)
         self._work = threading.Condition(self._lock)
+        self._last_waits: List[float] = []
         self._closed = False
 
     # ------------------------------------------------------------- producers
@@ -143,7 +156,7 @@ class AdmissionQueue(Generic[T]):
                     )
                 if self._closed:
                     raise ServiceError("admission queue is closed")
-            heapq.heappush(self._heap, (priority, self._seq, payload))
+            heapq.heappush(self._heap, (priority, self._seq, perf_counter(), payload))
             self._seq += 1
             self.stats.admitted += 1
             depth = len(self._heap)
@@ -172,21 +185,41 @@ class AdmissionQueue(Generic[T]):
         """Remove and return everything queued, as ``(priority, payload)``.
 
         Ordered by priority then admission order.  Wakes every producer
-        blocked on space.
+        blocked on space.  Queueing waits (enqueue → this drain) are
+        accumulated into :attr:`stats` and the ``serve.admission.wait_seconds``
+        histogram; :meth:`last_waits` exposes the drained batch's individual
+        waits for the router's per-request accounting.
         """
         with self._lock:
             batch: List[Tuple[int, T]] = []
+            waits: List[float] = []
+            drained_at = perf_counter()
             while self._heap:
-                priority, _seq, payload = heapq.heappop(self._heap)
+                priority, _seq, enqueued, payload = heapq.heappop(self._heap)
                 batch.append((priority, payload))
+                waits.append(drained_at - enqueued)
             if batch:
                 self.stats.drained += len(batch)
+                self.stats.wait_seconds_total += sum(waits)
+                longest = max(waits)
+                if longest > self.stats.wait_seconds_max:
+                    self.stats.wait_seconds_max = longest
+                self._last_waits = waits
                 self._space.notify_all()
         if batch:
             registry = get_registry()
             if registry:
                 registry.gauge("serve.admission.depth").set(0)
+                histogram = registry.histogram("serve.admission.wait_seconds")
+                for wait in waits:
+                    histogram.observe(wait)
         return batch
+
+    def last_waits(self) -> List[float]:
+        """Per-payload queueing waits of the most recent non-empty drain,
+        aligned with its returned batch order."""
+        with self._lock:
+            return list(self._last_waits)
 
     # ------------------------------------------------------------- lifecycle
 

@@ -30,19 +30,26 @@ queries share one future and one fan-out.
 from __future__ import annotations
 
 import threading
+import time
 import weakref
+from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+from time import perf_counter
+from typing import Callable, Dict, FrozenSet, Hashable, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from repro.delta.ops import GraphDelta, apply_delta as apply_graph_delta
 from repro.graph.digraph import PropertyGraph
 from repro.matching.qmatch import QMatch
+from repro.obs.explain import ExplainReport, StatsRegistry, build_report
+from repro.obs.flight import FlightRecorder
+from repro.obs.introspect import ServiceIntrospection
 from repro.obs.metrics import get_registry
-from repro.obs.trace import span
+from repro.obs.trace import TraceContext, get_tracer, span
 from repro.parallel.coordinator import PQMatch
 from repro.parallel.worker import options_key_text
 from repro.patterns.qgp import QuantifiedGraphPattern
+from repro.plan.cache import PlanCache
 from repro.serve.admission import AdmissionConfig, AdmissionQueue
 from repro.serve.shards import (
     GraphShard,
@@ -57,7 +64,7 @@ from repro.service.cache import ResultCache
 from repro.service.patterns import CanonicalPattern, canonicalize
 from repro.service.server import QueryService, ServiceResult
 from repro.utils.counters import WorkCounter
-from repro.utils.errors import ServiceError
+from repro.utils.errors import ReproError, ServiceError
 from repro.utils.timing import Timer
 
 __all__ = ["ShardedService", "RouterStats"]
@@ -116,8 +123,21 @@ class RouterStats:
         }
 
 
-# One queued request: (pattern, canonical form, dedup key, shared future).
-_Request = Tuple[QuantifiedGraphPattern, CanonicalPattern, Hashable, "Future[ServiceResult]"]
+class _Request(NamedTuple):
+    """One queued request.
+
+    ``context`` is the submitter's :func:`~repro.obs.trace.current_context`
+    (captured inside its ``serve.submit`` span) so the dispatcher can parent
+    the fan-out work under the submitting thread's tree; ``enqueued_wall``
+    anchors the synthetic admission-wait span on the wall clock.
+    """
+
+    pattern: QuantifiedGraphPattern
+    form: CanonicalPattern
+    key: Hashable
+    future: "Future[ServiceResult]"
+    context: TraceContext
+    enqueued_wall: float
 
 
 class ShardedService:
@@ -165,6 +185,9 @@ class ShardedService:
         shared_cache: Optional[object] = None,
         name: str = "ShardedService",
         service_kwargs: Optional[Dict[str, object]] = None,
+        slow_query_threshold: Optional[float] = None,
+        flight_capacity: int = 256,
+        stats_registry_capacity: int = 256,
     ) -> None:
         self.graph = graph
         self.name = name
@@ -202,6 +225,29 @@ class ShardedService:
         self.shared: Optional[SharedResultCache] = (
             SharedResultCache(shared_cache) if self._owns_shared else shared_cache
         )
+
+        # Fleet-level request introspection (slow fleet queries carry the
+        # serve-tier fields: fan-out count, cache route, admission wait),
+        # flight recorder, and the per-fingerprint estimated-vs-observed
+        # registry (epoch key: the fleet version vector's text form).
+        self.introspection = ServiceIntrospection(
+            slow_query_threshold=slow_query_threshold
+        )
+        self.flight = FlightRecorder(flight_capacity)
+        self.stats_registry = StatsRegistry(stats_registry_capacity)
+        # fingerprint -> representative pattern (for explain-by-fingerprint),
+        # plus a small plan cache so explain never recompiles per call.
+        self._patterns: "OrderedDict[str, QuantifiedGraphPattern]" = OrderedDict()
+        self.plans = PlanCache(64)
+        if self.shared is not None:
+            # Degraded L2 reads land in the flight recorder as they happen —
+            # the listener keeps SharedResultCache free of any obs dependency.
+            flight = self.flight
+            self.shared.add_degraded_listener(
+                lambda reason: flight.record(
+                    "degraded", source="shared_cache", fleet=name, reason=reason
+                )
+            )
 
         self.admission = AdmissionQueue(admission or AdmissionConfig())
         self._canonical_memo: "weakref.WeakKeyDictionary[QuantifiedGraphPattern, CanonicalPattern]" = (
@@ -249,25 +295,34 @@ class ShardedService:
             return self._evaluate_batch(list(patterns))
 
     def _serve_batch(
-        self, patterns: Sequence[QuantifiedGraphPattern]
+        self,
+        patterns: Sequence[QuantifiedGraphPattern],
+        waits: Optional[List[float]] = None,
     ) -> List[ServiceResult]:
         """Closed-check-free batch path for the dispatcher's graceful drain."""
         with self._evaluate_lock:
-            return self._evaluate_batch(list(patterns))
+            return self._evaluate_batch(list(patterns), waits=waits)
 
     def _canonical(self, pattern: QuantifiedGraphPattern) -> CanonicalPattern:
         form = self._canonical_memo.get(pattern)
-        if form is not None:
-            return form
-        form = canonicalize(pattern)
-        try:
-            self._canonical_memo[pattern] = form
-        except TypeError:
-            pass
+        if form is None:
+            form = canonicalize(pattern)
+            try:
+                self._canonical_memo[pattern] = form
+            except TypeError:
+                pass
+        # Representative registry for explain-by-fingerprint, LRU-bounded by
+        # the L1 capacity (same discipline as QueryService._patterns).
+        self._patterns[form.fingerprint] = pattern
+        self._patterns.move_to_end(form.fingerprint)
+        while len(self._patterns) > self.cache.capacity:
+            self._patterns.popitem(last=False)
         return form
 
     def _evaluate_batch(
-        self, patterns: List[QuantifiedGraphPattern]
+        self,
+        patterns: List[QuantifiedGraphPattern],
+        waits: Optional[List[float]] = None,
     ) -> List[ServiceResult]:
         if not patterns:
             return []
@@ -278,12 +333,19 @@ class ShardedService:
         version_text = vector.key_text()
         results: List[Optional[ServiceResult]] = [None] * len(patterns)
         missing: Dict[str, Tuple[QuantifiedGraphPattern, List[int]]] = {}
+        # Per-request route + service time: an L1 hit costs its lookup, an L2
+        # hit adds the sqlite read, a computed request adds the fan-out round
+        # it shared — the serve-tier columns of the slow-query log.
+        routes: List[str] = ["fanout"] * len(patterns)
+        request_elapsed: List[float] = [0.0] * len(patterns)
         with span("serve.batch", size=len(patterns), shards=self.num_shards), Timer() as timer:
             for position, pattern in enumerate(patterns):
+                lookup_started = perf_counter()
                 form = self._canonical(pattern)
                 answer = self.cache.lookup(
                     self._token, form.fingerprint, self._options_key, version=vector
                 )
+                route = "l1"
                 if answer is None and self.shared is not None:
                     answer = self.shared.lookup(
                         form.fingerprint, self._options_text, version_text
@@ -298,7 +360,10 @@ class ShardedService:
                             version=vector,
                         )
                         self.stats.shared_hits += 1
+                        route = "l2"
+                request_elapsed[position] = perf_counter() - lookup_started
                 if answer is not None:
+                    routes[position] = route
                     results[position] = ServiceResult(
                         pattern=pattern.name,
                         fingerprint=form.fingerprint,
@@ -314,7 +379,9 @@ class ShardedService:
                     (fingerprint, pattern)
                     for fingerprint, (pattern, _) in missing.items()
                 ]
+                fanout_started = perf_counter()
                 answers, counters = self._fan_out(unique)
+                fanout_elapsed = perf_counter() - fanout_started
                 for fingerprint, (pattern, positions) in missing.items():
                     answer = self.cache.store(
                         self._token,
@@ -327,7 +394,16 @@ class ShardedService:
                         self.shared.store(
                             fingerprint, self._options_text, version_text, answer
                         )
+                    self.stats_registry.record(
+                        fingerprint,
+                        pattern.name,
+                        version_text,
+                        counter=counters[fingerprint],
+                        answer_size=len(answer),
+                        elapsed=fanout_elapsed,
+                    )
                     for position in positions:
+                        request_elapsed[position] += fanout_elapsed
                         results[position] = ServiceResult(
                             pattern=patterns[position].name,
                             fingerprint=fingerprint,
@@ -340,10 +416,44 @@ class ShardedService:
         self.stats.served += len(patterns)
         self.stats.batches += 1
         elapsed = timer.elapsed
+        batch_size = len(patterns)
+        flight = self.flight
+        for position, result in enumerate(results):
+            admission_wait = waits[position] if waits is not None else 0.0
+            cache_route = routes[position]
+            shard_fanout = 0 if result.cached else self.num_shards
+            slow = self.introspection.observe(
+                fingerprint=result.fingerprint,
+                pattern_name=result.pattern,
+                elapsed=request_elapsed[position],
+                cached=result.cached,
+                counter=result.counter,
+                batch_size=batch_size,
+                shard_fanout=shard_fanout,
+                cache_route=cache_route,
+                admission_wait=admission_wait,
+            )
+            if flight and not result.cached:
+                # Computed-work grain only: cache hits stay off the recorder
+                # so the default hot path costs two falsy checks, not an event.
+                flight.record(
+                    "query",
+                    fleet=self.name,
+                    fingerprint=result.fingerprint,
+                    pattern=result.pattern,
+                    cached=result.cached,
+                    cache_route=cache_route,
+                    shard_fanout=shard_fanout,
+                    elapsed=request_elapsed[position],
+                    batch_size=batch_size,
+                    admission_wait=admission_wait,
+                )
+            if flight and slow is not None:
+                flight.record("slow_query", fleet=self.name, **slow.as_dict())
         registry = get_registry()
         if registry:
             registry.counter("serve.batches").inc()
-            registry.counter("serve.served").inc(len(patterns))
+            registry.counter("serve.served").inc(batch_size)
             registry.histogram("serve.batch_seconds").observe(elapsed)
         return [
             ServiceResult(
@@ -418,28 +528,34 @@ class ShardedService:
         """
         if self.admission.closed:
             raise ServiceError(f"{self.name} is closed")
-        form = self._canonical(pattern)
-        key = (form.fingerprint, self._options_key, self.version_vector)
-        future: "Future[ServiceResult]" = Future()
-        with self._inflight_lock:
-            existing = self._inflight.get(key)
-            if existing is not None and not existing.done():
-                self.stats.deduplicated += 1
-                registry = get_registry()
-                if registry:
-                    registry.counter("serve.inflight.deduplicated").inc()
-                return existing
-            self._inflight[key] = future
-        try:
-            self.admission.submit((pattern, form, key, future), priority)
-        except BaseException:
+        with span("serve.submit", fleet=self.name, pattern=pattern.name) as submit_span:
+            form = self._canonical(pattern)
+            key = (form.fingerprint, self._options_key, self.version_vector)
+            future: "Future[ServiceResult]" = Future()
             with self._inflight_lock:
-                if self._inflight.get(key) is future:
-                    del self._inflight[key]
-            raise
-        self._ensure_dispatcher()
-        self.stats.submitted += 1
-        return future
+                existing = self._inflight.get(key)
+                if existing is not None and not existing.done():
+                    self.stats.deduplicated += 1
+                    registry = get_registry()
+                    if registry:
+                        registry.counter("serve.inflight.deduplicated").inc()
+                    submit_span.annotate(deduplicated=True)
+                    return existing
+                self._inflight[key] = future
+            # Captured inside the submit span: the dispatcher parents its
+            # admission-wait and serve.batch spans under this submit.
+            context = get_tracer().current_context()
+            request = _Request(pattern, form, key, future, context, time.time())
+            try:
+                self.admission.submit(request, priority)
+            except BaseException:
+                with self._inflight_lock:
+                    if self._inflight.get(key) is future:
+                        del self._inflight[key]
+                raise
+            self._ensure_dispatcher()
+            self.stats.submitted += 1
+            return future
 
     def _ensure_dispatcher(self) -> None:
         with self._dispatcher_lock:
@@ -464,37 +580,59 @@ class ShardedService:
                 if self.admission.closed:
                     return
                 continue
+            drain_waits = self.admission.last_waits()
             claimed: List[_Request] = []
-            for _priority, request in batch:
-                pattern, form, key, future = request
-                if future.set_running_or_notify_cancel():
+            claimed_waits: List[float] = []
+            for (_priority, request), wait in zip(batch, drain_waits):
+                if request.future.set_running_or_notify_cancel():
                     claimed.append(request)
+                    claimed_waits.append(wait)
                 else:
-                    self._release_inflight(key, future)
+                    self._release_inflight(request.key, request.future)
             if not claimed:
                 continue
-            patterns = [pattern for pattern, _, _, _ in claimed]
+            tracer = get_tracer()
+            if tracer.enabled:
+                # Synthetic, pre-measured: enqueue → claim, parented under
+                # each submitter's serve.submit span so one fleet query is
+                # one connected tree even though the drain coalesced many.
+                for request, wait in zip(claimed, claimed_waits):
+                    tracer.record_span(
+                        "serve.admission.wait",
+                        start=request.enqueued_wall,
+                        wall=wait,
+                        context=request.context,
+                        pattern=request.pattern.name,
+                    )
+            patterns = [request.pattern for request in claimed]
             try:
-                served = self._serve_batch(patterns)
+                # The coalesced batch's spans parent under the oldest claimed
+                # request (its submit reached admission first); riders keep
+                # their submit + wait spans and share the served answer.
+                with tracer.attach(claimed[0].context):
+                    served = self._serve_batch(patterns, waits=claimed_waits)
             except BaseException:
                 # Per-request isolation, same discipline as QueryService: one
                 # caller's invalid pattern must not fail coalesced strangers.
-                for pattern, _form, key, future in claimed:
+                for request, wait in zip(claimed, claimed_waits):
                     try:
-                        result = self._serve_batch([pattern])[0]
+                        with tracer.attach(request.context):
+                            result = self._serve_batch(
+                                [request.pattern], waits=[wait]
+                            )[0]
                     except BaseException as error:
-                        if not future.done():
-                            future.set_exception(error)
+                        if not request.future.done():
+                            request.future.set_exception(error)
                     else:
-                        if not future.done():
-                            future.set_result(result)
+                        if not request.future.done():
+                            request.future.set_result(result)
                     finally:
-                        self._release_inflight(key, future)
+                        self._release_inflight(request.key, request.future)
             else:
-                for (_pattern, _form, key, future), result in zip(claimed, served):
-                    if not future.done():
-                        future.set_result(result)
-                    self._release_inflight(key, future)
+                for request, result in zip(claimed, served):
+                    if not request.future.done():
+                        request.future.set_result(result)
+                    self._release_inflight(request.key, request.future)
 
     # ----------------------------------------------------------------- updates
 
@@ -519,11 +657,14 @@ class ShardedService:
         Serialises with the fan-out path, so every served answer is strictly
         pre- or strictly post-batch.  Returns the union-graph inverse.
         """
-        with self._evaluate_lock:
+        with self._evaluate_lock, span(
+            "serve.delta", fleet=self.name, size=delta.size
+        ) as delta_span:
             if self._closed:
                 raise ServiceError(f"{self.name} is closed")
             inverse = apply_graph_delta(self.graph, delta)
             affected_ids: Set[int] = set()
+            touched = 0
             if delta.is_structural():
                 for node, _label, _attrs in delta.node_inserts:
                     self.shards[self._assign(node)].owned.add(node)
@@ -532,17 +673,21 @@ class ShardedService:
                         shard.owned.discard(node)
                 affected = affected_shards(self.graph, self.shards, delta, self.d)
                 affected_ids = {shard.shard_id for shard in affected}
+                touched = len(affected)
                 for shard in affected:
                     sub = shard_subdelta(self.graph, shard, self.d)
                     if not sub.is_empty():
-                        self.services[shard.shard_id].apply_delta(sub)
-                self.stats.shards_touched += len(affected)
-                self.stats.shards_skipped += self.num_shards - len(affected)
+                        # The shard's own service.delta span (refresh-vs-
+                        # rebuild outcome included) nests under this one.
+                        with span("serve.delta.shard", shard=shard.shard_id):
+                            self.services[shard.shard_id].apply_delta(sub)
+                self.stats.shards_touched += touched
+                self.stats.shards_skipped += self.num_shards - touched
                 registry = get_registry()
                 if registry:
-                    registry.counter("serve.delta.shards_touched").inc(len(affected))
+                    registry.counter("serve.delta.shards_touched").inc(touched)
                     registry.counter("serve.delta.shards_skipped").inc(
-                        self.num_shards - len(affected)
+                        self.num_shards - touched
                     )
             if delta.attr_sets:
                 for shard in self.shards:
@@ -558,7 +703,61 @@ class ShardedService:
                             GraphDelta(attr_sets=subset)
                         )
             self.stats.deltas_applied += 1
+            skipped = self.num_shards - touched if delta.is_structural() else 0
+            delta_span.annotate(touched=touched, skipped=skipped)
+            self.flight.record(
+                "delta",
+                fleet=self.name,
+                size=delta.size,
+                structural=delta.is_structural(),
+                shards_touched=touched,
+                shards_skipped=skipped,
+                version=self.version_vector.key_text(),
+            )
             return inverse
+
+    # ---------------------------------------------------------------- explain
+
+    def explain(
+        self,
+        query,
+        analyze: bool = False,
+        analyze_limit: Optional[int] = None,
+    ) -> ExplainReport:
+        """EXPLAIN (ANALYZE) one query against the **union graph**.
+
+        Same contract as :meth:`QueryService.explain` — *query* is a pattern
+        or a served fingerprint, estimates come from the union graph's
+        cardinality model, traffic observations from the fleet's
+        :class:`~repro.obs.explain.StatsRegistry` (epoch key: the version
+        vector's text form).  ``analyze=True`` re-enumerates on the union
+        graph, which is exactly what the fleet's merged answer reproduces.
+        """
+        with self._evaluate_lock:
+            if self._closed:
+                raise ReproError(f"{self.name} is closed")
+            if isinstance(query, str):
+                pattern = self._patterns.get(query)
+                if pattern is None:
+                    raise ReproError(
+                        f"{self.name} has no pattern registered for "
+                        f"fingerprint {query!r}"
+                    )
+            else:
+                pattern = query
+            form = self._canonical(pattern)
+            fingerprint = form.fingerprint
+            plan = self.plans.plan_for(
+                self.graph, fingerprint, self._options_key, pattern, form=form
+            )
+            return build_report(
+                plan,
+                self.graph,
+                pattern=pattern,
+                traffic=self.stats_registry.observed(fingerprint),
+                analyze=analyze,
+                analyze_limit=analyze_limit,
+            )
 
     def check_invariants(self) -> None:
         """Assert the fleet's structural invariants (test/debug helper).
@@ -623,6 +822,16 @@ class ShardedService:
             "inflight": inflight,
             "cache": self.cache.stats.as_dict(),
             "shared": self.shared.stats.as_dict() if self.shared is not None else None,
+            "shared_degraded": (
+                self.shared.degraded_reasons() if self.shared is not None else []
+            ),
+            "fingerprints": self.introspection.snapshot(),
+            "slow_queries": [
+                record.as_dict()
+                for record in self.introspection.slow_queries.records()
+            ],
+            "explain": self.stats_registry.snapshot(),
+            "flight": self.flight.snapshot(),
             "shards": [
                 {
                     "shard_id": shard.shard_id,

@@ -33,9 +33,11 @@ from __future__ import annotations
 import pickle
 import sqlite3
 import threading
+import time
 import zlib
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Iterable, Optional
+from typing import Callable, Deque, Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
 from repro.obs.metrics import get_registry
 from repro.utils.errors import ReproError
@@ -107,6 +109,12 @@ class SharedResultCache:
         self._closed = False
         self._degraded_mode = False
         self.last_degraded_reason = ""
+        # Bounded history of every degradation, newest last: post-mortems need
+        # the *sequence* of fault kinds, not just whichever happened last.
+        # Appended lock-free (deque.append is atomic; _note_degraded runs both
+        # inside and outside self._lock, so it must never take it).
+        self.degraded_history: Deque[Tuple[float, str]] = deque(maxlen=64)
+        self._degraded_listeners: List[Callable[[str], None]] = []
         try:
             self._connection: Optional[sqlite3.Connection] = sqlite3.connect(
                 self.path, timeout=busy_timeout, check_same_thread=False
@@ -235,6 +243,26 @@ class SharedResultCache:
             registry.counter("serve.cache.degraded").inc()
             registry.counter("serve.cache.misses").inc()
         self.last_degraded_reason = reason
+        self.degraded_history.append((time.time(), reason))
+        for listener in self._degraded_listeners:
+            try:
+                listener(reason)
+            except Exception:
+                # A broken observer must never turn a degraded *read* into a
+                # failed one — degradation reporting is strictly best-effort.
+                pass
+
+    def add_degraded_listener(self, callback: Callable[[str], None]) -> None:
+        """Invoke *callback(reason)* on every future degradation (the router
+        wires its flight recorder in through this)."""
+        self._degraded_listeners.append(callback)
+
+    def degraded_reasons(self) -> List[Dict[str, object]]:
+        """The retained degradation history, oldest first, as plain dicts."""
+        return [
+            {"timestamp": timestamp, "reason": reason}
+            for timestamp, reason in list(self.degraded_history)
+        ]
 
     def entry_count(self) -> Optional[int]:
         """Rows currently stored (``None`` when even counting degrades)."""

@@ -36,6 +36,7 @@ callers amortise dispatch and share cache fills for duplicate queries.
 from __future__ import annotations
 
 import threading
+import time
 import weakref
 from collections import OrderedDict
 from concurrent.futures import Future
@@ -45,9 +46,11 @@ from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Sequence
 
 from repro.graph.digraph import PropertyGraph
 from repro.matching.qmatch import QMatch
+from repro.obs.explain import ExplainReport, StatsRegistry, build_report
+from repro.obs.flight import FlightRecorder
 from repro.obs.introspect import ServiceIntrospection
 from repro.obs.metrics import get_registry
-from repro.obs.trace import span
+from repro.obs.trace import TraceContext, get_tracer, span
 from repro.parallel.coordinator import PQMatch
 from repro.parallel.worker import FragmentTask, engine_to_spec, options_key_from_spec
 from repro.patterns.qgp import QuantifiedGraphPattern
@@ -271,6 +274,8 @@ class QueryService:
         slow_query_capacity: int = 64,
         use_plans: bool = True,
         plan_cache_capacity: int = 256,
+        flight_capacity: int = 256,
+        stats_registry_capacity: int = 256,
     ) -> None:
         self.graph = graph
         self.coordinator = coordinator if coordinator is not None else PQMatch(
@@ -290,6 +295,11 @@ class QueryService:
             slow_query_threshold=slow_query_threshold,
             slow_query_capacity=slow_query_capacity,
         )
+        # Always-on, bounded post-mortem ring buffers (capacity 0 disables).
+        self.flight = FlightRecorder(flight_capacity)
+        # The per-fingerprint estimated-vs-observed feed behind explain() —
+        # epoch key is the graph version each computed answer ran against.
+        self.stats_registry = StatsRegistry(stats_registry_capacity)
         self._options_key = _engine_options_key(self.coordinator.engine)
         # Plans are only wired through for the standard QMatch engine: an
         # opaque engine would reject the plan keyword inside match_fragment's
@@ -312,9 +322,12 @@ class QueryService:
         # Serialises evaluation (engines, partition and executor are not
         # thread-safe); submit() only ever touches it via the dispatcher.
         self._evaluate_lock = threading.RLock()
-        # submit() machinery: pending (pattern, future) pairs drained in
-        # batches by a single lazily started dispatcher thread.
-        self._pending: List[Tuple[QuantifiedGraphPattern, Future]] = []
+        # submit() machinery: pending (pattern, future, trace context,
+        # enqueue wall/perf timestamps) tuples drained in batches by a single
+        # lazily started dispatcher thread.
+        self._pending: List[
+            Tuple[QuantifiedGraphPattern, Future, TraceContext, float, float]
+        ] = []
         self._pending_lock = threading.Lock()
         self._pending_signal = threading.Event()
         self._dispatcher: Optional[threading.Thread] = None
@@ -363,16 +376,20 @@ class QueryService:
             return self._evaluate_batch(list(patterns))
 
     def _serve_batch(
-        self, patterns: Sequence[QuantifiedGraphPattern]
+        self,
+        patterns: Sequence[QuantifiedGraphPattern],
+        waits: Optional[List[float]] = None,
     ) -> List[ServiceResult]:
         """The closed-check-free batch path: the dispatcher drains queued
         submissions through this while :meth:`close` is joining it (close
         shuts the executor down only after the join returns)."""
         with self._evaluate_lock:
-            return self._evaluate_batch(list(patterns))
+            return self._evaluate_batch(list(patterns), waits=waits)
 
     def _evaluate_batch(
-        self, patterns: List[QuantifiedGraphPattern]
+        self,
+        patterns: List[QuantifiedGraphPattern],
+        waits: Optional[List[float]] = None,
     ) -> List[ServiceResult]:
         if not patterns:
             return []
@@ -429,6 +446,14 @@ class QueryService:
                         self._options_key,
                         version=version,
                     )
+                    self.stats_registry.record(
+                        fingerprint,
+                        pattern.name,
+                        version,
+                        counter=compute_counters.get(fingerprint),
+                        answer_size=len(answer),
+                        elapsed=timings.get(fingerprint, 0.0),
+                    )
                     for position in positions:
                         request_elapsed[position] += timings.get(fingerprint, 0.0)
                         results[position] = ServiceResult(
@@ -447,8 +472,11 @@ class QueryService:
         self.stats.batches += 1
         elapsed = timer.elapsed
         batch_size = len(patterns)
+        flight = self.flight
         for position, result in enumerate(results):
-            self.introspection.observe(
+            cache_route = "l1" if result.cached else "compute"
+            admission_wait = waits[position] if waits is not None else 0.0
+            slow = self.introspection.observe(
                 fingerprint=result.fingerprint,
                 pattern_name=result.pattern,
                 elapsed=request_elapsed[position],
@@ -456,7 +484,25 @@ class QueryService:
                 counter=None if result.cached else compute_counters.get(result.fingerprint),
                 batch_size=batch_size,
                 plan="" if result.cached else plan_labels.get(result.fingerprint, ""),
+                cache_route=cache_route,
+                admission_wait=admission_wait,
             )
+            if flight and not result.cached:
+                # Computed-work grain only: L1 hits stay off the recorder so
+                # the default hot path costs two falsy checks, not an event.
+                flight.record(
+                    "query",
+                    service=self.name,
+                    fingerprint=result.fingerprint,
+                    pattern=result.pattern,
+                    cached=result.cached,
+                    cache_route=cache_route,
+                    elapsed=request_elapsed[position],
+                    batch_size=batch_size,
+                    admission_wait=admission_wait,
+                )
+            if flight and slow is not None:
+                flight.record("slow_query", service=self.name, **slow.as_dict())
         registry = get_registry()
         if registry:
             registry.counter("service.batches").inc()
@@ -617,21 +663,26 @@ class QueryService:
         from repro.delta.ops import apply_delta as apply_graph_delta
         from repro.index.snapshot import GraphIndex
 
-        with self._evaluate_lock:
+        with self._evaluate_lock, span(
+            "service.delta", service=self.name, size=delta.size
+        ) as delta_span:
             if self._closed:
                 raise ReproError(f"{self.name} is closed")
             graph = self.graph
             old_version = graph.version
             inverse = apply_graph_delta(graph, delta)
             if not delta.is_structural():
+                delta_span.annotate(structural=False)
                 return inverse
             new_version = graph.version
 
             cached = graph.cached_index()
             if cached is not None and cached.version == old_version:
                 index = cached.refreshed(delta)
+                index_route = "refreshed"
             else:
                 index = GraphIndex.for_graph(graph)
+                index_route = "rebuilt"
             self.coordinator.apply_delta(graph, delta, inverse)
 
             # ---------------------------------------------- cache migration
@@ -677,6 +728,20 @@ class QueryService:
             # ------------------------------------------------- subscriptions
             self._maintain_subscriptions(delta, inverse, index, new_version)
             self.stats.deltas_applied += 1
+            delta_span.annotate(
+                index=index_route, carried=len(carried), dropped=dropped
+            )
+            if self.flight:
+                self.flight.record(
+                    "delta",
+                    service=self.name,
+                    graph=graph.name,
+                    version=new_version,
+                    size=delta.size,
+                    index=index_route,
+                    carried=len(carried),
+                    dropped=dropped,
+                )
             return inverse
 
     def subscribe(
@@ -790,17 +855,29 @@ class QueryService:
         honoured (the query is skipped).
         """
         future: "Future[ServiceResult]" = Future()
-        with self._pending_lock:
-            # Closed-check and enqueue share the lock close() takes, so a
-            # submit racing close() either lands before it (and is drained)
-            # or observes _closed — it can never restart the dispatcher and
-            # resurrect the coordinator's executor after shutdown.
-            if self._closed:
-                raise ReproError(f"{self.name} is closed")
-            self._pending.append((pattern, future))
-            self._ensure_dispatcher()
-            self._pending_signal.set()
-            self.stats.submitted += 1
+        # The submit span is the root the dispatcher's batch spans parent
+        # under (via attach), so one submitted query reads as one tree even
+        # though serving happens on another thread.  Context + timestamps are
+        # captured inside the span; the enqueue timestamps are always taken —
+        # they feed the always-on admission-wait field of the slow-query log.
+        with span("service.submit", service=self.name, pattern=pattern.name):
+            context = get_tracer().current_context()
+            enqueued_wall = time.time()
+            enqueued_perf = perf_counter()
+            with self._pending_lock:
+                # Closed-check and enqueue share the lock close() takes, so a
+                # submit racing close() either lands before it (and is
+                # drained) or observes _closed — it can never restart the
+                # dispatcher and resurrect the coordinator's executor after
+                # shutdown.
+                if self._closed:
+                    raise ReproError(f"{self.name} is closed")
+                self._pending.append(
+                    (pattern, future, context, enqueued_wall, enqueued_perf)
+                )
+                self._ensure_dispatcher()
+                self._pending_signal.set()
+                self.stats.submitted += 1
         return future
 
     def _ensure_dispatcher(self) -> None:
@@ -831,24 +908,47 @@ class QueryService:
             # must not poison the rest of the batch — a dead dispatcher would
             # orphan every later future).
             claimed = [
-                (pattern, future)
-                for pattern, future in batch
-                if future.set_running_or_notify_cancel()
+                request
+                for request in batch
+                if request[1].set_running_or_notify_cancel()
             ]
             if not claimed:
                 continue
-            patterns = [pattern for pattern, _ in claimed]
+            patterns = [request[0] for request in claimed]
+            # Pending-queue wait per claimed request: always computed (it
+            # feeds the slow-query log), and — when the submitter captured a
+            # live trace — also filed as a synthetic span under its submit
+            # span, so queueing time shows up in the tree it delayed.
+            claimed_at = perf_counter()
+            waits = [claimed_at - request[4] for request in claimed]
+            tracer = get_tracer()
+            if tracer.enabled:
+                for request, wait in zip(claimed, waits):
+                    if request[2].enabled:
+                        tracer.record_span(
+                            "service.pending.wait",
+                            start=request[3],
+                            wall=wait,
+                            context=request[2],
+                            pattern=request[0].name,
+                        )
             try:
-                served = self._serve_batch(patterns)
+                # The coalesced batch runs once; its spans parent under the
+                # first claimant's submit span (the others' trees keep their
+                # submit root + wait span and share the served work).
+                with tracer.attach(claimed[0][2]):
+                    served = self._serve_batch(patterns, waits=waits)
             except BaseException:
                 # The coalesced batch mixes unrelated callers, so a failure
                 # (typically one invalid pattern) must not fan out: fall back
                 # to serving each request on its own and fail only the
                 # request that is actually broken.  Valid requests stay cheap
                 # — whatever the failed round cached is reused.
-                for pattern, future in claimed:
+                for request, wait in zip(claimed, waits):
+                    pattern, future = request[0], request[1]
                     try:
-                        result = self._serve_batch([pattern])[0]
+                        with tracer.attach(request[2]):
+                            result = self._serve_batch([pattern], waits=[wait])[0]
                     except BaseException as error:
                         if not future.done():
                             future.set_exception(error)
@@ -856,11 +956,65 @@ class QueryService:
                         if not future.done():
                             future.set_result(result)
             else:
-                for (_, future), result in zip(claimed, served):
+                for request, result in zip(claimed, served):
+                    future = request[1]
                     if not future.done():
                         future.set_result(result)
 
     # -------------------------------------------------------------- telemetry
+
+    def explain(
+        self,
+        query,
+        analyze: bool = False,
+        analyze_limit: Optional[int] = None,
+    ) -> ExplainReport:
+        """EXPLAIN (ANALYZE) one query: the compiled plan with per-step
+        estimated vs observed cardinalities.
+
+        *query* is a pattern object or the canonical fingerprint of one this
+        service has seen (the representative registry keeps one live pattern
+        per served fingerprint).  Estimates come from the graph's
+        :class:`~repro.graph.statistics.CardinalityModel`; observations come
+        from the :class:`StatsRegistry` traffic averages and — with
+        ``analyze=True`` — from re-running the enumeration with a per-depth
+        probe profile (``analyze_limit`` caps the embeddings enumerated).
+        """
+        from repro.plan.compile import compile_plan
+
+        with self._evaluate_lock:
+            if self._closed:
+                raise ReproError(f"{self.name} is closed")
+            if isinstance(query, str):
+                pattern = self._patterns.get(query)
+                if pattern is None:
+                    raise ReproError(
+                        f"{self.name} has no pattern registered for "
+                        f"fingerprint {query!r}"
+                    )
+            else:
+                pattern = query
+            form = self._canonical(pattern)
+            fingerprint = form.fingerprint
+            if self._plans_enabled:
+                plan = self.plans.plan_for(
+                    self.graph, fingerprint, self._options_key, pattern, form=form
+                )
+            else:
+                plan = compile_plan(
+                    pattern,
+                    fingerprint=fingerprint,
+                    options_key=self._options_key,
+                    form=form,
+                )
+            return build_report(
+                plan,
+                self.graph,
+                pattern=pattern,
+                traffic=self.stats_registry.observed(fingerprint),
+                analyze=analyze,
+                analyze_limit=analyze_limit,
+            )
 
     @property
     def worker_rebuilds(self) -> int:
@@ -918,6 +1072,8 @@ class QueryService:
                 record.as_dict()
                 for record in self.introspection.slow_queries.records()
             ],
+            "explain": self.stats_registry.snapshot(),
+            "flight": self.flight.snapshot(),
         }
 
     # -------------------------------------------------------------- lifecycle

@@ -1,0 +1,216 @@
+"""The flight recorder (:mod:`repro.obs.flight`) and its serving-tier feeds.
+
+Unit contract first (bounded ring buffers, one global seq, disable knob,
+JSON dump), then the wiring: query/delta/slow-query events from
+``QueryService`` and ``ShardedService``, and — the regression this PR pins —
+the shared cache's degradation **history**: two distinct fault kinds in one
+process must both be retained, not just whichever happened last.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from fixtures import build_paper_g1, build_q2, build_q3
+from repro.delta import GraphDelta
+from repro.obs.flight import FlightRecorder
+from repro.serve import ShardedService
+from repro.service import QueryService
+
+
+# ---------------------------------------------------------------------------
+# Recorder unit contract
+# ---------------------------------------------------------------------------
+
+
+class TestFlightRecorder:
+    def test_seq_is_monotone_across_kinds(self):
+        recorder = FlightRecorder(capacity=8)
+        recorder.record("query", fp="a")
+        recorder.record("delta", size=1)
+        recorder.record("query", fp="b")
+        merged = recorder.events()
+        assert [event.kind for event in merged] == ["query", "delta", "query"]
+        assert [event.seq for event in merged] == [1, 2, 3]
+
+    def test_per_kind_bounds_and_dropped(self):
+        recorder = FlightRecorder(capacity=2)
+        for index in range(5):
+            recorder.record("query", index=index)
+        recorder.record("delta", size=1)
+        queries = recorder.events("query")
+        assert [event.data["index"] for event in queries] == [3, 4]
+        # A query storm cannot evict the delta history.
+        assert len(recorder.events("delta")) == 1
+        assert recorder.dropped == 3
+
+    def test_ad_hoc_kind_gets_its_own_buffer(self):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record("degraded", reason="x")
+        assert recorder.events("degraded")[0].data["reason"] == "x"
+
+    def test_capacity_zero_disables(self):
+        recorder = FlightRecorder(capacity=0)
+        assert not recorder
+        assert recorder.record("query", fp="a") is None
+        assert len(recorder) == 0 and recorder.events() == ()
+
+    def test_dump_json_roundtrips(self, tmp_path):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record("query", fingerprint="abc", answer=frozenset({1}))
+        path = str(tmp_path / "flight.json")
+        text = recorder.dump_json(path)
+        on_disk = json.loads(open(path, encoding="utf-8").read())
+        assert json.loads(text) == on_disk
+        assert on_disk["events"]["query"][0]["fingerprint"] == "abc"
+
+    def test_clear(self):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record("query", fp="a")
+        recorder.clear()
+        assert len(recorder) == 0 and recorder.dropped == 0
+
+
+# ---------------------------------------------------------------------------
+# QueryService feed
+# ---------------------------------------------------------------------------
+
+
+class TestServiceFeed:
+    def test_query_events_record_computed_work_only(self):
+        """One computed query → one event; the L1 hit stays off the recorder
+        (the default hot path is two falsy checks, not an event per hit)."""
+        with QueryService(build_paper_g1()) as service:
+            pattern = build_q2()
+            service.evaluate(pattern)
+            service.evaluate(pattern)
+            events = service.flight.events("query")
+        assert [event.data["cache_route"] for event in events] == ["compute"]
+        assert events[0].data["cached"] is False
+        assert events[0].data["batch_size"] == 1
+
+    def test_slow_query_events_when_threshold_crossed(self):
+        with QueryService(
+            build_paper_g1(), slow_query_threshold=0.0
+        ) as service:
+            service.evaluate(build_q2())
+            slow = service.flight.events("slow_query")
+        assert slow and slow[0].data["cache_route"] == "compute"
+
+    def test_delta_events_record_index_route(self):
+        with QueryService(build_paper_g1()) as service:
+            service.evaluate(build_q2())
+            service.apply_delta(GraphDelta.insert_edge("x1", "v1", "follow"))
+            events = service.flight.events("delta")
+        assert len(events) == 1
+        assert events[0].data["index"] in ("refreshed", "rebuilt")
+
+    def test_flight_in_introspection_and_disable_knob(self):
+        with QueryService(build_paper_g1(), flight_capacity=0) as service:
+            service.evaluate(build_q2())
+            payload = service.introspect()
+        assert payload["flight"]["capacity"] == 0
+        assert payload["flight"]["recorded"] == 0
+
+
+# ---------------------------------------------------------------------------
+# ShardedService feed
+# ---------------------------------------------------------------------------
+
+
+class TestFleetFeed:
+    def test_fleet_query_events_carry_fanout_and_route(self):
+        with ShardedService(build_paper_g1(), num_shards=2) as fleet:
+            pattern = build_q2()
+            fleet.evaluate(pattern)
+            fleet.evaluate(pattern)  # L1 hit — stays off the recorder
+            events = fleet.flight.events("query")
+            payload = fleet.introspect()
+        assert [event.data["cache_route"] for event in events] == ["fanout"]
+        assert [event.data["shard_fanout"] for event in events] == [2]
+        assert payload["flight"]["recorded"] >= 1
+
+    def test_fleet_delta_events_record_shard_routing(self):
+        with ShardedService(build_paper_g1(), num_shards=2) as fleet:
+            fleet.apply_delta(GraphDelta.insert_edge("x1", "v1", "follow"))
+            events = fleet.flight.events("delta")
+        assert len(events) == 1
+        data = events[0].data
+        assert data["structural"] is True
+        assert data["shards_touched"] + data["shards_skipped"] == 2
+        assert data["version"] == fleet.version_vector.key_text()
+
+
+# ---------------------------------------------------------------------------
+# Degradation history: two distinct fault kinds both retained (regression)
+# ---------------------------------------------------------------------------
+
+
+def test_two_distinct_fault_kinds_are_both_retained(tmp_path):
+    """``last_degraded_reason`` alone forgets; the history and the flight
+
+    recorder must hold BOTH a CRC mismatch and an embedded-key mismatch."""
+    path = str(tmp_path / "shared.sqlite")
+    with ShardedService(build_paper_g1(), num_shards=2, shared_cache=path) as producer:
+        key_q2 = producer.evaluate(build_q2()).fingerprint
+        producer.evaluate(build_q3(2))
+
+    connection = sqlite3.connect(path)
+    rows = connection.execute("SELECT cache_key, crc, payload FROM entries").fetchall()
+    with connection:
+        q2_rows = [row for row in rows if row[0].startswith(key_q2)]
+        other_rows = [row for row in rows if not row[0].startswith(key_q2)]
+        # Fault 1 on q2's row: flip a payload byte, CRC now lies.
+        key, _crc, payload = q2_rows[0]
+        mangled = bytes([payload[0] ^ 0xFF]) + payload[1:]
+        connection.execute(
+            "UPDATE entries SET payload = ? WHERE cache_key = ?", (mangled, key)
+        )
+        # Fault 2 on q3's row: transplant q2's pristine blob (CRC intact,
+        # embedded key wrong).
+        connection.execute(
+            "UPDATE entries SET crc = ?, payload = ? WHERE cache_key = ?",
+            (q2_rows[0][1], q2_rows[0][2], other_rows[0][0]),
+        )
+    connection.close()
+
+    with ShardedService(build_paper_g1(), num_shards=2, shared_cache=path) as fleet:
+        fleet.evaluate(build_q2())
+        fleet.evaluate(build_q3(2))
+        reasons = {entry["reason"] for entry in fleet.shared.degraded_reasons()}
+        assert {"payload CRC mismatch", "embedded key mismatch"} <= reasons
+        # The listener fed the same faults into the flight recorder, stamped.
+        flight_reasons = {
+            event.data["reason"] for event in fleet.flight.events("degraded")
+        }
+        assert {"payload CRC mismatch", "embedded key mismatch"} <= flight_reasons
+        # And introspection exposes the ordered history.
+        history = fleet.introspect()["shared_degraded"]
+        assert [entry["reason"] for entry in history] == [
+            entry["reason"] for entry in fleet.shared.degraded_reasons()
+        ]
+
+
+def test_degraded_history_is_bounded(tmp_path):
+    from repro.serve import SharedResultCache
+
+    cache = SharedResultCache(str(tmp_path / "s.sqlite"))
+    for index in range(100):
+        cache._note_degraded(f"synthetic {index}")
+    reasons = cache.degraded_reasons()
+    assert len(reasons) == 64
+    assert reasons[-1]["reason"] == "synthetic 99"
+    cache.close()
+
+
+def test_broken_listener_never_breaks_degradation(tmp_path):
+    from repro.serve import SharedResultCache
+
+    cache = SharedResultCache(str(tmp_path / "s.sqlite"))
+    cache.add_degraded_listener(lambda reason: (_ for _ in ()).throw(RuntimeError))
+    cache._note_degraded("still fine")
+    assert cache.last_degraded_reason == "still fine"
+    cache.close()

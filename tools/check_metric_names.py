@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Lint: every metric name used in ``src/`` is documented.
+
+The observability contract puts every instrument behind one dotted namespace,
+and ``docs/OBSERVABILITY.md`` carries the authoritative table (section
+"Metric namespace").  Nothing stops a new call site from minting
+``serve.admision.waited`` — misspelt, undocumented, invisible to anyone
+reading the docs — so this check closes the loop: it extracts every literal
+``registry.counter("…")`` / ``.gauge("…")`` / ``.histogram("…")`` name from
+the source tree and fails unless each one appears in the docs table.
+
+Skipped:
+
+* ``src/repro/obs/metrics.py`` itself — its docstrings mint throwaway
+  example names (``"x"``, ``"scoped.example"``) to document the API.
+
+One call site picks its name via a conditional expression (the L1 result
+cache's hits-or-misses ternary), so the stale check accepts any documented
+name that appears *somewhere* in ``src/`` as a dotted metric-shaped string
+literal, even when no literal ``registry.<kind>("…")`` call uses it.
+
+Exit status 0 when clean; 1 otherwise (one line per missing name).  CI runs
+it in the docs job next to ``check_links.py``; run it locally with
+``python tools/check_metric_names.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_ROOT = REPO_ROOT / "src"
+DOCS_TABLE = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+
+# The registry module's own docstring examples are not production names.
+SKIP_FILES = {SOURCE_ROOT / "repro" / "obs" / "metrics.py"}
+
+_CALL = re.compile(r"registry\.(?:counter|gauge|histogram)\(\s*\"([^\"]+)\"")
+# Fallback for names picked via a variable (e.g. ResultCache's
+# hits-or-misses ternary): any dotted metric-shaped string literal.
+_LITERAL = re.compile(
+    r"\"((?:index|match|plan|delta|pool|service|serve)\.[a-z0-9_.]+)\""
+)
+
+
+def used_names() -> tuple[dict[str, list[str]], set[str]]:
+    """``(direct, literals)``: names at literal ``registry.<kind>("…")``
+    call sites (mapped to ``path:line``), and the wider set of metric-shaped
+    string literals anywhere in ``src/`` (covers variable-name call sites)."""
+    sites: dict[str, list[str]] = {}
+    literals: set[str] = set()
+    for path in sorted(SOURCE_ROOT.rglob("*.py")):
+        if path in SKIP_FILES:
+            continue
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for name in _CALL.findall(line):
+                sites.setdefault(name, []).append(
+                    f"{path.relative_to(REPO_ROOT)}:{number}"
+                )
+            literals.update(_LITERAL.findall(line))
+    return sites, literals
+
+
+def documented_names() -> set[str]:
+    """Backticked names from the OBSERVABILITY.md namespace table rows."""
+    names: set[str] = set()
+    for line in DOCS_TABLE.read_text(encoding="utf-8").splitlines():
+        if not line.startswith("| `"):
+            continue
+        match = re.match(r"\| `([^`]+)` \|", line)
+        if match:
+            names.add(match.group(1))
+    return names
+
+
+def main() -> int:
+    used, literals = used_names()
+    documented = documented_names()
+    if not documented:
+        print(f"{DOCS_TABLE}: no metric namespace table found", file=sys.stderr)
+        return 1
+    missing = {name: sites for name, sites in used.items() if name not in documented}
+    for name in sorted(missing):
+        print(
+            f"undocumented metric {name!r} (add it to {DOCS_TABLE.name}'s "
+            f"namespace table): used at {', '.join(missing[name])}"
+        )
+    stale = documented - set(used) - literals
+    for name in sorted(stale):
+        print(
+            f"documented metric {name!r} has no call site left in src/ "
+            "(drop the table row or restore the instrument)"
+        )
+    if missing or stale:
+        return 1
+    print(
+        f"check_metric_names: {len(used)} metric names used, all documented "
+        f"({len(documented)} table rows)."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
